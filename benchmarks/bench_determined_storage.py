@@ -1,0 +1,66 @@
+"""E9 -- determined relations: compute the valid time, do not store it.
+
+A determined relation's valid time-stamp is a function of the element
+(Section 3.1), so the stamp need not be stored: we measure (a) the cost
+of recomputing vt from the mapping at query time vs reading a stored
+stamp, and (b) the storage saving (stamps not stored), on the paper's
+m2 ("most recent hour") mapping.
+"""
+
+import sys
+
+import pytest
+
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.determined import Determined, floor_to_unit
+from repro.core.taxonomy.inference import fit_determined
+
+SIZE = 20_000
+MAPPING = floor_to_unit("hour")
+
+STORED = [
+    Stamped(tt_start=Timestamp(37 * i), vt=Timestamp(37 * i).floor_to("hour"))
+    for i in range(SIZE)
+]
+STAMPLESS = [Stamped(tt_start=Timestamp(37 * i), vt=None) for i in range(SIZE)]  # type: ignore[arg-type]
+
+
+def test_relation_is_determined():
+    spec = Determined(MAPPING)
+    assert spec.check_extension(STORED)
+    recovered = fit_determined(STORED)
+    assert recovered is not None and "floor" in recovered.mapping.name
+
+
+def test_read_stored_stamps(benchmark):
+    def read_all():
+        return sum(e.vt.microseconds for e in STORED)
+
+    total = benchmark(read_all)
+    assert total > 0
+
+
+def test_recompute_stamps_from_mapping(benchmark):
+    def compute_all():
+        return sum(MAPPING(e).microseconds for e in STAMPLESS)
+
+    total = benchmark(compute_all)
+    assert total == sum(e.vt.microseconds for e in STORED)
+
+
+def test_timeslice_with_recomputation(benchmark):
+    probe = Timestamp(37 * (SIZE // 2)).floor_to("hour")
+
+    def slice_without_stored_vt():
+        return [e for e in STAMPLESS if MAPPING(e) == probe]
+
+    matches = benchmark(slice_without_stored_vt)
+    assert matches
+
+
+def test_storage_saving():
+    """One Timestamp per element is simply absent (reported, not timed)."""
+    stamp_bytes = sys.getsizeof(STORED[0].vt) + sys.getsizeof(STORED[0].vt.ticks)
+    saving = stamp_bytes * SIZE
+    assert saving > 0

@@ -1,0 +1,57 @@
+"""E2 -- Figure 2: lattice reasoning and isolated-type inference.
+
+Structural reproduction is asserted (13 nodes, 18 edges, region
+inclusion along every edge); the measured part is what a design tool
+pays: ancestor closure, most-specific reduction, and fitting the
+tightest isolated type to a sample.
+"""
+
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.inference import fit_event_isolated
+from repro.core.taxonomy.lattice import EVENT_ISOLATED_LATTICE
+
+SAMPLE = [
+    Stamped(tt_start=Timestamp(tt), vt=Timestamp(tt - 5 - (tt % 20)))
+    for tt in range(0, 50_000, 9)
+]
+
+
+def test_structure_matches_figure2():
+    lattice = EVENT_ISOLATED_LATTICE
+    assert len(lattice.node_names) == 13
+    assert len(lattice.edges) == 18
+    for parent, child in lattice.edges:
+        assert lattice.instance(child).region().is_subset(
+            lattice.instance(parent).region()
+        )
+
+
+def test_ancestor_closure(benchmark):
+    lattice = EVENT_ISOLATED_LATTICE
+
+    def close_all():
+        return {name: lattice.ancestors(name) for name in lattice.node_names}
+
+    closure = benchmark(close_all)
+    assert len(closure["degenerate"]) == 8
+
+
+def test_most_specific_reduction(benchmark):
+    lattice = EVENT_ISOLATED_LATTICE
+    names = lattice.node_names
+
+    def reduce():
+        return lattice.most_specific(names)
+
+    kept = benchmark(reduce)
+    assert kept == {
+        "degenerate",
+        "early strongly predictively bounded",
+        "delayed strongly retroactively bounded",
+    }
+
+
+def test_fit_isolated_type(benchmark):
+    fitted = benchmark(fit_event_isolated, SAMPLE)
+    assert fitted.name == "delayed strongly retroactively bounded"

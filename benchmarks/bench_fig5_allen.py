@@ -1,0 +1,62 @@
+"""E5 -- Figure 5 and [All83]: Allen relations and successive-tt checks.
+
+Asserts the thirteen-relation family and the Figure 5 lattice node
+count, then measures classification, composition-table lookup, and the
+successive-transaction-time monitors on the assignments workload.
+"""
+
+import pytest
+
+from repro.chronos.allen import AllenRelation, allen_relation, compose
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.interval_inter import (
+    GloballyContiguous,
+    IntervalGloballySequential,
+    successive_family,
+)
+from repro.core.taxonomy.lattice import INTER_INTERVAL_LATTICE
+
+PAIRS = [
+    (
+        Interval(Timestamp(i % 97), Timestamp(i % 97 + 1 + i % 13)),
+        Interval(Timestamp(i % 89), Timestamp(i % 89 + 1 + i % 17)),
+    )
+    for i in range(10_000)
+]
+
+
+def test_thirteen_relations_and_figure5_nodes():
+    assert len(AllenRelation) == 13
+    assert len(successive_family()) == 13
+    assert len(INTER_INTERVAL_LATTICE.node_names) == 17
+
+
+def test_allen_classification_throughput(benchmark):
+    def classify_all():
+        return sum(1 for a, b in PAIRS if allen_relation(a, b) is AllenRelation.BEFORE)
+
+    count = benchmark(classify_all)
+    assert count >= 0
+
+
+def test_composition_lookup_throughput(benchmark):
+    compose(AllenRelation.BEFORE, AllenRelation.BEFORE)  # build the table once
+
+    def look_up_all():
+        total = 0
+        for first in AllenRelation:
+            for second in AllenRelation:
+                total += len(compose(first, second))
+        return total
+
+    total = benchmark(look_up_all)
+    assert total > 169  # every entry non-empty, many multi-valued
+
+
+@pytest.mark.parametrize("name", ["sequential", "contiguous-check"])
+def test_successive_monitors(benchmark, name, assignments_workload):
+    elements = assignments_workload.relation.all_elements()
+    spec = IntervalGloballySequential() if name == "sequential" else GloballyContiguous()
+    result = benchmark(spec.check_extension, elements)
+    assert isinstance(result, bool)

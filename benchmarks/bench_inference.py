@@ -1,0 +1,56 @@
+"""E11 -- design-time inference cost and accuracy.
+
+Measures :func:`repro.core.taxonomy.inference.classify` against sample
+size on the monitoring workload, plus the full advisor pipeline, and
+asserts the planted ground truth is recovered (the accuracy half of the
+experiment).
+"""
+
+import pytest
+
+from repro.core.taxonomy.inference import classify, fit_determined
+from repro.design.advisor import Advisor
+from repro.workloads import generate_monitoring
+from repro.workloads.payroll import generate_determined_deposits
+
+SIZES = (100, 1_000, 4_000)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    prepared = {}
+    for size in SIZES:
+        workload = generate_monitoring(
+            sensors=4, samples_per_sensor=size // 4, seed=1992
+        )
+        prepared[size] = workload.relation.all_elements()
+    return prepared
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_classify_scaling(benchmark, samples, size):
+    report = benchmark(classify, samples[size])
+    assert report.isolated.name == "delayed strongly retroactively bounded"
+
+
+def test_ground_truth_recovered(samples):
+    """Accuracy: the generator's guaranteed geometry is inferred back."""
+    report = classify(samples[SIZES[-1]])
+    fitted = report.isolated
+    # delays were drawn in [30, 55 - sensors]; the fitted bounds must
+    # bracket them (seconds -> microseconds).
+    assert fitted.min_delay.microseconds >= 30 * 1_000_000
+    assert fitted.max_delay.microseconds <= 55 * 1_000_000
+
+
+def test_determined_template_search(benchmark):
+    workload = generate_determined_deposits(deposits=500)
+    elements = workload.relation.all_elements()
+    fitted = benchmark(fit_determined, elements)
+    assert fitted is not None
+
+
+def test_advisor_pipeline(benchmark, samples):
+    advisor = Advisor(margin=0.5)
+    recommendation = benchmark(advisor.recommend, samples[1_000])
+    assert recommendation.declare

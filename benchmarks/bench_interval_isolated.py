@@ -1,0 +1,48 @@
+"""E4 -- Section 3.3: isolated-interval taxonomy checkers.
+
+Measures the per-element cost of endpoint-lifted event properties and
+of interval regularity, on the weekly-assignments workload.
+"""
+
+import pytest
+
+from repro.chronos.duration import Duration
+from repro.core.taxonomy.event_isolated import Retroactive
+from repro.core.taxonomy.interval_isolated import (
+    Endpoint,
+    OnBothEndpoints,
+    OnEndpoint,
+    TemporalIntervalRegular,
+    ValidTimeIntervalRegular,
+)
+
+WEEK_SECONDS = 5 * 86_400  # working-week duration used by the generator
+
+
+@pytest.fixture(scope="module")
+def elements(assignments_workload):
+    return assignments_workload.relation.all_elements()
+
+
+def test_workload_is_interval_regular(elements):
+    spec = ValidTimeIntervalRegular(Duration(WEEK_SECONDS), strict=True)
+    assert spec.check_extension(elements)
+
+
+CHECKS = {
+    "vt-start-retroactive... (negated)": lambda: OnEndpoint(Retroactive(), Endpoint.START),
+    "vt-end-lifted": lambda: OnEndpoint(Retroactive(), Endpoint.END),
+    "both-endpoints": lambda: OnBothEndpoints(Retroactive()),
+    "valid-interval-regular": lambda: ValidTimeIntervalRegular(Duration(WEEK_SECONDS)),
+    "strict-valid-interval-regular": lambda: ValidTimeIntervalRegular(
+        Duration(WEEK_SECONDS), strict=True
+    ),
+    "temporal-interval-regular": lambda: TemporalIntervalRegular(Duration(WEEK_SECONDS)),
+}
+
+
+@pytest.mark.parametrize("name", list(CHECKS))
+def test_interval_checker_throughput(benchmark, name, elements):
+    spec = CHECKS[name]()
+    result = benchmark(spec.check_extension, elements)
+    assert isinstance(result, bool)

@@ -1,0 +1,51 @@
+"""E12b -- snapshot-interval sweep: the space/time trade-off of cached
+rollback over a backlog (the caching half of [JMRS90])."""
+
+import pytest
+
+from repro.chronos.timestamp import Timestamp
+from repro.storage.snapshot import SnapshotCache
+
+INTERVALS = (16, 64, 256, 1024)
+
+
+@pytest.fixture(scope="module")
+def backlog(general_workload):
+    return general_workload.relation.backlog()
+
+
+@pytest.fixture(scope="module")
+def probes(general_workload):
+    elements = general_workload.relation.all_elements()
+    step = max(len(elements) // 16, 1)
+    return [element.tt_start for element in elements[::step]]
+
+
+@pytest.mark.parametrize("interval", INTERVALS)
+def test_snapshot_rollback_sweep(benchmark, backlog, probes, interval):
+    cache = SnapshotCache(backlog, interval=interval)
+    cache.refresh()
+
+    def roll_all():
+        return [len(cache.state_at(probe)) for probe in probes]
+
+    sizes = benchmark(roll_all)
+    assert all(size >= 0 for size in sizes)
+
+
+def test_memory_cost_grows_as_interval_shrinks(backlog):
+    costs = {}
+    for interval in INTERVALS:
+        cache = SnapshotCache(backlog, interval=interval)
+        cache.refresh()
+        costs[interval] = cache.memory_cost()
+    ordered = sorted(INTERVALS)
+    for tighter, looser in zip(ordered, ordered[1:]):
+        assert costs[tighter] >= costs[looser]
+
+
+def test_replay_baseline(benchmark, backlog, probes):
+    def roll_all():
+        return [len(backlog.state_at(probe)) for probe in probes]
+
+    benchmark(roll_all)

@@ -1,0 +1,49 @@
+"""E13 -- temporal operators: coalescing and instant-wise aggregation.
+
+Extension experiments (not in the paper): the cost of the classic
+valid-time operations over a realistic interval workload, plus the
+sweep-line aggregation on overlapping validity.
+"""
+
+import pytest
+
+from repro.chronos.timestamp import Timestamp
+from repro.query.temporal_ops import (
+    aggregate_over_time,
+    coalesce,
+    count_over_time,
+    timeslice_series,
+    valid_extent,
+)
+
+
+@pytest.fixture(scope="module")
+def interval_elements(assignments_workload):
+    return assignments_workload.relation.all_elements()
+
+
+def test_coalesce_throughput(benchmark, interval_elements):
+    facts = benchmark(coalesce, interval_elements)
+    assert facts
+
+
+def test_count_over_time_throughput(benchmark, interval_elements):
+    segments = benchmark(count_over_time, interval_elements)
+    assert segments
+
+
+def test_aggregate_sum_throughput(benchmark, ledger_workload):
+    elements = ledger_workload.relation.all_elements()
+    segments = benchmark(aggregate_over_time, elements, "sum", "amount")
+    assert segments
+
+
+def test_timeslice_series_throughput(benchmark, interval_elements):
+    instants = [Timestamp(tick) for tick in range(0, 10_000_000, 500_000)]
+    series = benchmark(timeslice_series, interval_elements, instants)
+    assert len(series) == len(instants)
+
+
+def test_valid_extent_throughput(benchmark, interval_elements):
+    extents = benchmark(valid_extent, interval_elements)
+    assert extents

@@ -1,0 +1,56 @@
+"""E14 -- TQL surface overhead and planner passthrough.
+
+Extension experiment: the declarative layer should add only parse-time
+overhead on top of the planner; the declared-bounds speedup must
+survive the language layer (asserted via examined-element counts).
+"""
+
+import pytest
+
+from repro.chronos.timestamp import Timestamp
+from repro.query import NaiveExecutor, Planner, Scan, ValidTimeslice, tql
+
+
+@pytest.fixture(scope="module")
+def relation(monitoring_workload):
+    return monitoring_workload.relation
+
+
+@pytest.fixture(scope="module")
+def probe(relation):
+    return relation.all_elements()[len(relation) // 2].vt
+
+
+def test_parse_throughput(benchmark):
+    statement = (
+        "SELECT sensor, celsius FROM plant_temperatures "
+        "VALID AT 940s AS OF 1000s WHERE celsius >= 21 AND sensor = 's1'"
+    )
+    parsed = benchmark(tql.parse, statement)
+    assert parsed.valid_at is not None
+
+
+def test_tql_timeslice(benchmark, relation, probe):
+    statement = f"SELECT * FROM plant_temperatures VALID AT {probe.ticks}s"
+    results = benchmark(tql.execute, statement, relation)
+    assert results
+
+
+def test_equivalent_planner_call(benchmark, relation, probe):
+    query = ValidTimeslice(Scan(relation), probe)
+    planner = Planner(relation)
+    results = benchmark(lambda: planner.plan(query).execute())
+    assert results
+
+
+def test_tql_inherits_planner_savings(relation, probe):
+    statement = f"SELECT * FROM plant_temperatures VALID AT {probe.ticks}s"
+    through_tql = tql.execute(statement, relation, use_planner=True)
+    reference = NaiveExecutor()
+    naive = reference.run(ValidTimeslice(Scan(relation), probe))
+    assert sorted(e.element_surrogate for e in through_tql) == sorted(
+        e.element_surrogate for e in naive
+    )
+    plan = Planner(relation).plan(ValidTimeslice(Scan(relation), probe))
+    plan.execute()
+    assert plan.examined * 50 < reference.examined

@@ -1,0 +1,77 @@
+"""E15 -- vacuuming and the insert-side index ablation.
+
+Two extension measurements:
+
+* vacuuming a churned relation: cost of the pass and fraction of
+  elements reclaimed at increasing horizons;
+* the valid-time index maintenance ablation: on a *sequential* stream
+  every index insertion is a pure append, on shuffled valid times it is
+  a sorted-list insertion -- quantifying the insert-side half of the
+  paper's sequentiality payoff (the query-side half is E7).
+"""
+
+import pytest
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.timestamp import Timestamp
+from repro.relation.element import Element
+from repro.storage.indexes import ValidTimeEventIndex
+from repro.storage.vacuum import vacuum_engine
+from repro.workloads.base import seeded
+
+SIZE = 10_000
+
+
+def _event(surrogate: int, tt: int, vt: int) -> Element:
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate="o",
+        tt_start=Timestamp(tt),
+        vt=Timestamp(vt),
+    )
+
+
+@pytest.fixture(scope="module")
+def churned_engine(general_workload):
+    return general_workload.relation.engine
+
+
+@pytest.mark.parametrize("fraction", [0.25, 0.5, 1.0])
+def test_vacuum_pass(benchmark, churned_engine, fraction):
+    elements = list(churned_engine.scan())
+    horizon = elements[int((len(elements) - 1) * fraction)].tt_start
+
+    def run():
+        return vacuum_engine(churned_engine, horizon)
+
+    _compacted, report = benchmark(run)
+    assert report.kept + report.purged == len(elements)
+
+
+def test_vt_index_appends_in_order(benchmark):
+    """Sequential stream: every index insertion is an append."""
+
+    def build():
+        index = ValidTimeEventIndex()
+        for i in range(SIZE):
+            index.add(_event(i + 1, 10 * i, 10 * i - 3))
+        return index
+
+    index = benchmark(build)
+    assert index.inserted_out_of_order == 0
+
+
+def test_vt_index_inserts_shuffled(benchmark):
+    """Unrestricted stream: insertions land mid-list (O(n) shifts)."""
+    rng = seeded(42)
+    valid_times = [10 * i for i in range(SIZE)]
+    rng.shuffle(valid_times)
+
+    def build():
+        index = ValidTimeEventIndex()
+        for i, vt in enumerate(valid_times):
+            index.add(_event(i + 1, 10 * i, vt))
+        return index
+
+    index = benchmark(build)
+    assert index.inserted_out_of_order > SIZE // 2

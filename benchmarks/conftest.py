@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark is keyed to an experiment id (E1-E12) from DESIGN.md's
+per-experiment index; EXPERIMENTS.md records the measured outcomes.
+Benchmarks use moderate sizes so the whole suite runs in seconds; the
+*ratios* between strategies are the reproduced result, not absolute
+wall-clock numbers.
+"""
+
+import pytest
+
+from repro.workloads import (
+    generate_assignments,
+    generate_general,
+    generate_ledger,
+    generate_monitoring,
+)
+
+
+@pytest.fixture(scope="session")
+def monitoring_workload():
+    return generate_monitoring(
+        sensors=8,
+        samples_per_sensor=1_000,
+        period_seconds=60,
+        min_delay_seconds=30,
+        max_delay_seconds=55,
+        seed=1992,
+    )
+
+
+@pytest.fixture(scope="session")
+def general_workload():
+    return generate_general(inserts=4_000, delete_rate=0.15, seed=1992)
+
+
+@pytest.fixture(scope="session")
+def ledger_workload():
+    return generate_ledger(entries=2_000, seed=1992)
+
+
+@pytest.fixture(scope="session")
+def assignments_workload():
+    return generate_assignments(employees=4, weeks=250, record_on="weekend", seed=1992)

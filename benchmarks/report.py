@@ -1,0 +1,190 @@
+"""Regenerate the EXPERIMENTS.md measurement tables in one run.
+
+Usage:  python benchmarks/report.py [--quick]
+
+Prints the E6-E8, E11, E12, and E16 tables (the measured half of the
+reproduction; E1-E5 are asserted structurally by the test suite).
+``--quick`` quarters the sizes for a fast smoke pass.  Wall-clock
+numbers vary by machine; the *shapes* (who wins, how the win scales)
+are the reproduced result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.inference import classify
+from repro.query import (
+    CurrentState,
+    NaiveExecutor,
+    Planner,
+    Scan,
+    TemporalJoin,
+    ValidTimeslice,
+)
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.snapshot import SnapshotCache
+from repro.workloads import generate_general, generate_monitoring
+from repro.workloads.base import seeded
+
+
+def best_of(thunk, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best * 1_000  # ms
+
+
+def build_events(size, specializations, offset_of):
+    schema = TemporalSchema(name="r", specializations=specializations)
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+    for i in range(size):
+        clock.advance_to(Timestamp(10 * i))
+        relation.insert("o", Timestamp(10 * i + offset_of(i)), {})
+    return relation
+
+
+def table(title, header, rows):
+    print(f"\n{title}")
+    print("| " + " | ".join(header) + " |")
+    print("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        print("| " + " | ".join(str(cell) for cell in row) + " |")
+
+
+def run_timeslice_pair(relation, probe):
+    query = ValidTimeslice(Scan(relation), probe)
+    executor = NaiveExecutor()
+    naive_ms = best_of(lambda: NaiveExecutor().run(query))
+    executor.run(query)
+    plan = Planner(relation).plan(query)
+    plan_ms = best_of(lambda: Planner(relation).plan(query).execute())
+    plan.execute()
+    return plan.strategy, executor.examined, plan.examined, naive_ms, plan_ms
+
+
+def e6_e7(size):
+    rows = []
+    degenerate = build_events(size, ["degenerate"], lambda i: 0)
+    strategy, naive_x, plan_x, naive_ms, plan_ms = run_timeslice_pair(
+        degenerate, Timestamp(10 * (size // 2))
+    )
+    rows.append(("E6 degenerate", strategy, f"{naive_x} -> {plan_x}", f"{naive_ms:.2f} -> {plan_ms:.4f}"))
+    sequential = build_events(size, ["globally sequential"], lambda i: -4)
+    strategy, naive_x, plan_x, naive_ms, plan_ms = run_timeslice_pair(
+        sequential, Timestamp(10 * (size // 2) - 4)
+    )
+    rows.append(("E7 sequential", strategy, f"{naive_x} -> {plan_x}", f"{naive_ms:.2f} -> {plan_ms:.4f}"))
+    table(
+        f"E6/E7 -- timeslice on n={size} (declared vs reference)",
+        ("experiment", "strategy", "examined", "time ms"),
+        rows,
+    )
+
+
+def e8(size):
+    rows = []
+    for bound in (10, 60, 300, 1_800):
+        rng = seeded(bound)
+        relation = build_events(
+            size,
+            [f"strongly bounded({bound}s, {bound}s)"],
+            lambda i, rng=rng, bound=bound: rng.randint(-bound, bound),
+        )
+        _strategy, naive_x, plan_x, naive_ms, plan_ms = run_timeslice_pair(
+            relation, Timestamp(10 * (size // 2))
+        )
+        speedup = naive_ms / plan_ms if plan_ms else float("inf")
+        rows.append((f"{bound} s", plan_x, naive_x, f"{speedup:.0f}x"))
+    table(
+        f"E8 -- bounded-window sweep on n={size}",
+        ("declared Dt", "examined (window)", "examined (naive)", "speedup"),
+        rows,
+    )
+
+
+def e11(sizes):
+    rows = []
+    for size in sizes:
+        workload = generate_monitoring(sensors=4, samples_per_sensor=size // 4, seed=1992)
+        elements = workload.relation.all_elements()
+        rows.append((size, f"{best_of(lambda: classify(elements)):.2f} ms"))
+    table("E11 -- inference cost vs sample size", ("n", "classify()"), rows)
+
+
+def e12(inserts):
+    workload = generate_general(inserts=inserts, delete_rate=0.15, seed=1992)
+    relation = workload.relation
+    backlog = relation.backlog()
+    cache = SnapshotCache(backlog, interval=128)
+    cache.refresh()
+    elements = relation.all_elements()
+    mid = elements[len(elements) // 2].tt_start
+    rows = [
+        ("backlog replay", f"{best_of(lambda: backlog.state_at(mid)):.3f} ms"),
+        (
+            f"snapshot cache ({cache.snapshot_count} snapshots)",
+            f"{best_of(lambda: cache.state_at(mid)):.3f} ms",
+        ),
+        ("tuple store tt-prefix", f"{best_of(lambda: list(relation.engine.as_of(mid))):.3f} ms"),
+    ]
+    table(f"E12 -- rollback representations ({len(backlog)} ops)", ("representation", "time"), rows)
+
+
+def e16(size):
+    def build(name):
+        schema = TemporalSchema(
+            name=name, time_varying=("k",), specializations=["globally non-decreasing"]
+        )
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        for i in range(size):
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("o", Timestamp(5 * i), {"k": i % 7})
+        return relation
+
+    left, right = build("l"), build("r")
+    query = TemporalJoin(
+        CurrentState(Scan(left)),
+        CurrentState(Scan(right)),
+        condition=lambda a, b: a.attributes["k"] == b.attributes["k"],
+    )
+    plan = Planner(left).plan(query)
+    plan_ms = best_of(lambda: Planner(left).plan(query).execute(), repeats=3)
+    plan.execute()
+    executor = NaiveExecutor()
+    naive_ms = best_of(lambda: NaiveExecutor().run(query), repeats=3)
+    executor.run(query)
+    table(
+        f"E16 -- valid-time join, two ordered relations of n={size}",
+        ("strategy", "examined", "time"),
+        [
+            ("nested loop (reference)", executor.examined, f"{naive_ms:.1f} ms"),
+            (plan.strategy, plan.examined, f"{plan_ms:.3f} ms"),
+        ],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="quarter-size fast pass")
+    arguments = parser.parse_args()
+    scale = 4 if arguments.quick else 1
+    print("EXPERIMENTS.md measurement tables, regenerated")
+    print("(shapes are the result; absolute times are machine-specific)")
+    e6_e7(20_000 // scale)
+    e8(10_000 // scale)
+    e11([100, 1_000 // scale * 1, 4_000 // scale])
+    e12(4_000 // scale)
+    e16(600 // scale)
+
+
+if __name__ == "__main__":
+    main()

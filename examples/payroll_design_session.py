@@ -1,0 +1,50 @@
+"""A design session: from sample data to schema declarations.
+
+Plays the role the paper assigns to the taxonomy -- a *database design*
+vocabulary.  For each of the paper's running examples we generate a
+sample, let the :class:`repro.design.Advisor` infer the most specific
+specializations, and print the recommended declarations together with
+the storage/planner payoffs they unlock.  The payroll deposits sample
+demonstrates *determined* detection: the valid time turns out to be a
+pure function of the transaction time ("valid from the next 8:00
+a.m."), so it need not be stored at all.
+
+Run:  python examples/payroll_design_session.py
+"""
+
+from repro.design import Advisor, render_recommendation
+from repro.workloads import (
+    generate_assignments,
+    generate_excavation,
+    generate_ledger,
+    generate_orders,
+    generate_payroll,
+)
+from repro.workloads.payroll import generate_determined_deposits
+
+
+def main() -> None:
+    advisor = Advisor(margin=0.5)
+    sessions = [
+        ("direct_deposits (payroll tape)", generate_payroll(employees=8, months=12)),
+        ("deposits (next business morning)", generate_determined_deposits(deposits=150)),
+        ("ledger (current month accounting)", generate_ledger(entries=200)),
+        ("orders (30-day pending horizon)", generate_orders(orders=200)),
+        ("excavation (archeology)", generate_excavation(strata=40)),
+        ("assignments (weekly, weekend entry)", generate_assignments(weeks=20)),
+    ]
+    for name, workload in sessions:
+        recommendation = advisor.recommend_for_relation(workload.relation)
+        print(render_recommendation(recommendation, name))
+        print()
+
+    # The deposits relation is determined: show the recovered mapping.
+    deposits = generate_determined_deposits(deposits=150)
+    recommendation = advisor.recommend_for_relation(deposits.relation)
+    determined = [spec for spec in recommendation.declare if spec.name == "determined"]
+    if determined:
+        print(f"recovered mapping function: {determined[0].mapping.name}")
+
+
+if __name__ == "__main__":
+    main()

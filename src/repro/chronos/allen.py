@@ -1,0 +1,146 @@
+"""Allen's thirteen interval relations [All83].
+
+Section 3.4 of the paper: "Allen has demonstrated that there exist a
+total of thirteen possible relationships between two intervals.  These
+relationships may be denoted before, meets, overlaps, during, starts,
+finishes, equal, and the inverse relationships for all but equal."
+
+For each relation ``X`` the paper defines a *successive transaction time
+X* specialization (implemented in
+:mod:`repro.core.taxonomy.interval_inter`); this module provides the
+relations themselves: a total, mutually exclusive classification of any
+two half-open intervals, inverses, and the full composition table
+(computed by exhaustive enumeration rather than hand-entered, so it is
+correct by construction).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, FrozenSet, Tuple
+
+from repro.chronos.interval import Interval
+
+
+class AllenRelation(enum.Enum):
+    """The thirteen basic interval relations.
+
+    Values are the conventional short names; ``_INVERSE`` suffixed
+    members are the paper's "inverse" relations (e.g. *inverse before* =
+    Allen's *after*).
+    """
+
+    BEFORE = "before"
+    MEETS = "meets"
+    OVERLAPS = "overlaps"
+    STARTS = "starts"
+    DURING = "during"
+    FINISHES = "finishes"
+    EQUAL = "equal"
+    BEFORE_INVERSE = "before-inverse"
+    MEETS_INVERSE = "meets-inverse"
+    OVERLAPS_INVERSE = "overlaps-inverse"
+    STARTS_INVERSE = "starts-inverse"
+    DURING_INVERSE = "during-inverse"
+    FINISHES_INVERSE = "finishes-inverse"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The relation r' with ``i1 r i2  <=>  i2 r' i1``."""
+        return _INVERSES[self]
+
+    @property
+    def is_inverse(self) -> bool:
+        return self.name.endswith("_INVERSE")
+
+    def __repr__(self) -> str:
+        return f"AllenRelation.{self.name}"
+
+
+_INVERSES: Dict[AllenRelation, AllenRelation] = {
+    AllenRelation.BEFORE: AllenRelation.BEFORE_INVERSE,
+    AllenRelation.MEETS: AllenRelation.MEETS_INVERSE,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPS_INVERSE,
+    AllenRelation.STARTS: AllenRelation.STARTS_INVERSE,
+    AllenRelation.DURING: AllenRelation.DURING_INVERSE,
+    AllenRelation.FINISHES: AllenRelation.FINISHES_INVERSE,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+    AllenRelation.BEFORE_INVERSE: AllenRelation.BEFORE,
+    AllenRelation.MEETS_INVERSE: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS_INVERSE: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS_INVERSE: AllenRelation.STARTS,
+    AllenRelation.DURING_INVERSE: AllenRelation.DURING,
+    AllenRelation.FINISHES_INVERSE: AllenRelation.FINISHES,
+}
+
+
+def allen_relation(first: Interval, second: Interval) -> AllenRelation:
+    """Classify the relationship of *first* to *second*.
+
+    The classification is total (every pair of intervals falls in exactly
+    one of the thirteen relations); this is property-tested in the test
+    suite by checking that the thirteen defining conditions are mutually
+    exclusive and exhaustive over random interval pairs.
+    """
+    a_start, a_end = first.start, first.end
+    b_start, b_end = second.start, second.end
+
+    if a_end < b_start:
+        return AllenRelation.BEFORE
+    if b_end < a_start:
+        return AllenRelation.BEFORE_INVERSE
+    if a_end == b_start:
+        return AllenRelation.MEETS
+    if b_end == a_start:
+        return AllenRelation.MEETS_INVERSE
+    if a_start == b_start:
+        if a_end == b_end:
+            return AllenRelation.EQUAL
+        if a_end < b_end:
+            return AllenRelation.STARTS
+        return AllenRelation.STARTS_INVERSE
+    if a_end == b_end:
+        if a_start > b_start:
+            return AllenRelation.FINISHES
+        return AllenRelation.FINISHES_INVERSE
+    if a_start > b_start and a_end < b_end:
+        return AllenRelation.DURING
+    if a_start < b_start and a_end > b_end:
+        return AllenRelation.DURING_INVERSE
+    if a_start < b_start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPS_INVERSE
+
+
+_COMPOSITION_TABLE: Dict[Tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]] = {}
+
+
+def _build_composition_table() -> None:
+    """Derive the 13x13 composition table by exhaustive small-model search.
+
+    For half-open intervals with integer endpoints, every ordering of the
+    six endpoints of three intervals is realizable with endpoint values
+    in ``0..5``, so enumerating all interval triples over that range
+    finds every composition entry.  The table is built once, lazily.
+    """
+    from repro.chronos.timestamp import Timestamp
+
+    points = [Timestamp(i) for i in range(6)]
+    intervals = [
+        Interval(points[i], points[j])
+        for i, j in itertools.combinations(range(6), 2)
+    ]
+    found: Dict[Tuple[AllenRelation, AllenRelation], set] = {}
+    for a, b, c in itertools.product(intervals, repeat=3):
+        key = (allen_relation(a, b), allen_relation(b, c))
+        found.setdefault(key, set()).add(allen_relation(a, c))
+    for key, relations in found.items():
+        _COMPOSITION_TABLE[key] = frozenset(relations)
+
+
+def compose(first: AllenRelation, second: AllenRelation) -> FrozenSet[AllenRelation]:
+    """Possible relations of A to C given ``A first B`` and ``B second C``."""
+    if not _COMPOSITION_TABLE:
+        _build_composition_table()
+    return _COMPOSITION_TABLE[(first, second)]

@@ -1,0 +1,127 @@
+"""Proleptic Gregorian calendar arithmetic.
+
+The paper's bounds may be "calendric-specific.  An example of the latter
+is one month, where a month in the Gregorian calendar contains 28 to 31
+days, depending on the date to which the duration is added or
+subtracted" (Section 3.1).  This module provides the date arithmetic
+that :class:`repro.chronos.duration.CalendricDuration` needs, built from
+scratch on day ordinals so that the rest of the library never touches
+:mod:`datetime` and stays on a single exact integer time-line.
+
+Day ordinal 0 is 1 January of year 1 (proleptic Gregorian), matching
+``datetime.date.toordinal() - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+# Cumulative days before each month in a non-leap year.
+_DAYS_BEFORE_MONTH = (0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334)
+
+
+def is_leap_year(year: int) -> bool:
+    """Gregorian leap-year rule."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_year(year: int) -> int:
+    """Number of days in *year*."""
+    return 366 if is_leap_year(year) else 365
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Number of days in *month* (1-12) of *year*."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be in 1..12, got {month}")
+    if month == 2 and is_leap_year(year):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+def _days_before_year(year: int) -> int:
+    """Days between ordinal 0 and 1 January of *year*."""
+    y = year - 1
+    return y * 365 + y // 4 - y // 100 + y // 400
+
+
+def _days_before_month(year: int, month: int) -> int:
+    """Days between 1 January and the first of *month* in *year*."""
+    extra = 1 if month > 2 and is_leap_year(year) else 0
+    return _DAYS_BEFORE_MONTH[month - 1] + extra
+
+
+@dataclass(frozen=True, order=True)
+class GregorianDate:
+    """A calendar date (proleptic Gregorian)."""
+
+    year: int
+    month: int
+    day: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month must be in 1..12, got {self.month}")
+        if not 1 <= self.day <= days_in_month(self.year, self.month):
+            raise ValueError(
+                f"day must be in 1..{days_in_month(self.year, self.month)} "
+                f"for {self.year}-{self.month:02d}, got {self.day}"
+            )
+
+    def to_ordinal(self) -> int:
+        """Day ordinal of this date (0 = 1 Jan year 1)."""
+        return date_to_ordinal(self.year, self.month, self.day)
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}-{self.day:02d}"
+
+
+def date_to_ordinal(year: int, month: int, day: int) -> int:
+    """Map (year, month, day) to a day ordinal (0 = 1 Jan year 1)."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be in 1..12, got {month}")
+    if not 1 <= day <= days_in_month(year, month):
+        raise ValueError(f"invalid day {day} for {year}-{month:02d}")
+    return _days_before_year(year) + _days_before_month(year, month) + (day - 1)
+
+
+def ordinal_to_date(ordinal: int) -> GregorianDate:
+    """Inverse of :func:`date_to_ordinal`.
+
+    Uses a direct computation for the year (with at most one correction
+    step) followed by a linear scan over the twelve months.
+    """
+    # Estimate the year; the 400-year cycle has 146097 days.
+    n400, rem = divmod(ordinal, 146097)
+    year = n400 * 400 + 1 + rem * 400 // 146097
+    while _days_before_year(year + 1) <= ordinal:
+        year += 1
+    while _days_before_year(year) > ordinal:
+        year -= 1
+    day_of_year = ordinal - _days_before_year(year)
+    month = 1
+    while month < 12 and _days_before_month(year, month + 1) <= day_of_year:
+        month += 1
+    day = day_of_year - _days_before_month(year, month) + 1
+    return GregorianDate(year, month, day)
+
+
+def add_months(date: GregorianDate, months: int) -> GregorianDate:
+    """Add a number of (possibly negative) months to *date*.
+
+    When the target month is shorter than the source day, the day is
+    clamped to the last day of the target month -- the standard calendric
+    convention the paper's "one month" bound relies on (adding one month
+    to 31 January yields 28 or 29 February).
+    """
+    zero_based = date.year * 12 + (date.month - 1) + months
+    year, month_index = divmod(zero_based, 12)
+    month = month_index + 1
+    day = min(date.day, days_in_month(year, month))
+    return GregorianDate(year, month, day)
+
+
+def add_years(date: GregorianDate, years: int) -> GregorianDate:
+    """Add whole years (29 February clamps to 28 February off leap years)."""
+    return add_months(date, years * 12)

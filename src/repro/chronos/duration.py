@@ -1,0 +1,175 @@
+"""Durations: fixed-length and calendric-specific.
+
+Section 3.1 of the paper: "this time bound is a *duration* that may be
+fixed in length (e.g., 30 seconds, one day) or may be calendric-specific.
+An example of the latter is one month, where a month in the Gregorian
+calendar contains 28 to 31 days, depending on the date to which the
+duration is added or subtracted."
+
+:class:`Duration` is a fixed length (integer ticks at a granularity).
+:class:`CalendricDuration` is a month/year count whose tick length varies
+with the anchor date; it supports only addition to/subtraction from a
+:class:`~repro.chronos.timestamp.Timestamp`, never direct comparison with
+a fixed duration.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any
+
+from repro.chronos.calendar import add_months
+from repro.chronos.granularity import Granularity, GranularityLike, as_granularity
+from repro.chronos.timestamp import Timestamp
+
+
+@functools.total_ordering
+class Duration:
+    """A fixed-length duration: integer *ticks* at a *granularity*."""
+
+    __slots__ = ("_ticks", "_granularity")
+
+    def __init__(self, ticks: int, granularity: GranularityLike = Granularity.SECOND) -> None:
+        if not isinstance(ticks, int):
+            raise TypeError(f"ticks must be an int, got {type(ticks).__name__}")
+        self._ticks = ticks
+        self._granularity = as_granularity(granularity)
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    @property
+    def granularity(self) -> Granularity:
+        return self._granularity
+
+    @property
+    def microseconds(self) -> int:
+        """Exact length in microseconds."""
+        return self._ticks * self._granularity.microseconds
+
+    @classmethod
+    def zero(cls) -> "Duration":
+        return cls(0, Granularity.MICROSECOND)
+
+    def is_negative(self) -> bool:
+        return self.microseconds < 0
+
+    def is_zero(self) -> bool:
+        return self.microseconds == 0
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: Any) -> Any:
+        if isinstance(other, Duration):
+            gran = (
+                self._granularity
+                if self._granularity.is_finer_than(other._granularity)
+                else other._granularity
+            )
+            total = self.microseconds + other.microseconds
+            return Duration(total // gran.microseconds, gran)
+        if isinstance(other, Timestamp):
+            return other + self
+        return NotImplemented
+
+    def __sub__(self, other: Any) -> "Duration":
+        if isinstance(other, Duration):
+            return self + (-other)
+        return NotImplemented
+
+    def __neg__(self) -> "Duration":
+        return Duration(-self._ticks, self._granularity)
+
+    def __mul__(self, factor: int) -> "Duration":
+        if not isinstance(factor, int):
+            return NotImplemented
+        return Duration(self._ticks * factor, self._granularity)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: Any) -> Any:
+        if isinstance(other, Duration):
+            if other.microseconds == 0:
+                raise ZeroDivisionError("division by zero duration")
+            return self.microseconds // other.microseconds
+        if isinstance(other, int):
+            micro = self.microseconds // other
+            return Duration(micro // self._granularity.microseconds, self._granularity)
+        return NotImplemented
+
+    def __mod__(self, other: "Duration") -> "Duration":
+        if not isinstance(other, Duration):
+            return NotImplemented
+        if other.microseconds == 0:
+            raise ZeroDivisionError("modulo by zero duration")
+        rem = self.microseconds % other.microseconds
+        return Duration(rem, Granularity.MICROSECOND)
+
+    # -- ordering ---------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Duration):
+            return self.microseconds == other.microseconds
+        return NotImplemented
+
+    def __lt__(self, other: Any) -> bool:
+        if isinstance(other, Duration):
+            return self.microseconds < other.microseconds
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Duration", self.microseconds))
+
+    def __repr__(self) -> str:
+        return f"Duration({self._ticks}, {self._granularity.name.lower()})"
+
+
+class CalendricDuration:
+    """A calendric-specific duration: a whole number of months (or years).
+
+    The realized length depends on the date the duration is added to;
+    ``Timestamp.from_date(2026, 1, 31) + CalendricDuration(months=1)``
+    lands on 28 February 2026 (clamping), while adding it to 1 March
+    lands on 1 April.  Intra-day position is preserved exactly.
+    """
+
+    __slots__ = ("_months",)
+
+    def __init__(self, months: int = 0, years: int = 0) -> None:
+        if not isinstance(months, int) or not isinstance(years, int):
+            raise TypeError("months and years must be ints")
+        self._months = months + 12 * years
+
+    @property
+    def months(self) -> int:
+        return self._months
+
+    def add_to(self, ts: Timestamp) -> Timestamp:
+        """Add this duration to a time-stamp, clamping the day of month."""
+        date = ts.to_date()
+        day_start_micro = (
+            Timestamp.from_date(date.year, date.month, date.day).microseconds
+        )
+        intra_day = ts.microseconds - day_start_micro
+        shifted = add_months(date, self._months)
+        base = Timestamp.from_date(shifted.year, shifted.month, shifted.day)
+        result_micro = base.microseconds + intra_day
+        unit = ts.granularity.microseconds
+        if result_micro % unit == 0:
+            return Timestamp(result_micro // unit, ts.granularity)
+        return Timestamp(result_micro, Granularity.MICROSECOND)
+
+    def __neg__(self) -> "CalendricDuration":
+        return CalendricDuration(months=-self._months)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, CalendricDuration):
+            return self._months == other._months
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("CalendricDuration", self._months))
+
+    def __repr__(self) -> str:
+        return f"CalendricDuration(months={self._months})"

@@ -1,0 +1,82 @@
+"""Granularities for time-stamps.
+
+The paper (Section 2) notes that "each relation may have an individual
+valid time-stamp granularity, or the database system may impose a fixed
+granularity on all relations".  We model a granularity as a named tick
+unit with a fixed length in microseconds; time-stamps are integer counts
+of ticks at some granularity.
+
+Calendric units (months, years) do not have a fixed tick length and are
+handled separately by :class:`repro.chronos.duration.CalendricDuration`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+
+class Granularity(enum.Enum):
+    """A fixed-length tick unit.
+
+    The enum value is the length of one tick in microseconds.  This makes
+    conversion between granularities a pure integer computation and keeps
+    the total order on time-stamps exact (no floating point).
+    """
+
+    MICROSECOND = 1
+    MILLISECOND = 1_000
+    SECOND = 1_000_000
+    MINUTE = 60 * 1_000_000
+    HOUR = 3_600 * 1_000_000
+    DAY = 86_400 * 1_000_000
+    WEEK = 7 * 86_400 * 1_000_000
+
+    @property
+    def microseconds(self) -> int:
+        """Length of one tick of this granularity in microseconds."""
+        return self.value
+
+    def is_finer_than(self, other: "Granularity") -> bool:
+        """Return True if this granularity has shorter ticks than *other*."""
+        return self.value < other.value
+
+    def is_coarser_than(self, other: "Granularity") -> bool:
+        """Return True if this granularity has longer ticks than *other*."""
+        return self.value > other.value
+
+    def is_multiple_of(self, other: "Granularity") -> bool:
+        """Return True if one tick of *self* is a whole number of *other* ticks."""
+        return self.value % other.value == 0
+
+    def convert(self, ticks: int, target: "Granularity") -> int:
+        """Convert a tick count at this granularity to *target* granularity.
+
+        Conversion to a finer granularity is exact.  Conversion to a
+        coarser granularity truncates toward negative infinity (floor),
+        matching the paper's use of floor/ceiling in mapping functions
+        such as "valid from the most recent hour".
+        """
+        total = ticks * self.value
+        return total // target.value
+
+    def __repr__(self) -> str:
+        return f"Granularity.{self.name}"
+
+
+GranularityLike = Union[Granularity, str]
+
+
+def as_granularity(value: GranularityLike) -> Granularity:
+    """Coerce a granularity name (case-insensitive) or enum to the enum.
+
+    >>> as_granularity("second") is Granularity.SECOND
+    True
+    """
+    if isinstance(value, Granularity):
+        return value
+    try:
+        return Granularity[value.upper()]
+    except KeyError:
+        valid = ", ".join(g.name.lower() for g in Granularity)
+        raise ValueError(f"unknown granularity {value!r}; expected one of: {valid}") from None

@@ -1,0 +1,118 @@
+"""Half-open time intervals ``[start, end)``.
+
+Interval valid time-stamps in the paper are pairs ``[vt_start, vt_end)``
+and element existence intervals are ``[tt_b, tt_d)`` (Section 2).  The
+half-open convention makes "meets" (end of one = start of the next) the
+natural notion of contiguity used by the globally-contiguous
+specialization (Section 3.4).
+
+Endpoints are :class:`~repro.chronos.timestamp.Timestamp` values or the
+sentinels :data:`~repro.chronos.timestamp.FOREVER` /
+:data:`~repro.chronos.timestamp.NEGATIVE_INFINITY`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
+
+
+class Interval:
+    """An immutable half-open interval ``[start, end)`` with ``start < end``."""
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self, start: TimePoint, end: TimePoint) -> None:
+        if not _is_timepoint(start) or not _is_timepoint(end):
+            raise TypeError("interval endpoints must be Timestamps or sentinels")
+        if not start < end:
+            raise ValueError(f"interval requires start < end, got [{start!r}, {end!r})")
+        self._start = start
+        self._end = end
+
+    @property
+    def start(self) -> TimePoint:
+        return self._start
+
+    @property
+    def end(self) -> TimePoint:
+        return self._end
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when both endpoints are proper time-stamps."""
+        return isinstance(self._start, Timestamp) and isinstance(self._end, Timestamp)
+
+    def duration(self) -> Duration:
+        """Length of a bounded interval."""
+        if not self.is_bounded:
+            raise ValueError(f"unbounded interval {self!r} has no duration")
+        return self._end - self._start  # type: ignore[operator]
+
+    # -- point predicates -------------------------------------------------------
+
+    def contains_point(self, point: TimePoint) -> bool:
+        """True when ``start <= point < end``."""
+        return self._start <= point < self._end
+
+    # -- interval predicates ------------------------------------------------------
+
+    def contains(self, other: "Interval") -> bool:
+        """True when *other* lies entirely within this interval."""
+        return self._start <= other._start and other._end <= self._end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one point."""
+        return self._start < other._end and other._start < self._end
+
+    def meets(self, other: "Interval") -> bool:
+        """True when this interval ends exactly where *other* starts."""
+        return self._end == other._start
+
+    def before(self, other: "Interval") -> bool:
+        """True when this interval ends strictly before *other* starts."""
+        return self._end < other._start
+
+    # -- set operations -----------------------------------------------------------
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The common sub-interval, or None when disjoint."""
+        start = max(self._start, other._start)
+        end = min(self._end, other._end)
+        if start < end:
+            return Interval(start, end)
+        return None
+
+    def union(self, other: "Interval") -> Optional["Interval"]:
+        """The merged interval when overlapping or adjacent, else None."""
+        if self.overlaps(other) or self.meets(other) or other.meets(self):
+            return Interval(min(self._start, other._start), max(self._end, other._end))
+        return None
+
+    def difference(self, other: "Interval") -> Iterable["Interval"]:
+        """The (0, 1, or 2) maximal sub-intervals of self outside *other*."""
+        pieces = []
+        if self._start < other._start:
+            pieces.append(Interval(self._start, min(self._end, other._start)))
+        if other._end < self._end:
+            pieces.append(Interval(max(self._start, other._end), self._end))
+        return pieces
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Interval):
+            return self._start == other._start and self._end == other._end
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._start, self._end))
+
+    def __repr__(self) -> str:
+        return f"Interval({self._start!r}, {self._end!r})"
+
+
+def _is_timepoint(value: Any) -> bool:
+    return isinstance(value, Timestamp) or value is FOREVER or value is NEGATIVE_INFINITY

@@ -1,0 +1,146 @@
+"""Periods: finite unions of disjoint intervals.
+
+Section 2 of the paper mentions representations where attributes are
+"time-stamped with one or more finite unions of intervals (termed
+temporal elements [Gad88])".  A :class:`Period` is exactly that: a
+normalized (sorted, disjoint, non-adjacent) finite union of half-open
+intervals, closed under union, intersection, and difference.
+
+Periods are used by the query layer to express valid-time restrictions
+and by the snapshot machinery to describe coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import TimePoint
+
+
+class Period:
+    """An immutable, normalized finite union of half-open intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: Tuple[Interval, ...] = tuple(_normalize(intervals))
+
+    @classmethod
+    def empty(cls) -> "Period":
+        return cls(())
+
+    @classmethod
+    def of(cls, start: TimePoint, end: TimePoint) -> "Period":
+        """Single-interval period ``[start, end)``."""
+        return cls((Interval(start, end),))
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The maximal disjoint intervals, in increasing order."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def contains_point(self, point: TimePoint) -> bool:
+        """True when some interval of the period contains *point*."""
+        low, high = 0, len(self._intervals)
+        while low < high:
+            mid = (low + high) // 2
+            interval = self._intervals[mid]
+            if interval.contains_point(point):
+                return True
+            if point < interval.start:
+                high = mid
+            else:
+                low = mid + 1
+        return False
+
+    def span(self) -> Optional[Interval]:
+        """Smallest single interval covering the period, or None if empty."""
+        if not self._intervals:
+            return None
+        return Interval(self._intervals[0].start, self._intervals[-1].end)
+
+    # -- set algebra ---------------------------------------------------------
+
+    def union(self, other: "Period") -> "Period":
+        return Period(self._intervals + other._intervals)
+
+    def intersection(self, other: "Period") -> "Period":
+        pieces: List[Interval] = []
+        i, j = 0, 0
+        mine, theirs = self._intervals, other._intervals
+        while i < len(mine) and j < len(theirs):
+            common = mine[i].intersection(theirs[j])
+            if common is not None:
+                pieces.append(common)
+            if mine[i].end <= theirs[j].end:
+                i += 1
+            else:
+                j += 1
+        return Period(pieces)
+
+    def difference(self, other: "Period") -> "Period":
+        pieces: List[Interval] = []
+        for interval in self._intervals:
+            remaining = [interval]
+            for cut in other._intervals:
+                if cut.start >= interval.end:
+                    break
+                next_remaining: List[Interval] = []
+                for piece in remaining:
+                    next_remaining.extend(piece.difference(cut))
+                remaining = next_remaining
+                if not remaining:
+                    break
+            pieces.extend(remaining)
+        return Period(pieces)
+
+    def overlaps(self, other: "Period") -> bool:
+        return not self.intersection(other).is_empty
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Period):
+            return self._intervals == other._intervals
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(i) for i in self._intervals)
+        return f"Period([{inner}])"
+
+
+def _normalize(intervals: Iterable[Interval]) -> Sequence[Interval]:
+    """Sort and coalesce overlapping or adjacent intervals."""
+    ordered = sorted(intervals, key=lambda i: (_key(i.start), _key(i.end)))
+    merged: List[Interval] = []
+    for interval in ordered:
+        if merged:
+            combined = merged[-1].union(interval)
+            if combined is not None:
+                merged[-1] = combined
+                continue
+        merged.append(interval)
+    return merged
+
+
+def _key(point: TimePoint) -> Tuple[int, int]:
+    """Sort key placing NEGATIVE_INFINITY first and FOREVER last."""
+    from repro.chronos.timestamp import Timestamp
+
+    if isinstance(point, Timestamp):
+        return (0, point.microseconds)
+    return (1, 0) if point.is_positive else (-1, 0)

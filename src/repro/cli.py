@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``regions`` -- the Figure 1 region table and the completeness count;
+* ``lattice {fig2,fig3,fig4,fig5} [--dot]`` -- a figure as ASCII or DOT;
+* ``classify FILE.csv`` -- infer specializations for (tt, vt[, object])
+  rows and print the design recommendation;
+* ``workload NAME [--tql STATEMENT]`` -- generate one of the paper's
+  example workloads and optionally query it;
+* ``demo`` -- a one-screen tour (insert, enforce, query, infer).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional, Sequence
+
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.lattice import (
+    EVENT_ISOLATED_LATTICE,
+    INTER_EVENT_ORDERING_LATTICE,
+    INTER_EVENT_REGULARITY_LATTICE,
+    INTER_INTERVAL_LATTICE,
+)
+from repro.core.taxonomy.regions import enumerate_regions
+from repro.design.advisor import Advisor
+from repro.design.report import render_lattice_ascii, render_recommendation
+
+_LATTICES = {
+    "fig2": EVENT_ISOLATED_LATTICE,
+    "fig3": INTER_EVENT_ORDERING_LATTICE,
+    "fig4": INTER_EVENT_REGULARITY_LATTICE,
+    "fig5": INTER_INTERVAL_LATTICE,
+}
+
+_WORKLOADS = {
+    "monitoring": "generate_monitoring",
+    "payroll": "generate_payroll",
+    "assignments": "generate_assignments",
+    "ledger": "generate_ledger",
+    "orders": "generate_orders",
+    "archeology": "generate_excavation",
+    "warnings": "generate_warnings",
+    "general": "generate_general",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal Specialization (Jensen & Snodgrass, ICDE 1992), executable.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("regions", help="Figure 1 region table")
+
+    lattice = commands.add_parser("lattice", help="print a figure's lattice")
+    lattice.add_argument("figure", choices=sorted(_LATTICES))
+    lattice.add_argument("--dot", action="store_true", help="emit GraphViz DOT")
+
+    classify = commands.add_parser(
+        "classify", help="infer specializations from a CSV of tt,vt[,object] rows"
+    )
+    classify.add_argument("file", help="CSV path, or - for stdin")
+    classify.add_argument(
+        "--margin", type=float, default=0.5, help="bound-widening margin (default 0.5)"
+    )
+
+    workload = commands.add_parser("workload", help="generate an example workload")
+    workload.add_argument("name", choices=sorted(_WORKLOADS))
+    workload.add_argument("--tql", help="a TQL statement to run against it")
+    workload.add_argument(
+        "--explain", action="store_true", help="show the chosen plan for --tql"
+    )
+    workload.add_argument("--seed", type=int, default=1992)
+
+    commands.add_parser("demo", help="a one-screen tour")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    handler = {
+        "regions": _cmd_regions,
+        "lattice": _cmd_lattice,
+        "classify": _cmd_classify,
+        "workload": _cmd_workload,
+        "demo": _cmd_demo,
+    }[arguments.command]
+    return handler(arguments)
+
+
+def _cmd_regions(_arguments: argparse.Namespace) -> int:
+    named = enumerate_regions()
+    print("Figure 1 region shapes (Section 3.1 completeness enumeration):")
+    for name in EVENT_ISOLATED_LATTICE.topological_order():
+        if name == "degenerate":
+            print(f"  {name:<42} d = 0 (point region)")
+            continue
+        region = EVENT_ISOLATED_LATTICE.instance(name).region()
+        print(f"  {name:<42} {region}")
+    one = sum(1 for shape in named.values() if shape.line_count == 1)
+    two = sum(1 for shape in named.values() if shape.line_count == 2)
+    print(f"\n{one} one-line + {two} two-line + general = {len(named)} shapes")
+    return 0
+
+
+def _cmd_lattice(arguments: argparse.Namespace) -> int:
+    lattice = _LATTICES[arguments.figure]
+    print(lattice.to_dot() if arguments.dot else render_lattice_ascii(lattice))
+    return 0
+
+
+def _cmd_classify(arguments: argparse.Namespace) -> int:
+    if arguments.file == "-":
+        rows = list(csv.reader(sys.stdin))
+    else:
+        with open(arguments.file, newline="") as handle:
+            rows = list(csv.reader(handle))
+    elements: List[Stamped] = []
+    for row in rows:
+        if not row or row[0].lstrip().startswith("#"):
+            continue
+        if not row[0].strip().lstrip("-").isdigit():
+            continue  # header line
+        tt, vt = int(row[0]), int(row[1])
+        who = row[2].strip() if len(row) > 2 else None
+        elements.append(
+            Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt), object_surrogate=who)
+        )
+    if not elements:
+        print("no (tt, vt) rows found", file=sys.stderr)
+        return 1
+    recommendation = Advisor(margin=arguments.margin).recommend(elements)
+    print(render_recommendation(recommendation, arguments.file))
+    return 0
+
+
+def _cmd_workload(arguments: argparse.Namespace) -> int:
+    import repro.workloads as workloads
+    from repro.database import TemporalDatabase
+
+    generator = getattr(workloads, _WORKLOADS[arguments.name])
+    workload = generator(seed=arguments.seed)
+    print(workload)
+    print(f"declared: {', '.join(workload.relation.schema.specialization_names()) or 'none'}")
+    if arguments.tql:
+        database = TemporalDatabase()
+        database.attach(workload.relation)
+        if arguments.explain:
+            from repro.query.tql import explain
+
+            print(explain(arguments.tql, workload.relation))
+        results = database.execute(arguments.tql)
+        for row in results[:20]:
+            print(f"  {row}")
+        if len(results) > 20:
+            print(f"  ... {len(results) - 20} more")
+        print(f"{len(results)} result(s)")
+    return 0
+
+
+def _cmd_demo(_arguments: argparse.Namespace) -> int:
+    from repro import (
+        ConstraintViolation,
+        SimulatedWallClock,
+        TemporalRelation,
+        TemporalSchema,
+    )
+    from repro.core.taxonomy import classify as infer
+
+    schema = TemporalSchema(
+        name="temps",
+        time_varying=("celsius",),
+        specializations=["delayed retroactive(30s)"],
+    )
+    clock = SimulatedWallClock(start=1_000)
+    relation = TemporalRelation(schema, clock=clock)
+    relation.insert("s1", Timestamp(940), {"celsius": 21.5})
+    print(f"inserted under {schema.specialization_names()}: {relation.current()[0]}")
+    try:
+        relation.insert("s1", Timestamp(999_999), {"celsius": 0.0})
+    except ConstraintViolation:
+        print("future-valid insert rejected by the declared specialization")
+    report = infer(relation.all_elements())
+    print(f"inferred: {[spec.name for spec in report.specializations()]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

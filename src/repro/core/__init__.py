@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the temporal-specialization taxonomy.
+
+Subpackages and modules:
+
+* :mod:`repro.core.taxonomy` -- the specializations of Sections 3.1-3.4
+  as executable constraint classes, the generalization/specialization
+  lattices of Figures 2-5, the Figure 1 region algebra with the
+  completeness enumeration, and specialization inference.
+* :mod:`repro.core.constraints` -- attaching specializations to relation
+  schemas with incremental (per-update) enforcement.
+"""
+
+from repro.core.constraints import ConstraintSet, ConstraintViolation, EnforcementMode
+from repro.core.taxonomy import (
+    REGISTRY,
+    Degenerate,
+    DelayedRetroactive,
+    DelayedStronglyRetroactivelyBounded,
+    EarlyPredictive,
+    EarlyStronglyPredictivelyBounded,
+    General,
+    Predictive,
+    PredictivelyBounded,
+    Retroactive,
+    RetroactivelyBounded,
+    Specialization,
+    StronglyBounded,
+    StronglyPredictivelyBounded,
+    StronglyRetroactivelyBounded,
+)
+
+__all__ = [
+    "ConstraintSet",
+    "ConstraintViolation",
+    "EnforcementMode",
+    "REGISTRY",
+    "Degenerate",
+    "DelayedRetroactive",
+    "DelayedStronglyRetroactivelyBounded",
+    "EarlyPredictive",
+    "EarlyStronglyPredictivelyBounded",
+    "General",
+    "Predictive",
+    "PredictivelyBounded",
+    "Retroactive",
+    "RetroactivelyBounded",
+    "Specialization",
+    "StronglyBounded",
+    "StronglyPredictivelyBounded",
+    "StronglyRetroactivelyBounded",
+]

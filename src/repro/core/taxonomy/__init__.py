@@ -1,0 +1,209 @@
+"""The temporal-specialization taxonomy (Sections 3.1-3.4 of the paper).
+
+The taxonomy is organized exactly as the paper is:
+
+* :mod:`~repro.core.taxonomy.event_isolated` -- Section 3.1, Figure 1;
+* :mod:`~repro.core.taxonomy.determined` -- Section 3.1, determined
+  relations and mapping functions;
+* :mod:`~repro.core.taxonomy.event_inter` -- Section 3.2, Figures 3-4;
+* :mod:`~repro.core.taxonomy.interval_isolated` -- Section 3.3;
+* :mod:`~repro.core.taxonomy.interval_inter` -- Section 3.4, Figure 5;
+* :mod:`~repro.core.taxonomy.lattice` -- the four figures as DAGs;
+* :mod:`~repro.core.taxonomy.regions` -- the Figure 1 region algebra and
+  the completeness enumeration;
+* :mod:`~repro.core.taxonomy.partition` -- per-partition application;
+* :mod:`~repro.core.taxonomy.inference` -- fitting specializations to
+  observed extensions;
+* :mod:`~repro.core.taxonomy.registry` -- names and textual syntax.
+"""
+
+from repro.core.taxonomy.base import (
+    IsolatedSpecialization,
+    Monitor,
+    Specialization,
+    Stamped,
+    StampedElement,
+    TimeReference,
+    Unrestricted,
+    Violation,
+)
+from repro.core.taxonomy.determined import (
+    Determined,
+    DeterminedAs,
+    MappingFunction,
+    fixed_delay,
+    floor_to_unit,
+    next_unit_offset,
+    predictively_determined,
+    retroactively_determined,
+    strongly_predictively_bounded_determined,
+    strongly_retroactively_bounded_determined,
+)
+from repro.core.taxonomy.event_inter import (
+    CombinedEventRegular,
+    GloballyNonDecreasing,
+    GloballyNonIncreasing,
+    GloballySequential,
+    StrictTemporalEventRegular,
+    StrictTransactionTimeEventRegular,
+    StrictValidTimeEventRegular,
+    TemporalEventRegular,
+    TransactionTimeEventRegular,
+    ValidTimeEventRegular,
+)
+from repro.core.taxonomy.event_isolated import (
+    EVENT_ISOLATED_CLASSES,
+    Degenerate,
+    DelayedRetroactive,
+    DelayedStronglyRetroactivelyBounded,
+    EarlyPredictive,
+    EarlyStronglyPredictivelyBounded,
+    EventSpecialization,
+    General,
+    Predictive,
+    PredictivelyBounded,
+    Retroactive,
+    RetroactivelyBounded,
+    StronglyBounded,
+    StronglyPredictivelyBounded,
+    StronglyRetroactivelyBounded,
+)
+from repro.core.taxonomy.inference import (
+    InferenceReport,
+    classify,
+    fit_determined,
+    fit_event_inter,
+    fit_event_isolated,
+    fit_event_isolated_open,
+    fit_interval,
+    offset_statistics,
+)
+from repro.core.taxonomy.interval_inter import (
+    GloballyContiguous,
+    IntervalGloballyNonDecreasing,
+    IntervalGloballyNonIncreasing,
+    IntervalGloballySequential,
+    SuccessiveTransactionTime,
+    successive_family,
+)
+from repro.core.taxonomy.interval_isolated import (
+    Endpoint,
+    OnBothEndpoints,
+    OnEndpoint,
+    TemporalIntervalRegular,
+    TransactionTimeIntervalRegular,
+    ValidTimeIntervalRegular,
+)
+from repro.core.taxonomy.lattice import (
+    ALL_LATTICES,
+    EVENT_ISOLATED_LATTICE,
+    INTER_EVENT_ORDERING_LATTICE,
+    INTER_EVENT_REGULARITY_LATTICE,
+    INTER_INTERVAL_LATTICE,
+    Lattice,
+)
+from repro.core.taxonomy.partition import PerPartition, partition_extension, per_surrogate
+from repro.core.taxonomy.regions import (
+    Bound,
+    OffsetRegion,
+    RegionShape,
+    enumerate_regions,
+    enumerate_shapes,
+    shape_of,
+)
+from repro.core.taxonomy.registry import REGISTRY, parse, parse_duration
+
+__all__ = [
+    # base
+    "IsolatedSpecialization",
+    "Monitor",
+    "Specialization",
+    "Stamped",
+    "StampedElement",
+    "TimeReference",
+    "Unrestricted",
+    "Violation",
+    # determined
+    "Determined",
+    "DeterminedAs",
+    "MappingFunction",
+    "fixed_delay",
+    "floor_to_unit",
+    "next_unit_offset",
+    "predictively_determined",
+    "retroactively_determined",
+    "strongly_predictively_bounded_determined",
+    "strongly_retroactively_bounded_determined",
+    # inter-event
+    "CombinedEventRegular",
+    "GloballyNonDecreasing",
+    "GloballyNonIncreasing",
+    "GloballySequential",
+    "StrictTemporalEventRegular",
+    "StrictTransactionTimeEventRegular",
+    "StrictValidTimeEventRegular",
+    "TemporalEventRegular",
+    "TransactionTimeEventRegular",
+    "ValidTimeEventRegular",
+    # isolated events
+    "EVENT_ISOLATED_CLASSES",
+    "Degenerate",
+    "DelayedRetroactive",
+    "DelayedStronglyRetroactivelyBounded",
+    "EarlyPredictive",
+    "EarlyStronglyPredictivelyBounded",
+    "EventSpecialization",
+    "General",
+    "Predictive",
+    "PredictivelyBounded",
+    "Retroactive",
+    "RetroactivelyBounded",
+    "StronglyBounded",
+    "StronglyPredictivelyBounded",
+    "StronglyRetroactivelyBounded",
+    # inference
+    "InferenceReport",
+    "classify",
+    "fit_determined",
+    "fit_event_inter",
+    "fit_event_isolated",
+    "fit_event_isolated_open",
+    "fit_interval",
+    "offset_statistics",
+    # inter-interval
+    "GloballyContiguous",
+    "IntervalGloballyNonDecreasing",
+    "IntervalGloballyNonIncreasing",
+    "IntervalGloballySequential",
+    "SuccessiveTransactionTime",
+    "successive_family",
+    # isolated intervals
+    "Endpoint",
+    "OnBothEndpoints",
+    "OnEndpoint",
+    "TemporalIntervalRegular",
+    "TransactionTimeIntervalRegular",
+    "ValidTimeIntervalRegular",
+    # lattices
+    "ALL_LATTICES",
+    "EVENT_ISOLATED_LATTICE",
+    "INTER_EVENT_ORDERING_LATTICE",
+    "INTER_EVENT_REGULARITY_LATTICE",
+    "INTER_INTERVAL_LATTICE",
+    "Lattice",
+    # partitioning
+    "PerPartition",
+    "partition_extension",
+    "per_surrogate",
+    # regions
+    "Bound",
+    "OffsetRegion",
+    "RegionShape",
+    "enumerate_regions",
+    "enumerate_shapes",
+    "shape_of",
+    # registry
+    "REGISTRY",
+    "parse",
+    "parse_duration",
+]

@@ -1,0 +1,192 @@
+"""Determined temporal relations (Section 3.1).
+
+"A mapping function m for a relation R takes as argument an element e of
+a relation and returns a valid time-stamp, computed using any of the
+attributes of e, excluding vt_e, but including the surrogate and
+transaction time-stamp attributes.  A temporal relation R is determined
+if it has a mapping function that correctly computes the valid
+time-stamps of its elements."
+
+This module provides:
+
+* :class:`MappingFunction` -- a named, serializable mapping function;
+* the paper's three sample functions (:func:`fixed_delay`,
+  :func:`floor_to_unit`, :func:`next_unit_offset` -- m1, m2, m3);
+* :class:`Determined` -- ``vt_e = m(e)``;
+* :class:`DeterminedAs` -- the determined counterpart of any
+  undetermined event specialization ("for each of the undetermined
+  specialized temporal relations ... there exists a determined
+  version"), with the four variants named in the paper provided as
+  convenience constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.chronos.granularity import GranularityLike, as_granularity
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import (
+    IsolatedSpecialization,
+    StampedElement,
+    TimeReference,
+    event_valid_time,
+    transaction_time,
+)
+from repro.core.taxonomy.event_isolated import (
+    EventSpecialization,
+    Predictive,
+    Retroactive,
+    StronglyPredictivelyBounded,
+    StronglyRetroactivelyBounded,
+)
+
+
+class MappingFunction:
+    """A named function from elements to valid time-stamps.
+
+    The callable receives the element and must not consult ``vt`` (the
+    whole point is that vt is *derived*); it may use the transaction
+    time-stamps, surrogates, and attribute values.
+    """
+
+    def __init__(self, name: str, compute: Callable[[StampedElement], Timestamp]) -> None:
+        self.name = name
+        self._compute = compute
+
+    def __call__(self, element: StampedElement) -> Timestamp:
+        return self._compute(element)
+
+    def __repr__(self) -> str:
+        return f"MappingFunction({self.name!r})"
+
+
+def fixed_delay(delta: "Duration | CalendricDuration") -> MappingFunction:
+    """The paper's m1(e) = tt_b(e) + delta -- "valid after a fixed delay".
+
+    Negative *delta* yields "valid a fixed delay ago" (retroactive).
+    """
+
+    def compute(element: StampedElement) -> Timestamp:
+        return element.tt_start + delta
+
+    return MappingFunction(f"tt + {delta!r}", compute)
+
+
+def floor_to_unit(granularity: GranularityLike) -> MappingFunction:
+    """The paper's m2(e) = floor(tt_b(e)) at a unit -- "valid from the
+    most recent hour" when the unit is one hour."""
+    gran = as_granularity(granularity)
+
+    def compute(element: StampedElement) -> Timestamp:
+        return element.tt_start.floor_to(gran)
+
+    return MappingFunction(f"floor(tt, {gran.name.lower()})", compute)
+
+
+def next_unit_offset(granularity: GranularityLike, offset: Duration) -> MappingFunction:
+    """The paper's m3(e) = ceil(tt_b(e)) at a unit, plus an offset --
+    "valid from the next closest 8:00 a.m." with unit=day, offset=8h.
+
+    When the transaction time is exactly on a unit boundary the *next*
+    boundary is still used, matching "next closest".
+    """
+    gran = as_granularity(granularity)
+
+    def compute(element: StampedElement) -> Timestamp:
+        ceiling = element.tt_start.ceil_to(gran)
+        if ceiling == element.tt_start:
+            ceiling = ceiling + Duration(1, gran)
+        return ceiling + offset
+
+    return MappingFunction(f"ceil(tt, {gran.name.lower()}) + {offset!r}", compute)
+
+
+class Determined(IsolatedSpecialization):
+    """``vt_e = m(e)``: the valid time is computed, never free.
+
+    The query planner exploits determined relations by not storing vt at
+    all (benchmark E9).
+    """
+
+    name = "determined"
+
+    def __init__(
+        self,
+        mapping: MappingFunction,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        self.mapping = mapping
+        self.time_reference = time_reference
+
+    def check_element(self, element: StampedElement) -> bool:
+        return event_valid_time(element) == self.mapping(element)
+
+    def element_failure(self, element: StampedElement) -> Optional[str]:
+        if self.check_element(element):
+            return None
+        return (
+            f"vt={element.vt!r} differs from {self.mapping.name} = "
+            f"{self.mapping(element)!r}"
+        )
+
+
+class DeterminedAs(IsolatedSpecialization):
+    """The determined version of an undetermined event specialization.
+
+    "A determined relation has a given type if its mapping function
+    obeys the requirement of the type": every element must satisfy both
+    ``vt_e = m(e)`` and the base specialization's stamp predicate
+    applied to ``m(e)``.
+    """
+
+    def __init__(self, base: EventSpecialization, mapping: MappingFunction) -> None:
+        self.base = base
+        self.mapping = mapping
+        self.name = f"{base.name} determined"
+
+    def check_element(self, element: StampedElement) -> bool:
+        tt = transaction_time(element, self.base.time_reference)
+        if tt is None:
+            return True
+        computed = self.mapping(element)
+        return event_valid_time(element) == computed and self.base.check_stamps(computed, tt)
+
+    def element_failure(self, element: StampedElement) -> Optional[str]:
+        if self.check_element(element):
+            return None
+        computed = self.mapping(element)
+        if event_valid_time(element) != computed:
+            return f"vt={element.vt!r} differs from {self.mapping.name} = {computed!r}"
+        return f"mapping value {computed!r} violates {self.base.name}"
+
+
+def retroactively_determined(mapping: MappingFunction) -> DeterminedAs:
+    """``vt_e = m(e) and m(e) <= tt_e`` (paper definition).
+
+    Example: valid from the beginning of the most recent hour.
+    """
+    return DeterminedAs(Retroactive(), mapping)
+
+
+def predictively_determined(mapping: MappingFunction) -> DeterminedAs:
+    """``vt_e = m(e) and m(e) >= tt_e`` (paper definition).
+
+    Example: deposits effective from the next business-day morning.
+    """
+    return DeterminedAs(Predictive(), mapping)
+
+
+def strongly_retroactively_bounded_determined(
+    mapping: MappingFunction, bound: "Duration | CalendricDuration"
+) -> DeterminedAs:
+    """``vt_e = m(e) and tt_e - bound <= m(e) <= tt_e``."""
+    return DeterminedAs(StronglyRetroactivelyBounded(bound), mapping)
+
+
+def strongly_predictively_bounded_determined(
+    mapping: MappingFunction, bound: "Duration | CalendricDuration"
+) -> DeterminedAs:
+    """``vt_e = m(e) and tt_e <= m(e) <= tt_e + bound``."""
+    return DeterminedAs(StronglyPredictivelyBounded(bound), mapping)

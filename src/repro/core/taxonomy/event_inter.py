@@ -1,0 +1,477 @@
+"""Inter-event specializations (Section 3.2, Figures 3 and 4).
+
+These properties restrict the interrelationships of *distinct* event
+time-stamped elements: orderings (sequential, non-decreasing,
+non-increasing) and regularity (transaction-time, valid-time, and
+temporal event regularity, each with a strict variant).
+
+All monitors accept elements in transaction-time order (which is how a
+temporal relation grows) and run in O(1) per element, except the strict
+valid-time regularity monitor which keeps a sorted list (O(log n) per
+element) because valid times need not arrive in order.
+
+A reproduction note on the paper's gcd remark is attached to
+:class:`TemporalEventRegular`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import (
+    Monitor,
+    Specialization,
+    StampedElement,
+    Violation,
+    event_valid_time,
+)
+
+
+class _OrderingMonitor(Monitor):
+    """Shared monitor for the three ordering properties.
+
+    For all of them, the universally quantified pairwise condition
+    reduces to a check of each new element against a running aggregate
+    over all earlier elements.
+    """
+
+    def __init__(self, spec: "Specialization", mode: str) -> None:
+        self._spec = spec
+        self._mode = mode
+        self._running: Optional[Timestamp] = None  # max(tt,vt), max vt, or min vt
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        vt = event_valid_time(element)
+        tt = element.tt_start
+        if self._running is None:
+            return []
+        if self._mode == "sequential":
+            bound = min(tt, vt)
+            if not self._running <= bound:
+                return [
+                    Violation(
+                        self._spec,
+                        element,
+                        f"min(tt, vt) = {bound!r} precedes an earlier element's "
+                        f"max(tt, vt) = {self._running!r}",
+                    )
+                ]
+        elif self._mode == "non-decreasing":
+            if vt < self._running:
+                return [
+                    Violation(
+                        self._spec,
+                        element,
+                        f"vt = {vt!r} decreases below earlier maximum {self._running!r}",
+                    )
+                ]
+        else:  # non-increasing
+            if vt > self._running:
+                return [
+                    Violation(
+                        self._spec,
+                        element,
+                        f"vt = {vt!r} increases above earlier minimum {self._running!r}",
+                    )
+                ]
+        return []
+
+    def commit(self, element: StampedElement) -> None:
+        vt = event_valid_time(element)
+        tt = element.tt_start
+        if self._mode == "sequential":
+            peak = max(tt, vt)
+            self._running = peak if self._running is None else max(self._running, peak)
+        elif self._mode == "non-decreasing":
+            self._running = vt if self._running is None else max(self._running, vt)
+        else:
+            self._running = vt if self._running is None else min(self._running, vt)
+
+
+class GloballySequential(Specialization):
+    """Each event occurs and is stored before the next occurs or is stored.
+
+    ``tt_e < tt_e' implies max(tt_e, vt_e) <= min(tt_e', vt_e')``.
+    Section 3.2: in such relations "valid time can be approximated with
+    transaction time, yielding an append-only relation that can support
+    historical (as well as transaction time) queries" -- exploited by
+    the query planner (benchmark E7).
+    """
+
+    name = "globally sequential"
+
+    def monitor(self) -> Monitor:
+        return _OrderingMonitor(self, "sequential")
+
+
+class GloballyNonDecreasing(Specialization):
+    """Elements are entered in valid time-stamp order:
+    ``tt_e < tt_e' implies vt_e <= vt_e'``."""
+
+    name = "globally non-decreasing"
+
+    def monitor(self) -> Monitor:
+        return _OrderingMonitor(self, "non-decreasing")
+
+
+class GloballyNonIncreasing(Specialization):
+    """Elements are entered in reverse valid time-stamp order.
+
+    Paper example: an archeological relation recording progressively
+    earlier periods as excavation proceeds.
+    """
+
+    name = "globally non-increasing"
+
+    def monitor(self) -> Monitor:
+        return _OrderingMonitor(self, "non-increasing")
+
+
+def _is_multiple(diff_micro: int, unit_micro: int) -> bool:
+    """Is *diff* an integral (possibly negative or zero) multiple of *unit*?"""
+    if unit_micro == 0:
+        return diff_micro == 0
+    return diff_micro % unit_micro == 0
+
+
+class _RegularMonitor(Monitor):
+    """Anchor-based monitor for the non-strict regularity properties.
+
+    ``forall e, e' exists k: x_e = x_e' + k*unit`` holds for all pairs
+    iff it holds for every element against a fixed anchor element, so
+    one anchor per dimension suffices.
+    """
+
+    def __init__(self, spec: "Specialization", unit: Duration, use_tt: bool, use_vt: bool, same_k: bool) -> None:
+        self._spec = spec
+        self._unit = unit.microseconds
+        self._use_tt = use_tt
+        self._use_vt = use_vt
+        self._same_k = same_k
+        self._anchor_tt: Optional[int] = None
+        self._anchor_vt: Optional[int] = None
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        tt_micro = element.tt_start.microseconds
+        vt_micro = event_valid_time(element).microseconds
+        if self._anchor_tt is None:
+            return []
+        violations: List[Violation] = []
+        tt_diff = tt_micro - self._anchor_tt
+        vt_diff = vt_micro - (self._anchor_vt or 0)
+        if self._use_tt and not _is_multiple(tt_diff, self._unit):
+            violations.append(
+                Violation(self._spec, element, f"tt offset {tt_diff}us is not a multiple of the unit")
+            )
+        if self._use_vt and not _is_multiple(vt_diff, self._unit):
+            violations.append(
+                Violation(self._spec, element, f"vt offset {vt_diff}us is not a multiple of the unit")
+            )
+        if self._same_k and not violations and tt_diff != vt_diff:
+            violations.append(
+                Violation(
+                    self._spec,
+                    element,
+                    f"tt and vt offsets ({tt_diff}us vs {vt_diff}us) need the same "
+                    "multiplier k, so they must be equal",
+                )
+            )
+        return violations
+
+    def commit(self, element: StampedElement) -> None:
+        if self._anchor_tt is None:
+            self._anchor_tt = element.tt_start.microseconds
+            self._anchor_vt = event_valid_time(element).microseconds
+
+
+class TransactionTimeEventRegular(Specialization):
+    """``forall e, e' exists k: tt_e = tt_e' + k*unit``.
+
+    Transaction stamps "need not be evenly spaced; they are merely
+    restricted to be separated by an integral multiple of a specified
+    duration".  Paper example: periodic sampling of a physical variable
+    (the *synchronous method* [Tho91]).
+    """
+
+    name = "transaction time event regular"
+
+    def __init__(self, unit: Duration) -> None:
+        _check_unit(unit)
+        self.unit = unit
+
+    def monitor(self) -> Monitor:
+        return _RegularMonitor(self, self.unit, use_tt=True, use_vt=False, same_k=False)
+
+
+class ValidTimeEventRegular(Specialization):
+    """``forall e, e' exists k: vt_e = vt_e' + k*unit``.
+
+    Subsumes valid-time granularity: a one-second granularity is exactly
+    valid-time event regularity with a one-second unit.
+    """
+
+    name = "valid time event regular"
+
+    def __init__(self, unit: Duration) -> None:
+        _check_unit(unit)
+        self.unit = unit
+
+    def monitor(self) -> Monitor:
+        return _RegularMonitor(self, self.unit, use_tt=False, use_vt=True, same_k=False)
+
+
+class TemporalEventRegular(Specialization):
+    """Both stamps regular *with the same multiplier k per pair*.
+
+    The paper stresses "the same values of k must satisfy both
+    transaction and valid time.  Therefore, temporal event regular is
+    more restrictive than both valid and transaction time event regular
+    together."  A direct consequence (verified in the test suite) is
+    that ``vt - tt`` is constant across a temporal-event-regular
+    relation.
+
+    .. note:: **Reproduction note (erratum).**  The paper also remarks
+       that tt-regularity with unit 28s plus vt-regularity with unit 6s
+       implies temporal regularity with unit gcd = 2s.  Under the same-k
+       definition above this is false (two elements with tt offsets 0,
+       28 and vt offsets 0, 6 are a counterexample, since 28 != 6); the
+       remark holds only under an independent-multiplier reading, which
+       is precisely "tt-regular and vt-regular with the gcd unit" --
+       i.e. :class:`CombinedEventRegular`.  See EXPERIMENTS.md (E3).
+    """
+
+    name = "temporal event regular"
+
+    def __init__(self, unit: Duration) -> None:
+        _check_unit(unit)
+        self.unit = unit
+
+    def monitor(self) -> Monitor:
+        return _RegularMonitor(self, self.unit, use_tt=True, use_vt=True, same_k=True)
+
+
+class CombinedEventRegular(Specialization):
+    """tt-regular and vt-regular with the same unit, independent multipliers.
+
+    This is the weaker reading under which the paper's gcd remark is
+    true; provided so that both readings can be compared empirically.
+    """
+
+    name = "combined event regular"
+
+    def __init__(self, unit: Duration) -> None:
+        _check_unit(unit)
+        self.unit = unit
+
+    def monitor(self) -> Monitor:
+        return _RegularMonitor(self, self.unit, use_tt=True, use_vt=True, same_k=False)
+
+
+class _StrictTTMonitor(Monitor):
+    """Successive transaction times differ by exactly the unit."""
+
+    def __init__(self, spec: "Specialization", unit: Duration) -> None:
+        self._spec = spec
+        self._unit = unit.microseconds
+        self._last: Optional[int] = None
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        tt_micro = element.tt_start.microseconds
+        if self._last is not None and tt_micro - self._last != self._unit:
+            return [
+                Violation(
+                    self._spec,
+                    element,
+                    f"tt gap {tt_micro - self._last}us differs from the unit {self._unit}us",
+                )
+            ]
+        return []
+
+    def commit(self, element: StampedElement) -> None:
+        self._last = element.tt_start.microseconds
+
+
+class _StrictVTMonitor(Monitor):
+    """Valid times, in valid-time order, differ by exactly the unit.
+
+    Elements arrive in transaction order, so this monitor keeps the
+    valid times seen so far in a sorted list; each insertion checks the
+    gaps to its new neighbours.  Inserting into the middle of an
+    existing Δ-gap is only legal when it splits one unit-gap exactly --
+    but any interior insertion breaks an existing exact-unit adjacency,
+    so interior insertions are always violations, as are duplicates.
+    """
+
+    def __init__(self, spec: "Specialization", unit: Duration) -> None:
+        self._spec = spec
+        self._unit = unit.microseconds
+        self._sorted: List[int] = []
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        vt_micro = event_valid_time(element).microseconds
+        violations: List[Violation] = []
+        position = bisect.bisect_left(self._sorted, vt_micro)
+        if position < len(self._sorted) and self._sorted[position] == vt_micro:
+            violations.append(
+                Violation(self._spec, element, "duplicate valid time is disallowed")
+            )
+            return violations
+        if position > 0 and vt_micro - self._sorted[position - 1] != self._unit:
+            violations.append(
+                Violation(
+                    self._spec,
+                    element,
+                    f"vt gap below is {vt_micro - self._sorted[position - 1]}us, "
+                    f"expected {self._unit}us",
+                )
+            )
+        if position < len(self._sorted) and self._sorted[position] - vt_micro != self._unit:
+            violations.append(
+                Violation(
+                    self._spec,
+                    element,
+                    f"vt gap above is {self._sorted[position] - vt_micro}us, "
+                    f"expected {self._unit}us",
+                )
+            )
+        return violations
+
+    def commit(self, element: StampedElement) -> None:
+        bisect.insort(self._sorted, event_valid_time(element).microseconds)
+
+
+class _StrictTemporalMonitor(Monitor):
+    """Successive-in-tt elements advance both stamps by exactly the unit."""
+
+    def __init__(self, spec: "Specialization", unit: Duration) -> None:
+        self._spec = spec
+        self._unit = unit.microseconds
+        self._last_tt: Optional[int] = None
+        self._last_vt: Optional[int] = None
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        tt_micro = element.tt_start.microseconds
+        vt_micro = event_valid_time(element).microseconds
+        violations: List[Violation] = []
+        if self._last_tt is not None:
+            if tt_micro - self._last_tt != self._unit:
+                violations.append(
+                    Violation(
+                        self._spec,
+                        element,
+                        f"tt gap {tt_micro - self._last_tt}us differs from the unit",
+                    )
+                )
+            if vt_micro - (self._last_vt or 0) != self._unit:
+                violations.append(
+                    Violation(
+                        self._spec,
+                        element,
+                        f"vt gap {vt_micro - (self._last_vt or 0)}us differs from the unit",
+                    )
+                )
+        return violations
+
+    def commit(self, element: StampedElement) -> None:
+        self._last_tt = element.tt_start.microseconds
+        self._last_vt = event_valid_time(element).microseconds
+
+
+class StrictTransactionTimeEventRegular(Specialization):
+    """Each element's successor in transaction time is exactly one unit later."""
+
+    name = "strict transaction time event regular"
+
+    def __init__(self, unit: Duration) -> None:
+        _check_unit(unit, require_positive=True)
+        self.unit = unit
+
+    def monitor(self) -> Monitor:
+        return _StrictTTMonitor(self, self.unit)
+
+
+class StrictValidTimeEventRegular(Specialization):
+    """Valid times form an exact arithmetic progression with the unit step.
+
+    The paper's definition "is slightly more complicated ... because we
+    want to disallow elements with identical valid times".
+
+    .. note:: This is the one property in the taxonomy that is *not*
+       closed under transaction-time prefixes: valid times may arrive
+       out of order (0, 20, 10 with unit 10), so an extension can
+       satisfy the definition while one of its earlier historical
+       states does not.  :meth:`check_extension` therefore evaluates
+       the supplied extension as a single state (the paper's reading),
+       whereas the incremental :meth:`monitor` used for *enforcement*
+       necessarily rejects any update that leaves the stored state
+       irregular, which is strictly stronger.
+    """
+
+    name = "strict valid time event regular"
+
+    def __init__(self, unit: Duration) -> None:
+        _check_unit(unit, require_positive=True)
+        self.unit = unit
+
+    def monitor(self) -> Monitor:
+        return _StrictVTMonitor(self, self.unit)
+
+    def check_extension(self, elements) -> bool:
+        ordered = sorted(event_valid_time(e).microseconds for e in elements)
+        return all(
+            b - a == self.unit.microseconds for a, b in zip(ordered, ordered[1:])
+        )
+
+    def violations(self, elements) -> List[Violation]:
+        by_vt = sorted(elements, key=lambda e: event_valid_time(e).microseconds)
+        found: List[Violation] = []
+        for first, second in zip(by_vt, by_vt[1:]):
+            gap = (
+                event_valid_time(second).microseconds
+                - event_valid_time(first).microseconds
+            )
+            if gap != self.unit.microseconds:
+                found.append(
+                    Violation(
+                        self,
+                        second,
+                        f"vt gap {gap}us to the vt-predecessor differs from the "
+                        f"unit {self.unit.microseconds}us",
+                        other=first,
+                    )
+                )
+        return found
+
+
+class StrictTemporalEventRegular(Specialization):
+    """Both stamps advance by exactly the unit between tt-successive elements.
+
+    Because the unit is positive, valid time then increases with
+    transaction time, so the tt-successor is automatically the
+    vt-successor, collapsing the paper's two-part condition into an O(1)
+    check.
+    """
+
+    name = "strict temporal event regular"
+
+    def __init__(self, unit: Duration) -> None:
+        _check_unit(unit, require_positive=True)
+        self.unit = unit
+
+    def monitor(self) -> Monitor:
+        return _StrictTemporalMonitor(self, self.unit)
+
+
+def _check_unit(unit: Duration, require_positive: bool = False) -> None:
+    if not isinstance(unit, Duration):
+        raise TypeError(
+            f"regularity units must be fixed Durations, got {type(unit).__name__}; "
+            "calendric-specific regularity is not defined by the paper"
+        )
+    if unit.is_negative():
+        raise ValueError(f"regularity unit must be non-negative, got {unit!r}")
+    if require_positive and unit.is_zero():
+        raise ValueError("strict regularity requires a positive unit")

@@ -1,0 +1,495 @@
+"""Isolated-event specializations (Section 3.1, Figure 1).
+
+Each class restricts the relationship between an element's single valid
+time ``vt_e`` and one of its transaction times ``tt_e`` (insertion by
+default, deletion via :class:`~repro.core.taxonomy.base.TimeReference`).
+The twelve classes here are the eleven specialized types of the paper's
+completeness enumeration plus *general*, together with *degenerate*
+(``vt = tt``), the point-region meet of the two "strongly ... bounded"
+branches.
+
+Bounds may be fixed :class:`~repro.chronos.duration.Duration` values or
+calendric-specific :class:`~repro.chronos.duration.CalendricDuration`
+values (e.g. "one month"); with fixed bounds each specialization also
+exposes its Figure 1 :class:`~repro.core.taxonomy.regions.OffsetRegion`.
+
+The paper fixes the comparison flavour to <=-versions and notes that
+"pure <-versions and mixed versions may be obtained easily"; every
+bounded comparison here accepts ``strict=True`` to flip <= into <.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.chronos.granularity import Granularity, GranularityLike, as_granularity
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import (
+    IsolatedSpecialization,
+    StampedElement,
+    TimeReference,
+    event_valid_time,
+    transaction_time,
+)
+from repro.core.taxonomy.regions import Bound, OffsetRegion
+
+AnyDuration = Union[Duration, CalendricDuration]
+
+
+def _shift(stamp: Timestamp, offset: AnyDuration, negate: bool) -> Timestamp:
+    """``stamp + offset`` or ``stamp - offset`` for either duration kind."""
+    if negate:
+        return stamp - offset
+    return stamp + offset
+
+
+def _require_fixed(bound: Optional[AnyDuration], name: str) -> Optional[int]:
+    """Microsecond value of a fixed bound; reject calendric bounds."""
+    if bound is None:
+        return None
+    if isinstance(bound, CalendricDuration):
+        raise TypeError(
+            f"{name} has a calendric-specific bound ({bound!r}); its region on the "
+            "offset axis varies with the anchor date and cannot be expressed as a "
+            "fixed OffsetRegion"
+        )
+    return bound.microseconds
+
+
+def _check_nonnegative(bound: AnyDuration, label: str) -> None:
+    if isinstance(bound, Duration) and bound.is_negative():
+        raise ValueError(f"{label} must be non-negative, got {bound!r}")
+    if isinstance(bound, CalendricDuration) and bound.months < 0:
+        raise ValueError(f"{label} must be non-negative, got {bound!r}")
+
+
+def _check_positive(bound: AnyDuration, label: str) -> None:
+    if isinstance(bound, Duration) and bound.microseconds <= 0:
+        raise ValueError(f"{label} must be positive, got {bound!r}")
+    if isinstance(bound, CalendricDuration) and bound.months <= 0:
+        raise ValueError(f"{label} must be positive, got {bound!r}")
+
+
+class EventSpecialization(IsolatedSpecialization):
+    """Base for per-element event specializations.
+
+    Subclasses implement :meth:`check_stamps` on a (vt, tt) pair; this
+    base resolves which transaction time the property refers to and
+    skips elements that carry no such time (never-deleted elements under
+    a DELETION reference are vacuously compliant, per Section 3.1).
+    """
+
+    def __init__(self, time_reference: TimeReference = TimeReference.INSERTION) -> None:
+        self.time_reference = time_reference
+
+    def check_element(self, element: StampedElement) -> bool:
+        tt = transaction_time(element, self.time_reference)
+        if tt is None:
+            return True
+        return self.check_stamps(event_valid_time(element), tt)
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        """The defining predicate on a (valid, transaction) stamp pair."""
+        raise NotImplementedError
+
+    def region(self) -> OffsetRegion:
+        """The Figure 1 region of allowed offsets ``d = vt - tt``."""
+        raise NotImplementedError
+
+
+def _leq(a: Timestamp, b: Timestamp, strict: bool) -> bool:
+    return a < b if strict else a <= b
+
+
+class General(EventSpecialization):
+    """No restriction: the unrestricted two-dimensional space."""
+
+    name = "general"
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return True
+
+    def region(self) -> OffsetRegion:
+        return OffsetRegion(None, None)
+
+
+class Retroactive(EventSpecialization):
+    """``vt_e <= tt_e``: the event occurred before it was stored.
+
+    Paper example: process control in a chemical production plant, where
+    temperature and pressure samples reach the database after the fact.
+    """
+
+    name = "retroactive"
+
+    def __init__(self, strict: bool = False, time_reference: TimeReference = TimeReference.INSERTION) -> None:
+        super().__init__(time_reference)
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return _leq(vt, tt, self.strict)
+
+    def region(self) -> OffsetRegion:
+        return OffsetRegion(None, Bound(0, closed=not self.strict))
+
+
+class DelayedRetroactive(EventSpecialization):
+    """``vt_e <= tt_e - delay`` with ``delay > 0``.
+
+    Paper example: a temperature-sampling set-up whose transmission
+    delays always exceed 30 seconds.
+    """
+
+    name = "delayed retroactive"
+
+    def __init__(
+        self,
+        delay: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_positive(delay, "delay")
+        self.delay = delay
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return _leq(vt, _shift(tt, self.delay, negate=True), self.strict)
+
+    def region(self) -> OffsetRegion:
+        micro = _require_fixed(self.delay, self.name)
+        return OffsetRegion(None, Bound(-micro, closed=not self.strict))
+
+
+class Predictive(EventSpecialization):
+    """``vt_e >= tt_e``: facts are stored before they become valid.
+
+    Paper example: direct-deposit payroll checks recorded before the
+    funds become accessible.
+    """
+
+    name = "predictive"
+
+    def __init__(self, strict: bool = False, time_reference: TimeReference = TimeReference.INSERTION) -> None:
+        super().__init__(time_reference)
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return _leq(tt, vt, self.strict)
+
+    def region(self) -> OffsetRegion:
+        return OffsetRegion(Bound(0, closed=not self.strict), None)
+
+
+class EarlyPredictive(EventSpecialization):
+    """``vt_e >= tt_e + lead`` with ``lead > 0``.
+
+    Paper example: the payroll tape must reach the bank at least three
+    days before the deposits take effect; early-warning systems.
+    """
+
+    name = "early predictive"
+
+    def __init__(
+        self,
+        lead: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_positive(lead, "lead")
+        self.lead = lead
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return _leq(_shift(tt, self.lead, negate=False), vt, self.strict)
+
+    def region(self) -> OffsetRegion:
+        micro = _require_fixed(self.lead, self.name)
+        return OffsetRegion(Bound(micro, closed=not self.strict), None)
+
+
+class RetroactivelyBounded(EventSpecialization):
+    """``vt_e >= tt_e - bound`` with ``bound >= 0``.
+
+    The valid time may lag the transaction time by at most *bound*, but
+    may run arbitrarily far into the future.  Paper example: project
+    assignments recorded no later than one month after taking effect,
+    while future assignments may be recorded freely.
+    """
+
+    name = "retroactively bounded"
+
+    def __init__(
+        self,
+        bound: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_nonnegative(bound, "bound")
+        self.bound = bound
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return _leq(_shift(tt, self.bound, negate=True), vt, self.strict)
+
+    def region(self) -> OffsetRegion:
+        micro = _require_fixed(self.bound, self.name)
+        return OffsetRegion(Bound(-micro, closed=not self.strict), None)
+
+
+class StronglyRetroactivelyBounded(EventSpecialization):
+    """``tt_e - bound <= vt_e <= tt_e``: bounded lag, no future facts."""
+
+    name = "strongly retroactively bounded"
+
+    def __init__(
+        self,
+        bound: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_nonnegative(bound, "bound")
+        self.bound = bound
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return _leq(_shift(tt, self.bound, negate=True), vt, self.strict) and vt <= tt
+
+    def region(self) -> OffsetRegion:
+        micro = _require_fixed(self.bound, self.name)
+        return OffsetRegion(Bound(-micro, closed=not self.strict), Bound(0, closed=True))
+
+
+class DelayedStronglyRetroactivelyBounded(EventSpecialization):
+    """``tt_e - max_delay <= vt_e <= tt_e - min_delay``.
+
+    Both a maximum lag and a minimum delay are imposed.  Paper example:
+    assignments recorded at most one month after they were effective,
+    with at least two days between an assignment finishing and the data
+    entry clerk learning of it.
+    """
+
+    name = "delayed strongly retroactively bounded"
+
+    def __init__(
+        self,
+        min_delay: AnyDuration,
+        max_delay: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_nonnegative(min_delay, "min_delay")
+        _check_positive(max_delay, "max_delay")
+        if isinstance(min_delay, Duration) and isinstance(max_delay, Duration):
+            # The paper requires min < max; equal bounds (a point region,
+            # "valid exactly delta ago") are additionally permitted so that
+            # inference can report the tightest fitted instance.
+            if max_delay < min_delay:
+                raise ValueError(
+                    f"min_delay {min_delay!r} must not exceed max_delay {max_delay!r}"
+                )
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        low = _shift(tt, self.max_delay, negate=True)
+        high = _shift(tt, self.min_delay, negate=True)
+        return _leq(low, vt, self.strict) and _leq(vt, high, self.strict)
+
+    def region(self) -> OffsetRegion:
+        low = _require_fixed(self.max_delay, self.name)
+        high = _require_fixed(self.min_delay, self.name)
+        closed = not self.strict
+        return OffsetRegion(Bound(-low, closed), Bound(-high, closed))
+
+
+class PredictivelyBounded(EventSpecialization):
+    """``vt_e <= tt_e + bound`` with ``bound >= 0``.
+
+    Only the past and the near-term future may be stored.  Paper
+    example: pending orders constrained to at most 30 days ahead, stored
+    alongside previously filled orders.
+    """
+
+    name = "predictively bounded"
+
+    def __init__(
+        self,
+        bound: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_nonnegative(bound, "bound")
+        self.bound = bound
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return _leq(vt, _shift(tt, self.bound, negate=False), self.strict)
+
+    def region(self) -> OffsetRegion:
+        micro = _require_fixed(self.bound, self.name)
+        return OffsetRegion(None, Bound(micro, closed=not self.strict))
+
+
+class StronglyPredictivelyBounded(EventSpecialization):
+    """``tt_e <= vt_e <= tt_e + bound`` with ``bound > 0``."""
+
+    name = "strongly predictively bounded"
+
+    def __init__(
+        self,
+        bound: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_positive(bound, "bound")
+        self.bound = bound
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        return tt <= vt and _leq(vt, _shift(tt, self.bound, negate=False), self.strict)
+
+    def region(self) -> OffsetRegion:
+        micro = _require_fixed(self.bound, self.name)
+        return OffsetRegion(Bound(0, closed=True), Bound(micro, closed=not self.strict))
+
+
+class EarlyStronglyPredictivelyBounded(EventSpecialization):
+    """``tt_e + min_lead <= vt_e <= tt_e + max_lead``.
+
+    Paper example: the payroll tape is produced at most one week before
+    the first of the month (max_lead) and the bank needs it at least
+    three days in advance (min_lead).
+    """
+
+    name = "early strongly predictively bounded"
+
+    def __init__(
+        self,
+        min_lead: AnyDuration,
+        max_lead: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_positive(min_lead, "min_lead")
+        _check_positive(max_lead, "max_lead")
+        if isinstance(min_lead, Duration) and isinstance(max_lead, Duration):
+            # As for the retroactive twin, equal bounds are permitted so
+            # that inference can report the tightest fitted instance.
+            if max_lead < min_lead:
+                raise ValueError(
+                    f"min_lead {min_lead!r} must not exceed max_lead {max_lead!r}"
+                )
+        self.min_lead = min_lead
+        self.max_lead = max_lead
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        low = _shift(tt, self.min_lead, negate=False)
+        high = _shift(tt, self.max_lead, negate=False)
+        return _leq(low, vt, self.strict) and _leq(vt, high, self.strict)
+
+    def region(self) -> OffsetRegion:
+        low = _require_fixed(self.min_lead, self.name)
+        high = _require_fixed(self.max_lead, self.name)
+        closed = not self.strict
+        return OffsetRegion(Bound(low, closed), Bound(high, closed))
+
+
+class StronglyBounded(EventSpecialization):
+    """``tt_e - past_bound <= vt_e <= tt_e + future_bound``.
+
+    Information concerns only the (near) current situation.  Paper
+    example: an accounting relation recording the current month's
+    transactions, with corrections as compensating entries.
+    """
+
+    name = "strongly bounded"
+
+    def __init__(
+        self,
+        past_bound: AnyDuration,
+        future_bound: AnyDuration,
+        strict: bool = False,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        _check_nonnegative(past_bound, "past_bound")
+        _check_positive(future_bound, "future_bound")
+        self.past_bound = past_bound
+        self.future_bound = future_bound
+        self.strict = strict
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        low = _shift(tt, self.past_bound, negate=True)
+        high = _shift(tt, self.future_bound, negate=False)
+        return _leq(low, vt, self.strict) and _leq(vt, high, self.strict)
+
+    def region(self) -> OffsetRegion:
+        low = _require_fixed(self.past_bound, self.name)
+        high = _require_fixed(self.future_bound, self.name)
+        closed = not self.strict
+        return OffsetRegion(Bound(-low, closed), Bound(high, closed))
+
+
+class Degenerate(EventSpecialization):
+    """``vt_e = tt_e`` within the selected granularity.
+
+    Paper example: monitoring with no delay between sampling and storing.
+    Section 3.1 notes the implementation payoff: "a degenerate temporal
+    relation can be advantageously treated as a rollback relation due to
+    the fact that relations are append-only and elements are entered in
+    time-stamp order" -- exploited by :mod:`repro.query.planner`.
+    """
+
+    name = "degenerate"
+
+    def __init__(
+        self,
+        granularity: Optional[GranularityLike] = None,
+        time_reference: TimeReference = TimeReference.INSERTION,
+    ) -> None:
+        super().__init__(time_reference)
+        self.granularity: Optional[Granularity] = (
+            None if granularity is None else as_granularity(granularity)
+        )
+
+    def check_stamps(self, vt: Timestamp, tt: Timestamp) -> bool:
+        if self.granularity is None:
+            return vt == tt
+        return vt.floor_to(self.granularity) == tt.floor_to(self.granularity)
+
+    def region(self) -> OffsetRegion:
+        if self.granularity is not None:
+            raise TypeError(
+                "a granularity-relative degenerate specialization has no exact "
+                "offset region; compare floored stamps instead"
+            )
+        return OffsetRegion(Bound(0, True), Bound(0, True))
+
+
+#: All isolated-event specialization classes, in lattice-friendly order.
+EVENT_ISOLATED_CLASSES: List[type] = [
+    General,
+    RetroactivelyBounded,
+    PredictivelyBounded,
+    Predictive,
+    StronglyBounded,
+    Retroactive,
+    EarlyPredictive,
+    StronglyPredictivelyBounded,
+    StronglyRetroactivelyBounded,
+    DelayedRetroactive,
+    EarlyStronglyPredictivelyBounded,
+    Degenerate,
+    DelayedStronglyRetroactivelyBounded,
+]

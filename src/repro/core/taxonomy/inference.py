@@ -1,0 +1,456 @@
+"""Specialization inference: fitting the taxonomy to observed extensions.
+
+The paper positions the taxonomy as a *database design* vocabulary
+("this taxonomy may be employed during database design to specify the
+particular time semantics of temporal relations").  This module supplies
+the empirical half of that workflow: given a sample extension, find the
+*most specific* specializations -- with the tightest bounds -- that the
+sample satisfies.  The fitted constraints are intensional candidates for
+the schema; a designer widens the bounds with a safety margin before
+declaring them (see :class:`repro.design.advisor.Advisor`).
+
+Functions:
+
+* :func:`offset_statistics` -- min/max/constancy of ``d = vt - tt``;
+* :func:`fit_event_isolated` -- tightest Figure 1 / Figure 2 type;
+* :func:`fit_event_inter` -- orderings + regularity with inferred units;
+* :func:`fit_determined` -- mapping-function template search;
+* :func:`fit_interval` -- endpoint types, interval regularity, and the
+  successive-transaction-time Allen profile;
+* :func:`classify` -- one call returning a full :class:`InferenceReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chronos.allen import AllenRelation, allen_relation
+from repro.chronos.duration import Duration
+from repro.chronos.granularity import Granularity
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy import determined as det
+from repro.core.taxonomy import event_inter, event_isolated, interval_inter
+from repro.core.taxonomy.base import (
+    Specialization,
+    StampedElement,
+    iter_tt_ordered,
+)
+from repro.core.taxonomy.interval_isolated import (
+    TemporalIntervalRegular,
+    TransactionTimeIntervalRegular,
+    ValidTimeIntervalRegular,
+)
+
+MICRO = Granularity.MICROSECOND
+
+
+@dataclass(frozen=True)
+class OffsetStatistics:
+    """Summary of the offsets ``d = vt - tt`` over an extension."""
+
+    count: int
+    minimum: int  # microseconds
+    maximum: int  # microseconds
+
+    @property
+    def constant(self) -> bool:
+        return self.minimum == self.maximum
+
+    @property
+    def all_zero(self) -> bool:
+        return self.minimum == 0 and self.maximum == 0
+
+
+def offset_statistics(elements: Sequence[StampedElement]) -> OffsetStatistics:
+    """Compute offset statistics for a non-empty event extension."""
+    if not elements:
+        raise ValueError("cannot infer specializations from an empty extension")
+    offsets = [
+        element.vt.microseconds - element.tt_start.microseconds  # type: ignore[union-attr]
+        for element in elements
+    ]
+    return OffsetStatistics(len(offsets), min(offsets), max(offsets))
+
+
+def _duration(micro: int) -> Duration:
+    return Duration(micro, MICRO)
+
+
+def fit_event_isolated(elements: Sequence[StampedElement]) -> Specialization:
+    """The tightest isolated-event specialization the sample satisfies.
+
+    The fitted instance's offset region is exactly ``[min d, max d]``,
+    expressed as the most specific Figure 2 type containing it.
+    """
+    stats = offset_statistics(elements)
+    low, high = stats.minimum, stats.maximum
+    if stats.all_zero:
+        return event_isolated.Degenerate()
+    if high <= 0:
+        if high == 0:
+            return event_isolated.StronglyRetroactivelyBounded(_duration(-low))
+        return event_isolated.DelayedStronglyRetroactivelyBounded(
+            min_delay=_duration(-high), max_delay=_duration(-low)
+        )
+    if low >= 0:
+        if low == 0:
+            return event_isolated.StronglyPredictivelyBounded(_duration(high))
+        return event_isolated.EarlyStronglyPredictivelyBounded(
+            min_lead=_duration(low), max_lead=_duration(high)
+        )
+    return event_isolated.StronglyBounded(
+        past_bound=_duration(-low), future_bound=_duration(high)
+    )
+
+
+def fit_event_isolated_open(elements: Sequence[StampedElement]) -> Specialization:
+    """Like :func:`fit_event_isolated` but preferring one-sided types.
+
+    A finite sample always fits a doubly bounded type; a designer who
+    believes the unbounded side is genuinely unconstrained (e.g. future
+    assignments may be recorded arbitrarily far ahead) wants the
+    one-line types instead: retroactive / predictive / their delayed and
+    early refinements, or general.
+    """
+    stats = offset_statistics(elements)
+    low, high = stats.minimum, stats.maximum
+    if high <= 0:
+        if high < 0:
+            return event_isolated.DelayedRetroactive(_duration(-high))
+        return event_isolated.Retroactive()
+    if low >= 0:
+        if low > 0:
+            return event_isolated.EarlyPredictive(_duration(low))
+        return event_isolated.Predictive()
+    return event_isolated.General()
+
+
+def _gcd_of_differences(values: Sequence[int]) -> int:
+    """gcd of all pairwise differences (0 when all values coincide)."""
+    anchor = values[0]
+    result = 0
+    for value in values[1:]:
+        result = math.gcd(result, abs(value - anchor))
+    return result
+
+
+@dataclass
+class InterEventFit:
+    """Orderings and regularity found in an event extension."""
+
+    orderings: List[Specialization] = field(default_factory=list)
+    regularities: List[Specialization] = field(default_factory=list)
+
+    @property
+    def all(self) -> List[Specialization]:
+        return self.orderings + self.regularities
+
+
+def fit_event_inter(elements: Sequence[StampedElement]) -> InterEventFit:
+    """Orderings and regularity properties satisfied by the sample.
+
+    Regularity units are inferred as gcds of stamp differences.  Units
+    no coarser than the stamps' own granularity are suppressed: every
+    extension is trivially regular at its granularity tick (the paper's
+    granularity-as-regularity remark), which carries no information.
+    """
+    ordered = list(iter_tt_ordered(elements))
+    fit = InterEventFit()
+    for spec in (
+        event_inter.GloballySequential(),
+        event_inter.GloballyNonDecreasing(),
+        event_inter.GloballyNonIncreasing(),
+    ):
+        if spec.check_extension(ordered):
+            fit.orderings.append(spec)
+
+    if len(ordered) < 2:
+        return fit
+    tts = [e.tt_start.microseconds for e in ordered]
+    vts = [e.vt.microseconds for e in ordered]  # type: ignore[union-attr]
+
+    # Any extension is trivially regular at the granularity its stamps
+    # are drawn from (the paper's granularity-as-regularity remark); only
+    # units strictly coarser than that floor carry design information.
+    floor = 0
+    for element in ordered:
+        floor = math.gcd(floor, element.tt_start.granularity.microseconds)
+        floor = math.gcd(floor, element.vt.granularity.microseconds)  # type: ignore[union-attr]
+
+    tt_unit = _gcd_of_differences(tts)
+    if tt_unit > floor:
+        fit.regularities.append(event_inter.TransactionTimeEventRegular(_duration(tt_unit)))
+        gaps = {b - a for a, b in zip(tts, tts[1:])}
+        if len(gaps) == 1:
+            gap = gaps.pop()
+            fit.regularities.append(
+                event_inter.StrictTransactionTimeEventRegular(_duration(gap))
+            )
+    vt_unit = _gcd_of_differences(vts)
+    if vt_unit > floor:
+        fit.regularities.append(event_inter.ValidTimeEventRegular(_duration(vt_unit)))
+        ordered_vts = sorted(vts)
+        vt_gaps = {b - a for a, b in zip(ordered_vts, ordered_vts[1:])}
+        if len(vt_gaps) == 1 and 0 not in vt_gaps:
+            fit.regularities.append(
+                event_inter.StrictValidTimeEventRegular(_duration(vt_gaps.pop()))
+            )
+    offsets = {vt - tt for tt, vt in zip(tts, vts)}
+    if len(offsets) == 1 and tt_unit > floor:
+        fit.regularities.append(event_inter.TemporalEventRegular(_duration(tt_unit)))
+        tt_gaps = {b - a for a, b in zip(tts, tts[1:])}
+        vt_steps = {b - a for a, b in zip(vts, vts[1:])}
+        if tt_gaps == vt_steps and len(tt_gaps) == 1:
+            fit.regularities.append(
+                event_inter.StrictTemporalEventRegular(_duration(tt_gaps.pop()))
+            )
+    return fit
+
+
+#: Granularities coarser than a microsecond, tried from coarsest to
+#: finest so the most informative template wins.
+_TEMPLATE_GRANULARITIES = sorted(
+    (g for g in Granularity if g is not Granularity.MICROSECOND),
+    key=lambda g: g.value,
+    reverse=True,
+)
+
+
+def fit_determined(elements: Sequence[StampedElement]) -> Optional[det.Determined]:
+    """Search the paper's mapping-function templates for an exact fit.
+
+    Templates, in priority order: m2 (floor to a unit), m3 (next unit
+    boundary plus a constant offset), m1 (fixed delay).  Returns None
+    when no template reproduces every valid time.
+    """
+    if not elements:
+        raise ValueError("cannot infer a mapping function from an empty extension")
+
+    for gran in _TEMPLATE_GRANULARITIES:
+        mapping = det.floor_to_unit(gran)
+        if all(element.vt == mapping(element) for element in elements):
+            return det.Determined(mapping)
+
+    for gran in _TEMPLATE_GRANULARITIES:
+        offsets = set()
+        for element in elements:
+            ceiling = element.tt_start.ceil_to(gran)
+            if ceiling == element.tt_start:
+                ceiling = ceiling + Duration(1, gran)
+            offsets.add(element.vt.microseconds - ceiling.microseconds)  # type: ignore[union-attr]
+            if len(offsets) > 1:
+                break
+        if len(offsets) == 1:
+            offset = offsets.pop()
+            if 0 <= offset < gran.microseconds:
+                mapping = det.next_unit_offset(gran, _duration(offset))
+                if all(element.vt == mapping(element) for element in elements):
+                    return det.Determined(mapping)
+
+    stats = offset_statistics(elements)
+    if stats.constant:
+        return det.Determined(det.fixed_delay(_duration(stats.minimum)))
+    return None
+
+
+@dataclass
+class IntervalFit:
+    """Fitted properties of an interval extension."""
+
+    start_isolated: Specialization
+    end_isolated: Specialization
+    regularities: List[Specialization] = field(default_factory=list)
+    orderings: List[Specialization] = field(default_factory=list)
+    successive: Optional[Specialization] = None
+
+    @property
+    def all(self) -> List[Specialization]:
+        found = [self.start_isolated, self.end_isolated]
+        found.extend(self.regularities)
+        found.extend(self.orderings)
+        if self.successive is not None:
+            found.append(self.successive)
+        return found
+
+
+def _project(elements: Sequence[StampedElement], use_start: bool) -> List[StampedElement]:
+    """View an interval extension as an event extension on one endpoint."""
+    from repro.core.taxonomy.base import Stamped
+
+    projected: List[StampedElement] = []
+    for element in elements:
+        interval = element.vt
+        point = interval.start if use_start else interval.end  # type: ignore[union-attr]
+        if not isinstance(point, Timestamp):
+            continue
+        projected.append(
+            Stamped(
+                tt_start=element.tt_start,
+                vt=point,
+                tt_stop=element.tt_stop,
+                object_surrogate=element.object_surrogate,
+            )
+        )
+    return projected
+
+
+def fit_interval(elements: Sequence[StampedElement]) -> IntervalFit:
+    """Fit the Section 3.3 / 3.4 properties to an interval extension."""
+    if not elements:
+        raise ValueError("cannot infer specializations from an empty extension")
+    from repro.core.taxonomy.base import Unrestricted
+    from repro.core.taxonomy.interval_isolated import Endpoint, OnEndpoint
+
+    def fit_endpoint(endpoint: Endpoint) -> Specialization:
+        projected = _project(elements, use_start=endpoint is Endpoint.START)
+        if len(projected) != len(elements):
+            # Some endpoints are open ("until changed"); no bounded
+            # per-endpoint stamp property can hold.
+            return Unrestricted()
+        return OnEndpoint(fit_event_isolated(projected), endpoint)
+
+    fit = IntervalFit(
+        start_isolated=fit_endpoint(Endpoint.START),
+        end_isolated=fit_endpoint(Endpoint.END),
+    )
+
+    valid_durations = [
+        e.vt.duration().microseconds for e in elements if e.vt.is_bounded  # type: ignore[union-attr]
+    ]
+    if valid_durations:
+        unit = math.gcd(*valid_durations) if len(valid_durations) > 1 else valid_durations[0]
+        if unit > 1:
+            strict = len(set(valid_durations)) == 1
+            fit.regularities.append(ValidTimeIntervalRegular(_duration(unit), strict=strict))
+    existence = [
+        e.tt_stop.microseconds - e.tt_start.microseconds
+        for e in elements
+        if isinstance(e.tt_stop, Timestamp)
+    ]
+    if existence:
+        unit = math.gcd(*existence) if len(existence) > 1 else existence[0]
+        if unit > 1:
+            strict = len(set(existence)) == 1
+            fit.regularities.append(
+                TransactionTimeIntervalRegular(_duration(unit), strict=strict)
+            )
+    if len(fit.regularities) == 2:
+        shared = math.gcd(
+            fit.regularities[0].unit.microseconds, fit.regularities[1].unit.microseconds
+        )
+        if shared > 1:
+            fit.regularities.append(TemporalIntervalRegular(_duration(shared)))
+
+    for spec in (
+        interval_inter.IntervalGloballySequential(),
+        interval_inter.IntervalGloballyNonDecreasing(),
+        interval_inter.IntervalGloballyNonIncreasing(),
+    ):
+        if spec.check_extension(elements):
+            fit.orderings.append(spec)
+
+    ordered = list(iter_tt_ordered(elements))
+    relations = {
+        allen_relation(a.vt, b.vt)  # type: ignore[arg-type]
+        for a, b in zip(ordered, ordered[1:])
+    }
+    if len(relations) == 1:
+        only = relations.pop()
+        if only is AllenRelation.MEETS:
+            fit.successive = interval_inter.GloballyContiguous()
+        else:
+            fit.successive = interval_inter.SuccessiveTransactionTime(only)
+    return fit
+
+
+def fit_per_partition(elements: Sequence[StampedElement]) -> List[Specialization]:
+    """Per-surrogate orderings that hold where the global ones fail.
+
+    Section 3 notes that "the application of the specializations on a
+    per partition basis may in many situations prove to be more
+    relevant" -- e.g. interleaved sensor life-lines are rarely globally
+    sequential but often per-surrogate sequential.  Only properties NOT
+    already satisfied globally are reported (for orderings the global
+    form implies the per-partition form, so reporting both is noise).
+    """
+    from repro.core.taxonomy.partition import PerPartition
+
+    if isinstance(elements[0].vt, Interval):
+        candidates = [
+            interval_inter.IntervalGloballySequential,
+            interval_inter.IntervalGloballyNonDecreasing,
+            interval_inter.IntervalGloballyNonIncreasing,
+        ]
+    else:
+        candidates = [
+            event_inter.GloballySequential,
+            event_inter.GloballyNonDecreasing,
+            event_inter.GloballyNonIncreasing,
+        ]
+    found: List[Specialization] = []
+    sequential_found = False
+    for index, factory in enumerate(candidates):
+        if sequential_found and index == 1:
+            continue  # sequential implies non-decreasing (Figure 3 edge)
+        if factory().check_extension(elements):
+            continue  # globally satisfied; PerPartition adds nothing
+        partitioned = PerPartition(factory())
+        if partitioned.check_extension(elements):
+            found.append(partitioned)
+            if index == 0:
+                sequential_found = True
+    return found
+
+
+@dataclass
+class InferenceReport:
+    """Everything :func:`classify` learned about an extension."""
+
+    kind: str  # "event" or "interval"
+    count: int
+    isolated: Optional[Specialization] = None
+    isolated_open: Optional[Specialization] = None
+    determined: Optional[det.Determined] = None
+    inter: Optional[InterEventFit] = None
+    interval: Optional[IntervalFit] = None
+    per_partition: List[Specialization] = field(default_factory=list)
+
+    def specializations(self) -> List[Specialization]:
+        """All fitted specializations, most informative first."""
+        found: List[Specialization] = []
+        if self.determined is not None:
+            found.append(self.determined)
+        if self.isolated is not None:
+            found.append(self.isolated)
+        if self.inter is not None:
+            found.extend(self.inter.all)
+        if self.interval is not None:
+            found.extend(self.interval.all)
+        found.extend(self.per_partition)
+        return found
+
+
+def classify(elements: Sequence[StampedElement]) -> InferenceReport:
+    """Infer every applicable specialization for an extension."""
+    elements = list(elements)
+    if not elements:
+        raise ValueError("cannot classify an empty extension")
+    if isinstance(elements[0].vt, Interval):
+        return InferenceReport(
+            kind="interval",
+            count=len(elements),
+            interval=fit_interval(elements),
+            per_partition=fit_per_partition(elements),
+        )
+    return InferenceReport(
+        kind="event",
+        count=len(elements),
+        isolated=fit_event_isolated(elements),
+        isolated_open=fit_event_isolated_open(elements),
+        determined=fit_determined(elements),
+        inter=fit_event_inter(elements),
+        per_partition=fit_per_partition(elements),
+    )

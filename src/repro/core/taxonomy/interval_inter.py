@@ -1,0 +1,198 @@
+"""Inter-interval specializations (Section 3.4, Figure 5).
+
+These restrict the interrelationship of the valid-time intervals of
+distinct elements: orderings (sequential, non-decreasing,
+non-increasing), contiguity, and the family *successive transaction time
+X* -- one property per Allen relation X, requiring that elements
+adjacent in transaction time have valid intervals related by X.
+
+The paper singles out *successive transaction time meets*, "which is
+defined above as globally contiguous".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.chronos.allen import AllenRelation, allen_relation
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import (
+    Monitor,
+    Specialization,
+    StampedElement,
+    Violation,
+    interval_valid_time,
+)
+
+
+class _IntervalOrderingMonitor(Monitor):
+    """Running-aggregate monitor for the interval ordering properties."""
+
+    def __init__(self, spec: Specialization, mode: str) -> None:
+        self._spec = spec
+        self._mode = mode
+        self._running: Optional[Timestamp] = None
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        interval = interval_valid_time(element)
+        tt = element.tt_start
+        violations: List[Violation] = []
+        if self._mode == "sequential":
+            start = interval.start
+            low = min(tt, start) if isinstance(start, Timestamp) else tt
+            if self._running is not None and not self._running <= low:
+                violations.append(
+                    Violation(
+                        self._spec,
+                        element,
+                        f"min(tt, vt_start) = {low!r} precedes an earlier element's "
+                        f"max(tt, vt_end) = {self._running!r}",
+                    )
+                )
+            if not isinstance(interval.end, Timestamp):
+                violations.append(
+                    Violation(self._spec, element, "open-ended interval cannot complete before a successor")
+                )
+            return violations
+        start = interval.start
+        if not isinstance(start, Timestamp):
+            violations.append(
+                Violation(self._spec, element, "interval start must be a proper time-stamp")
+            )
+            return violations
+        if self._mode == "non-decreasing":
+            if self._running is not None and start < self._running:
+                violations.append(
+                    Violation(
+                        self._spec,
+                        element,
+                        f"vt_start = {start!r} decreases below earlier maximum "
+                        f"{self._running!r}",
+                    )
+                )
+        else:
+            if self._running is not None and start > self._running:
+                violations.append(
+                    Violation(
+                        self._spec,
+                        element,
+                        f"vt_start = {start!r} increases above earlier minimum "
+                        f"{self._running!r}",
+                    )
+                )
+        return violations
+
+    def commit(self, element: StampedElement) -> None:
+        interval = interval_valid_time(element)
+        tt = element.tt_start
+        if self._mode == "sequential":
+            end = interval.end
+            peak = max(tt, end) if isinstance(end, Timestamp) else tt
+            self._running = peak if self._running is None else max(self._running, peak)
+            return
+        start = interval.start
+        if not isinstance(start, Timestamp):
+            return
+        if self._mode == "non-decreasing":
+            self._running = start if self._running is None else max(self._running, start)
+        else:
+            self._running = start if self._running is None else min(self._running, start)
+
+
+class IntervalGloballySequential(Specialization):
+    """Each interval occurs and is stored before the next commences:
+    ``tt_e < tt_e' implies max(tt_e, vt_end_e) <= min(tt_e', vt_start_e')``.
+
+    Paper example: weekly employee assignments recorded during the
+    weekend are per-surrogate sequential.
+    """
+
+    name = "globally sequential (intervals)"
+
+    def monitor(self) -> Monitor:
+        return _IntervalOrderingMonitor(self, "sequential")
+
+
+class IntervalGloballyNonDecreasing(Specialization):
+    """Elements are entered in valid-time start order.
+
+    Paper example: recording next week's assignment each Thursday makes
+    the relation per-surrogate non-decreasing (though not sequential,
+    because the recording falls inside the current week's interval).
+    """
+
+    name = "globally non-decreasing (intervals)"
+
+    def monitor(self) -> Monitor:
+        return _IntervalOrderingMonitor(self, "non-decreasing")
+
+
+class IntervalGloballyNonIncreasing(Specialization):
+    """Elements are entered in reverse valid-time start order."""
+
+    name = "globally non-increasing (intervals)"
+
+    def monitor(self) -> Monitor:
+        return _IntervalOrderingMonitor(self, "non-increasing")
+
+
+class _SuccessiveMonitor(Monitor):
+    """Checks each tt-adjacent pair of valid intervals against a relation."""
+
+    def __init__(self, spec: Specialization, relation: AllenRelation) -> None:
+        self._spec = spec
+        self._relation = relation
+        self._previous: Optional[Interval] = None
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        interval = interval_valid_time(element)
+        if self._previous is not None:
+            actual = allen_relation(self._previous, interval)
+            if actual is not self._relation:
+                return [
+                    Violation(
+                        self._spec,
+                        element,
+                        f"valid interval relates to its tt-predecessor by "
+                        f"{actual.value!r}, required {self._relation.value!r}",
+                    )
+                ]
+        return []
+
+    def commit(self, element: StampedElement) -> None:
+        self._previous = interval_valid_time(element)
+
+
+class SuccessiveTransactionTime(Specialization):
+    """*Successive transaction time X* for an Allen relation X.
+
+    Elements successive in transaction time must have valid intervals
+    related by X.  "Of these, the most interesting is successive
+    transaction time meets, which is defined above as globally
+    contiguous"; *successive transaction time overlaps* ensures "the
+    next element began before the previous one completed".
+    """
+
+    def __init__(self, relation: AllenRelation) -> None:
+        self.relation = relation
+        prefix = "sti" if relation.is_inverse else "st"
+        short = relation.value.replace("-inverse", "")
+        self.name = f"{prefix}-{short}"
+
+    def monitor(self) -> Monitor:
+        return _SuccessiveMonitor(self, self.relation)
+
+
+class GloballyContiguous(SuccessiveTransactionTime):
+    """The end of one interval coincides with the start of the next
+    stored interval (= successive transaction time meets)."""
+
+    def __init__(self) -> None:
+        super().__init__(AllenRelation.MEETS)
+        self.name = "globally contiguous"
+
+
+def successive_family() -> List[SuccessiveTransactionTime]:
+    """The full thirteen-member successive-transaction-time family."""
+    return [SuccessiveTransactionTime(relation) for relation in AllenRelation]

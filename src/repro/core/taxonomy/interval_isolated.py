@@ -1,0 +1,171 @@
+"""Isolated-interval specializations (Section 3.3).
+
+For interval relations the valid time is ``[vt_start, vt_end)``.  Two
+families of restrictions apply to isolated elements:
+
+* the Section 3.1 event characterizations applied to either endpoint --
+  "if an interval is stored as soon as it terminates, a designer may
+  state that the interval relation is vt-start-retroactive and
+  vt-end-degenerate" -- implemented by :class:`OnEndpoint` (and
+  :class:`OnBothEndpoints` for the paper's convention that a relation
+  retroactive in both endpoints "may simply be termed retroactive");
+* interval *regularity* -- the duration of the transaction-time
+  existence interval, the valid-time interval, or both, is an integral
+  multiple of a time unit, with *strict* versions fixing the multiple
+  to one (all intervals the same length).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import (
+    IsolatedSpecialization,
+    StampedElement,
+    interval_valid_time,
+    transaction_time,
+)
+from repro.core.taxonomy.event_isolated import EventSpecialization
+
+
+class Endpoint(enum.Enum):
+    """Which endpoint of the valid-time interval an event property reads."""
+
+    START = "vt-start"
+    END = "vt-end"
+
+
+class OnEndpoint(IsolatedSpecialization):
+    """An event specialization applied to one valid-time endpoint."""
+
+    def __init__(self, base: EventSpecialization, endpoint: Endpoint) -> None:
+        self.base = base
+        self.endpoint = endpoint
+        self.name = f"{endpoint.value} {base.name}"
+
+    def check_element(self, element: StampedElement) -> bool:
+        tt = transaction_time(element, self.base.time_reference)
+        if tt is None:
+            return True
+        interval = interval_valid_time(element)
+        point = interval.start if self.endpoint is Endpoint.START else interval.end
+        if not isinstance(point, Timestamp):
+            # An unbounded endpoint (e.g. "until changed") cannot satisfy
+            # any bounded stamp predicate and is treated as a violation.
+            return False
+        return self.base.check_stamps(point, tt)
+
+
+class OnBothEndpoints(IsolatedSpecialization):
+    """An event specialization applied to both valid-time endpoints.
+
+    Section 3.3: "If the relation is, say, vt-start-retroactive and
+    vt-end-retroactive, it may simply be termed retroactive."
+    """
+
+    def __init__(self, base: EventSpecialization) -> None:
+        self.base = base
+        self.name = f"interval {base.name}"
+        self._start = OnEndpoint(base, Endpoint.START)
+        self._end = OnEndpoint(base, Endpoint.END)
+
+    def check_element(self, element: StampedElement) -> bool:
+        return self._start.check_element(element) and self._end.check_element(element)
+
+
+def _existence_duration(element: StampedElement) -> Optional[int]:
+    """Length of ``[tt_start, tt_stop)`` in microseconds, or None while current."""
+    stop = element.tt_stop
+    if not isinstance(stop, Timestamp):
+        return None
+    return stop.microseconds - element.tt_start.microseconds
+
+
+def _valid_duration(element: StampedElement) -> Optional[int]:
+    """Length of the valid-time interval in microseconds, or None if unbounded."""
+    interval = interval_valid_time(element)
+    if not interval.is_bounded:
+        return None
+    return interval.duration().microseconds
+
+
+def _is_regular(duration_micro: Optional[int], unit_micro: int, strict: bool) -> bool:
+    """Vacuously true for open-ended durations (no complete interval yet)."""
+    if duration_micro is None:
+        return True
+    if strict:
+        return duration_micro == unit_micro
+    return duration_micro % unit_micro == 0
+
+
+class TransactionTimeIntervalRegular(IsolatedSpecialization):
+    """``exists k: tt_stop = tt_start + k*unit``.
+
+    Elements that are still current (``tt_stop`` = FOREVER) have no
+    complete existence interval yet and are vacuously compliant; the
+    property binds when they are logically deleted.
+    """
+
+    name = "transaction time interval regular"
+
+    def __init__(self, unit: Duration, strict: bool = False) -> None:
+        _check_positive_unit(unit)
+        self.unit = unit
+        self.strict = strict
+        if strict:
+            self.name = "strict " + self.name
+
+    def check_element(self, element: StampedElement) -> bool:
+        return _is_regular(_existence_duration(element), self.unit.microseconds, self.strict)
+
+
+class ValidTimeIntervalRegular(IsolatedSpecialization):
+    """``exists k: vt_end = vt_start + k*unit``.
+
+    Paper example: hires and terminations effective only on the first or
+    the fifteenth of each month make assignment durations multiples of
+    roughly half a month; with payroll weeks, a one-week unit.
+    """
+
+    name = "valid time interval regular"
+
+    def __init__(self, unit: Duration, strict: bool = False) -> None:
+        _check_positive_unit(unit)
+        self.unit = unit
+        self.strict = strict
+        if strict:
+            self.name = "strict " + self.name
+
+    def check_element(self, element: StampedElement) -> bool:
+        return _is_regular(_valid_duration(element), self.unit.microseconds, self.strict)
+
+
+class TemporalIntervalRegular(IsolatedSpecialization):
+    """Both the existence interval and the valid interval are regular
+    with the *same* unit (Section 3.3: "the time unit must be identical
+    for both transaction and valid time")."""
+
+    name = "temporal interval regular"
+
+    def __init__(self, unit: Duration, strict: bool = False) -> None:
+        _check_positive_unit(unit)
+        self.unit = unit
+        self.strict = strict
+        if strict:
+            self.name = "strict " + self.name
+
+    def check_element(self, element: StampedElement) -> bool:
+        unit_micro = self.unit.microseconds
+        return _is_regular(_existence_duration(element), unit_micro, self.strict) and _is_regular(
+            _valid_duration(element), unit_micro, self.strict
+        )
+
+
+def _check_positive_unit(unit: Duration) -> None:
+    if not isinstance(unit, Duration):
+        raise TypeError(f"interval regularity units must be fixed Durations, got {unit!r}")
+    if unit.microseconds <= 0:
+        raise ValueError(f"interval regularity unit must be positive, got {unit!r}")

@@ -1,0 +1,361 @@
+"""The generalization/specialization lattices of Figures 2-5.
+
+"A relation type can be specialized into any of the successor relation
+types, and a relation type inherits all the properties of its
+predecessor relation types" (Section 3.1).  Each figure is reproduced as
+a :class:`Lattice`: a DAG whose nodes carry a *representative factory*
+producing a canonical instance of the specialization (with sample
+bounds chosen so that every edge is a true implication between the
+representative instances -- verified by the test suite on random
+extensions, and for Figure 2 also by region inclusion).
+
+* :data:`EVENT_ISOLATED_LATTICE` -- Figure 2 (13 undetermined nodes;
+  "there exist determined counterparts for all the undetermined
+  specialized temporal relations", obtainable via
+  :class:`repro.core.taxonomy.determined.DeterminedAs`).
+* :data:`INTER_EVENT_ORDERING_LATTICE` -- Figure 3.
+* :data:`INTER_EVENT_REGULARITY_LATTICE` -- Figure 4.
+* :data:`INTER_INTERVAL_LATTICE` -- Figure 5.
+
+.. note:: **Reproduction note.** The scanned Figure 5 is partially
+   illegible; the node set (the thirteen successive-transaction-time
+   properties, the orderings, contiguity, sequentiality, general) is
+   recovered from the prose, and the edge set is *reconstructed* as the
+   complete set of pairwise implications among representative
+   instances, each machine-verified.  In particular *globally
+   sequential* is placed under *globally non-decreasing* (sequentiality
+   "is a stronger property than non-decreasing", Section 3.4) rather
+   than under a single Allen node, because a sequential relation's
+   successive intervals may relate by either *before* or *meets*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.chronos.allen import AllenRelation
+from repro.chronos.duration import Duration
+from repro.core.taxonomy.base import Specialization, Unrestricted
+from repro.core.taxonomy import event_inter, event_isolated, interval_inter
+
+Factory = Callable[[], Specialization]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A lattice node: a specialization type plus a representative instance."""
+
+    name: str
+    factory: Factory
+
+
+class Lattice:
+    """A generalization/specialization DAG.
+
+    Edges point from the more general type (parent) to the more special
+    type (child): every extension satisfying the child satisfies the
+    parent.
+    """
+
+    def __init__(self, name: str, nodes: Iterable[Node], edges: Iterable[Tuple[str, str]]) -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {node.name: node for node in nodes}
+        self._children: Dict[str, List[str]] = {n: [] for n in self._nodes}
+        self._parents: Dict[str, List[str]] = {n: [] for n in self._nodes}
+        for parent, child in edges:
+            if parent not in self._nodes:
+                raise ValueError(f"unknown parent node {parent!r} in lattice {name!r}")
+            if child not in self._nodes:
+                raise ValueError(f"unknown child node {child!r} in lattice {name!r}")
+            self._children[parent].append(child)
+            self._parents[child].append(parent)
+        self._assert_acyclic()
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(p, c) for p, kids in self._children.items() for c in kids]
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def instance(self, name: str) -> Specialization:
+        """A fresh representative instance of the named type."""
+        return self._nodes[name].factory()
+
+    def parents(self, name: str) -> List[str]:
+        return list(self._parents[name])
+
+    def children(self, name: str) -> List[str]:
+        return list(self._children[name])
+
+    def roots(self) -> List[str]:
+        return [n for n, parents in self._parents.items() if not parents]
+
+    def leaves(self) -> List[str]:
+        return [n for n, kids in self._children.items() if not kids]
+
+    def ancestors(self, name: str) -> Set[str]:
+        """All strict generalizations of *name*."""
+        seen: Set[str] = set()
+        frontier = list(self._parents[name])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._parents[current])
+        return seen
+
+    def descendants(self, name: str) -> Set[str]:
+        """All strict specializations of *name*."""
+        seen: Set[str] = set()
+        frontier = list(self._children[name])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._children[current])
+        return seen
+
+    def is_ancestor(self, general: str, special: str) -> bool:
+        return general in self.ancestors(special)
+
+    def most_specific(self, names: Iterable[str]) -> FrozenSet[str]:
+        """Drop every name that is a strict generalization of another.
+
+        Section 3: "Applications that require a small number of
+        specializations may simply consider only the more general
+        specializations"; conversely design tools report only the most
+        specific ones, from which the rest follow by inheritance.
+        """
+        kept = set(names)
+        for name in list(kept):
+            if kept & self.descendants(name):
+                kept.discard(name)
+        return frozenset(kept)
+
+    def closure(self, names: Iterable[str]) -> FrozenSet[str]:
+        """The names plus everything they imply (their ancestors)."""
+        full: Set[str] = set()
+        for name in names:
+            full.add(name)
+            full.update(self.ancestors(name))
+        return frozenset(full)
+
+    def topological_order(self) -> List[str]:
+        """Parents before children."""
+        in_degree = {n: len(p) for n, p in self._parents.items()}
+        order: List[str] = []
+        ready = sorted(n for n, d in in_degree.items() if d == 0)
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for child in self._children[current]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+            ready.sort()
+        return order
+
+    def to_dot(self) -> str:
+        """GraphViz rendering of the figure."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;"]
+        for name in self._nodes:
+            lines.append(f'  "{name}";')
+        for parent, child in self.edges:
+            lines.append(f'  "{parent}" -> "{child}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def _assert_acyclic(self) -> None:
+        if len(self.topological_order()) != len(self._nodes):
+            raise ValueError(f"lattice {self.name!r} contains a cycle")
+
+
+# -- Figure 2: isolated-event taxonomy ------------------------------------------
+
+#: Sample bounds chosen so every Figure 2 edge is an implication between
+#: the representative instances (child region subset of parent region).
+SMALL = Duration(10)
+LARGE = Duration(30)
+
+EVENT_ISOLATED_LATTICE = Lattice(
+    "Figure 2: event-based taxonomy",
+    nodes=[
+        Node("general", event_isolated.General),
+        Node("retroactively bounded", lambda: event_isolated.RetroactivelyBounded(LARGE)),
+        Node("predictively bounded", lambda: event_isolated.PredictivelyBounded(LARGE)),
+        Node("predictive", event_isolated.Predictive),
+        Node("strongly bounded", lambda: event_isolated.StronglyBounded(LARGE, LARGE)),
+        Node("retroactive", event_isolated.Retroactive),
+        Node("early predictive", lambda: event_isolated.EarlyPredictive(SMALL)),
+        Node(
+            "strongly predictively bounded",
+            lambda: event_isolated.StronglyPredictivelyBounded(LARGE),
+        ),
+        Node(
+            "strongly retroactively bounded",
+            lambda: event_isolated.StronglyRetroactivelyBounded(LARGE),
+        ),
+        Node("delayed retroactive", lambda: event_isolated.DelayedRetroactive(SMALL)),
+        Node(
+            "early strongly predictively bounded",
+            lambda: event_isolated.EarlyStronglyPredictivelyBounded(SMALL, LARGE),
+        ),
+        Node("degenerate", event_isolated.Degenerate),
+        Node(
+            "delayed strongly retroactively bounded",
+            lambda: event_isolated.DelayedStronglyRetroactivelyBounded(SMALL, LARGE),
+        ),
+    ],
+    edges=[
+        ("general", "retroactively bounded"),
+        ("general", "predictively bounded"),
+        ("retroactively bounded", "predictive"),
+        ("retroactively bounded", "strongly bounded"),
+        ("predictively bounded", "retroactive"),
+        ("predictively bounded", "strongly bounded"),
+        ("predictive", "early predictive"),
+        ("predictive", "strongly predictively bounded"),
+        ("strongly bounded", "strongly predictively bounded"),
+        ("strongly bounded", "strongly retroactively bounded"),
+        ("retroactive", "strongly retroactively bounded"),
+        ("retroactive", "delayed retroactive"),
+        ("strongly predictively bounded", "early strongly predictively bounded"),
+        ("strongly predictively bounded", "degenerate"),
+        ("strongly retroactively bounded", "degenerate"),
+        ("strongly retroactively bounded", "delayed strongly retroactively bounded"),
+        ("early predictive", "early strongly predictively bounded"),
+        ("delayed retroactive", "delayed strongly retroactively bounded"),
+    ],
+)
+
+
+# -- Figure 3: inter-event orderings ----------------------------------------------
+
+INTER_EVENT_ORDERING_LATTICE = Lattice(
+    "Figure 3: inter-event orderings",
+    nodes=[
+        Node("general", Unrestricted),
+        Node("globally non-decreasing", event_inter.GloballyNonDecreasing),
+        Node("globally non-increasing", event_inter.GloballyNonIncreasing),
+        Node("globally sequential", event_inter.GloballySequential),
+    ],
+    edges=[
+        ("general", "globally non-decreasing"),
+        ("general", "globally non-increasing"),
+        ("globally non-decreasing", "globally sequential"),
+    ],
+)
+
+
+# -- Figure 4: inter-event regularity ---------------------------------------------
+
+UNIT = Duration(5)
+
+INTER_EVENT_REGULARITY_LATTICE = Lattice(
+    "Figure 4: inter-event regularity",
+    nodes=[
+        Node("general", Unrestricted),
+        Node(
+            "transaction time event regular",
+            lambda: event_inter.TransactionTimeEventRegular(UNIT),
+        ),
+        Node("valid time event regular", lambda: event_inter.ValidTimeEventRegular(UNIT)),
+        Node("temporal event regular", lambda: event_inter.TemporalEventRegular(UNIT)),
+        Node(
+            "strict transaction time event regular",
+            lambda: event_inter.StrictTransactionTimeEventRegular(UNIT),
+        ),
+        Node(
+            "strict valid time event regular",
+            lambda: event_inter.StrictValidTimeEventRegular(UNIT),
+        ),
+        Node(
+            "strict temporal event regular",
+            lambda: event_inter.StrictTemporalEventRegular(UNIT),
+        ),
+    ],
+    edges=[
+        ("general", "transaction time event regular"),
+        ("general", "valid time event regular"),
+        ("transaction time event regular", "temporal event regular"),
+        ("valid time event regular", "temporal event regular"),
+        ("transaction time event regular", "strict transaction time event regular"),
+        ("valid time event regular", "strict valid time event regular"),
+        ("temporal event regular", "strict temporal event regular"),
+        ("strict transaction time event regular", "strict temporal event regular"),
+        ("strict valid time event regular", "strict temporal event regular"),
+    ],
+)
+
+
+# -- Figure 5: inter-interval taxonomy --------------------------------------------
+
+def _st(relation: AllenRelation) -> Factory:
+    return lambda: interval_inter.SuccessiveTransactionTime(relation)
+
+
+INTER_INTERVAL_LATTICE = Lattice(
+    "Figure 5: inter-interval taxonomy",
+    nodes=[
+        Node("general", Unrestricted),
+        Node("globally non-decreasing", interval_inter.IntervalGloballyNonDecreasing),
+        Node("globally non-increasing", interval_inter.IntervalGloballyNonIncreasing),
+        Node("globally sequential", interval_inter.IntervalGloballySequential),
+        Node("globally contiguous (st-meets)", interval_inter.GloballyContiguous),
+        Node("st-before", _st(AllenRelation.BEFORE)),
+        Node("st-overlaps", _st(AllenRelation.OVERLAPS)),
+        Node("st-starts", _st(AllenRelation.STARTS)),
+        Node("st-during", _st(AllenRelation.DURING)),
+        Node("st-finishes", _st(AllenRelation.FINISHES)),
+        Node("st-equal", _st(AllenRelation.EQUAL)),
+        Node("sti-before", _st(AllenRelation.BEFORE_INVERSE)),
+        Node("sti-meets", _st(AllenRelation.MEETS_INVERSE)),
+        Node("sti-overlaps", _st(AllenRelation.OVERLAPS_INVERSE)),
+        Node("sti-starts", _st(AllenRelation.STARTS_INVERSE)),
+        Node("sti-during", _st(AllenRelation.DURING_INVERSE)),
+        Node("sti-finishes", _st(AllenRelation.FINISHES_INVERSE)),
+    ],
+    edges=[
+        ("general", "globally non-decreasing"),
+        ("general", "globally non-increasing"),
+        # Successive relations that strictly advance the interval start.
+        ("globally non-decreasing", "st-before"),
+        ("globally non-decreasing", "globally contiguous (st-meets)"),
+        ("globally non-decreasing", "st-overlaps"),
+        ("globally non-decreasing", "sti-during"),
+        ("globally non-decreasing", "sti-finishes"),
+        # Successive relations that strictly retreat the interval start.
+        ("globally non-increasing", "sti-before"),
+        ("globally non-increasing", "sti-meets"),
+        ("globally non-increasing", "sti-overlaps"),
+        ("globally non-increasing", "st-during"),
+        ("globally non-increasing", "st-finishes"),
+        # Start-preserving relations satisfy both orderings.
+        ("globally non-decreasing", "st-starts"),
+        ("globally non-increasing", "st-starts"),
+        ("globally non-decreasing", "st-equal"),
+        ("globally non-increasing", "st-equal"),
+        ("globally non-decreasing", "sti-starts"),
+        ("globally non-increasing", "sti-starts"),
+        # Sequentiality is stronger than non-decreasing (Section 3.4).
+        ("globally non-decreasing", "globally sequential"),
+    ],
+)
+
+
+ALL_LATTICES: Sequence[Lattice] = (
+    EVENT_ISOLATED_LATTICE,
+    INTER_EVENT_ORDERING_LATTICE,
+    INTER_EVENT_REGULARITY_LATTICE,
+    INTER_INTERVAL_LATTICE,
+)

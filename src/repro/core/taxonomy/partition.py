@@ -1,0 +1,72 @@
+"""Per-partition application of specializations (Sections 2 and 3).
+
+"Just as the specializations may be applied to an entire relation, i.e.,
+on a per relation basis, they may be applied in turn to each partition
+of a relation ... a relation satisfies a specialization on a per
+partition basis if every partition of the particular partitioning in
+turn satisfies the specialization on a per relation basis.  While many
+partitionings are possible, the most useful partitioning is the per
+surrogate partitioning."
+
+:class:`PerPartition` wraps any specialization with a key function; the
+default key is the object surrogate.  The monitor keeps one inner
+monitor per partition, so incremental cost matches the wrapped
+specialization's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List
+
+from repro.core.taxonomy.base import Monitor, Specialization, StampedElement, Violation
+
+PartitionKey = Callable[[StampedElement], Hashable]
+
+
+def per_surrogate(element: StampedElement) -> Hashable:
+    """The canonical partitioning key: the object surrogate (a "life-line")."""
+    return element.object_surrogate
+
+
+class _PartitionedMonitor(Monitor):
+    """One inner monitor per partition, created lazily."""
+
+    def __init__(self, spec: "PerPartition") -> None:
+        self._spec = spec
+        self._monitors: Dict[Hashable, Monitor] = {}
+
+    def _monitor_for(self, element: StampedElement) -> Monitor:
+        key = self._spec.key(element)
+        monitor = self._monitors.get(key)
+        if monitor is None:
+            monitor = self._spec.inner.monitor()
+            self._monitors[key] = monitor
+        return monitor
+
+    def inspect(self, element: StampedElement) -> List[Violation]:
+        return self._monitor_for(element).inspect(element)
+
+    def commit(self, element: StampedElement) -> None:
+        self._monitor_for(element).commit(element)
+
+
+class PerPartition(Specialization):
+    """A specialization applied independently within each partition."""
+
+    def __init__(self, inner: Specialization, key: PartitionKey = per_surrogate, label: str = "surrogate") -> None:
+        self.inner = inner
+        self.key = key
+        self.name = f"per-{label} {inner.name}"
+
+    def monitor(self) -> Monitor:
+        return _PartitionedMonitor(self)
+
+
+def partition_extension(
+    elements: List[StampedElement], key: PartitionKey = per_surrogate
+) -> Dict[Hashable, List[StampedElement]]:
+    """Materialize the partitioning of an extension (for inference/tests)."""
+    groups: Dict[Hashable, List[StampedElement]] = {}
+    for element in elements:
+        groups.setdefault(key(element), []).append(element)
+    return groups

@@ -1,0 +1,159 @@
+"""Name-based registry and a small textual syntax for specializations.
+
+Schema definitions (and the examples) refer to specializations by the
+paper's names, e.g. ``"delayed retroactive(30s)"`` or
+``"strongly bounded(1d, 12h)"``.  :func:`parse` turns such a string into
+a specialization instance; :data:`REGISTRY` maps canonical names to
+constructors.
+
+Duration literals: ``<int><unit>`` with unit one of ``us, ms, s, min,
+h, d, w`` for fixed durations and ``mo, y`` for calendric ones.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Sequence, Union
+
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.chronos.granularity import Granularity
+from repro.core.taxonomy import event_inter, event_isolated
+from repro.core.taxonomy.base import Specialization
+
+AnyDuration = Union[Duration, CalendricDuration]
+
+_UNITS: Dict[str, Granularity] = {
+    "us": Granularity.MICROSECOND,
+    "ms": Granularity.MILLISECOND,
+    "s": Granularity.SECOND,
+    "min": Granularity.MINUTE,
+    "h": Granularity.HOUR,
+    "d": Granularity.DAY,
+    "w": Granularity.WEEK,
+}
+
+_DURATION_PATTERN = re.compile(r"^\s*(-?\d+)\s*([a-z]+)\s*$")
+
+
+def parse_duration(text: str) -> AnyDuration:
+    """Parse a duration literal like ``30s``, ``1d``, or ``1mo``.
+
+    >>> parse_duration("30s")
+    Duration(30, second)
+    >>> parse_duration("1mo")
+    CalendricDuration(months=1)
+    """
+    match = _DURATION_PATTERN.match(text)
+    if match is None:
+        raise ValueError(f"malformed duration literal {text!r}")
+    amount, unit = int(match.group(1)), match.group(2)
+    if unit == "mo":
+        return CalendricDuration(months=amount)
+    if unit == "y":
+        return CalendricDuration(years=amount)
+    if unit not in _UNITS:
+        valid = ", ".join(list(_UNITS) + ["mo", "y"])
+        raise ValueError(f"unknown duration unit {unit!r}; expected one of: {valid}")
+    return Duration(amount, _UNITS[unit])
+
+
+def _fixed(argument: AnyDuration) -> Duration:
+    if not isinstance(argument, Duration):
+        raise ValueError(f"this specialization requires a fixed duration, got {argument!r}")
+    return argument
+
+
+Constructor = Callable[[Sequence[AnyDuration]], Specialization]
+
+
+def _nullary(factory: Callable[[], Specialization]) -> Constructor:
+    def build(arguments: Sequence[AnyDuration]) -> Specialization:
+        if arguments:
+            raise ValueError("this specialization takes no bounds")
+        return factory()
+
+    return build
+
+
+def _unary(factory: Callable[[AnyDuration], Specialization]) -> Constructor:
+    def build(arguments: Sequence[AnyDuration]) -> Specialization:
+        if len(arguments) != 1:
+            raise ValueError(f"expected exactly one bound, got {len(arguments)}")
+        return factory(arguments[0])
+
+    return build
+
+
+def _binary(factory: Callable[[AnyDuration, AnyDuration], Specialization]) -> Constructor:
+    def build(arguments: Sequence[AnyDuration]) -> Specialization:
+        if len(arguments) != 2:
+            raise ValueError(f"expected exactly two bounds, got {len(arguments)}")
+        return factory(arguments[0], arguments[1])
+
+    return build
+
+
+#: Canonical name -> constructor over parsed duration arguments.
+REGISTRY: Dict[str, Constructor] = {
+    "general": _nullary(event_isolated.General),
+    "retroactive": _nullary(event_isolated.Retroactive),
+    "delayed retroactive": _unary(event_isolated.DelayedRetroactive),
+    "predictive": _nullary(event_isolated.Predictive),
+    "early predictive": _unary(event_isolated.EarlyPredictive),
+    "retroactively bounded": _unary(event_isolated.RetroactivelyBounded),
+    "strongly retroactively bounded": _unary(event_isolated.StronglyRetroactivelyBounded),
+    "delayed strongly retroactively bounded": _binary(
+        event_isolated.DelayedStronglyRetroactivelyBounded
+    ),
+    "predictively bounded": _unary(event_isolated.PredictivelyBounded),
+    "strongly predictively bounded": _unary(event_isolated.StronglyPredictivelyBounded),
+    "early strongly predictively bounded": _binary(
+        event_isolated.EarlyStronglyPredictivelyBounded
+    ),
+    "strongly bounded": _binary(event_isolated.StronglyBounded),
+    "degenerate": _nullary(event_isolated.Degenerate),
+    "globally sequential": _nullary(event_inter.GloballySequential),
+    "globally non-decreasing": _nullary(event_inter.GloballyNonDecreasing),
+    "globally non-increasing": _nullary(event_inter.GloballyNonIncreasing),
+    "transaction time event regular": _unary(
+        lambda unit: event_inter.TransactionTimeEventRegular(_fixed(unit))
+    ),
+    "valid time event regular": _unary(
+        lambda unit: event_inter.ValidTimeEventRegular(_fixed(unit))
+    ),
+    "temporal event regular": _unary(
+        lambda unit: event_inter.TemporalEventRegular(_fixed(unit))
+    ),
+    "strict transaction time event regular": _unary(
+        lambda unit: event_inter.StrictTransactionTimeEventRegular(_fixed(unit))
+    ),
+    "strict valid time event regular": _unary(
+        lambda unit: event_inter.StrictValidTimeEventRegular(_fixed(unit))
+    ),
+    "strict temporal event regular": _unary(
+        lambda unit: event_inter.StrictTemporalEventRegular(_fixed(unit))
+    ),
+}
+
+_SPEC_PATTERN = re.compile(r"^\s*([a-z -]+?)\s*(?:\(([^)]*)\))?\s*$")
+
+
+def parse(text: str) -> Specialization:
+    """Parse a specialization string such as ``"delayed retroactive(30s)"``.
+
+    The general form is ``name`` or ``name(bound[, bound])`` where each
+    bound is a duration literal accepted by :func:`parse_duration`.
+    """
+    match = _SPEC_PATTERN.match(text.lower())
+    if match is None:
+        raise ValueError(f"malformed specialization string {text!r}")
+    name = match.group(1)
+    constructor = REGISTRY.get(name)
+    if constructor is None:
+        known = ", ".join(sorted(REGISTRY))
+        raise ValueError(f"unknown specialization {name!r}; known: {known}")
+    raw_arguments = match.group(2)
+    arguments: List[AnyDuration] = []
+    if raw_arguments:
+        arguments = [parse_duration(piece) for piece in raw_arguments.split(",")]
+    return constructor(arguments)

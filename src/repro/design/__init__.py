@@ -1,0 +1,23 @@
+"""The database-design methodology built on the taxonomy.
+
+The paper's abstract: "This taxonomy may be employed during database
+design to specify the particular time semantics of temporal relations."
+This package closes that loop:
+
+* :mod:`repro.design.advisor` -- analyze a sample extension (or a live
+  relation), infer the most specific specializations, widen their
+  bounds by a safety margin, and recommend the schema declarations,
+  storage structures, and planner strategies they unlock;
+* :mod:`repro.design.report` -- render taxonomy lattices and advisor
+  findings as text/DOT for design documents.
+"""
+
+from repro.design.advisor import Advisor, Recommendation
+from repro.design.report import render_lattice_ascii, render_recommendation
+
+__all__ = [
+    "Advisor",
+    "Recommendation",
+    "render_lattice_ascii",
+    "render_recommendation",
+]

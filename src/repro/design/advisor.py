@@ -1,0 +1,217 @@
+"""The design advisor: from sample data to schema declarations.
+
+Workflow (the design-time use the paper proposes):
+
+1. collect a sample extension (from a prototype, a trace, or a live
+   relation run in RECORD mode);
+2. :func:`repro.core.taxonomy.inference.classify` fits the most
+   specific specializations with the tightest bounds;
+3. the advisor widens each fitted bound by a safety margin (a sample
+   never proves an intensional property; the margin is the designer's
+   slack for unseen data);
+4. the result is a :class:`Recommendation`: declarations to put on the
+   schema, plus the storage and query strategies they unlock
+   (cross-referenced to the planner rules).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.chronos.duration import Duration
+from repro.core.taxonomy import event_isolated
+from repro.core.taxonomy.base import Specialization, StampedElement
+from repro.core.taxonomy.inference import InferenceReport, classify
+from repro.relation.temporal_relation import TemporalRelation
+
+MICRO = "microsecond"
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output for one relation."""
+
+    sample_size: int
+    kind: str
+    #: Specializations to declare on the schema (margin applied).
+    declare: List[Specialization] = field(default_factory=list)
+    #: Exact fits on the sample (no margin; for the design document).
+    observed: List[Specialization] = field(default_factory=list)
+    #: Human-readable consequences (storage / planner payoffs).
+    payoffs: List[str] = field(default_factory=list)
+    report: Optional[InferenceReport] = None
+
+    @property
+    def declared_names(self) -> List[str]:
+        return [spec.name for spec in self.declare]
+
+
+class Advisor:
+    """Fits and widens specializations for schema declaration."""
+
+    def __init__(self, margin: float = 0.5) -> None:
+        """*margin* widens every fitted bound by the given fraction
+        (0.5 = 50% slack); regularity units and determined mappings are
+        exact properties and are never widened."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.margin = margin
+
+    # -- entry points -----------------------------------------------------------
+
+    def recommend_for_relation(self, relation: TemporalRelation) -> Recommendation:
+        return self.recommend(relation.all_elements())
+
+    def recommend(self, elements: Sequence[StampedElement]) -> Recommendation:
+        report = classify(elements)
+        recommendation = Recommendation(
+            sample_size=report.count, kind=report.kind, report=report
+        )
+        if report.kind == "event":
+            self._recommend_event(report, recommendation)
+        else:
+            self._recommend_interval(report, recommendation)
+        for spec in report.per_partition:
+            recommendation.observed.append(spec)
+            recommendation.declare.append(spec)
+        if report.per_partition:
+            names = ", ".join(spec.name for spec in report.per_partition)
+            recommendation.payoffs.append(
+                f"per-partition structure ({names}): each life-line is "
+                "independently ordered; per-object histories support "
+                "binary-search access even though the relation as a whole "
+                "does not"
+            )
+        return recommendation
+
+    # -- event relations -----------------------------------------------------------
+
+    def _recommend_event(self, report: InferenceReport, out: Recommendation) -> None:
+        fitted = report.isolated
+        out.observed.append(fitted)
+        widened = self._widen_isolated(fitted)
+        out.declare.append(widened)
+        self._isolated_payoffs(widened, out)
+
+        if report.determined is not None:
+            out.observed.append(report.determined)
+            out.declare.append(report.determined)
+            out.payoffs.append(
+                "determined: the valid time-stamp is computable from the "
+                "element; it need not be stored at all (one stamp per fact)"
+            )
+        if report.inter is not None:
+            for spec in report.inter.orderings:
+                out.observed.append(spec)
+                out.declare.append(spec)
+            for spec in report.inter.regularities:
+                out.observed.append(spec)
+                out.declare.append(spec)
+            names = {spec.name for spec in report.inter.orderings}
+            if "globally sequential" in names:
+                out.payoffs.append(
+                    "sequential: valid time approximated by transaction time; "
+                    "append-only structure supports historical queries "
+                    "(planner: monotone-binary-search)"
+                )
+            elif "globally non-decreasing" in names:
+                out.payoffs.append(
+                    "non-decreasing: valid timeslices by binary search along "
+                    "the transaction order (planner: monotone-binary-search)"
+                )
+            elif "globally non-increasing" in names:
+                out.payoffs.append(
+                    "non-increasing: valid timeslices by descending binary search"
+                )
+            if any("regular" in spec.name for spec in report.inter.regularities):
+                out.payoffs.append(
+                    "regularity: dense positional addressing is possible "
+                    "(element position derivable from the stamp)"
+                )
+
+    def _isolated_payoffs(self, spec: Specialization, out: Recommendation) -> None:
+        if isinstance(spec, event_isolated.Degenerate):
+            out.payoffs.append(
+                "degenerate: store one time-stamp per element; treat the "
+                "relation as a rollback relation (planner: degenerate-rollback)"
+            )
+            return
+        try:
+            region = spec.region()  # type: ignore[attr-defined]
+        except (AttributeError, TypeError, NotImplementedError):
+            return
+        if region.line_count == 2:
+            out.payoffs.append(
+                f"{spec.name}: valid timeslices scan only a bounded "
+                "transaction-time window (planner: bounded-tt-window)"
+            )
+        elif region.line_count == 1:
+            out.payoffs.append(
+                f"{spec.name}: valid timeslices scan a half-bounded "
+                "transaction-time window (planner: bounded-tt-window)"
+            )
+
+    def _widen_isolated(self, fitted: Specialization) -> Specialization:
+        """Widen the fitted bounds by the margin, preserving the type
+        where possible (a widened degenerate stays degenerate; widened
+        strong bounds may cross zero and stay in the same class)."""
+        scale = 1 + self.margin
+        if isinstance(fitted, event_isolated.Degenerate):
+            return fitted
+        if isinstance(fitted, event_isolated.DelayedStronglyRetroactivelyBounded):
+            return event_isolated.DelayedStronglyRetroactivelyBounded(
+                min_delay=self._shrink(fitted.min_delay),
+                max_delay=self._grow(fitted.max_delay),
+            )
+        if isinstance(fitted, event_isolated.StronglyRetroactivelyBounded):
+            return event_isolated.StronglyRetroactivelyBounded(self._grow(fitted.bound))
+        if isinstance(fitted, event_isolated.EarlyStronglyPredictivelyBounded):
+            return event_isolated.EarlyStronglyPredictivelyBounded(
+                min_lead=self._shrink(fitted.min_lead),
+                max_lead=self._grow(fitted.max_lead),
+            )
+        if isinstance(fitted, event_isolated.StronglyPredictivelyBounded):
+            return event_isolated.StronglyPredictivelyBounded(self._grow(fitted.bound))
+        if isinstance(fitted, event_isolated.StronglyBounded):
+            return event_isolated.StronglyBounded(
+                past_bound=self._grow(fitted.past_bound),
+                future_bound=self._grow(fitted.future_bound),
+            )
+        return fitted
+
+    def _grow(self, bound: Duration) -> Duration:
+        micro = int(math.ceil(bound.microseconds * (1 + self.margin)))
+        return Duration(max(micro, 1), MICRO)
+
+    def _shrink(self, bound: Duration) -> Duration:
+        micro = int(bound.microseconds / (1 + self.margin))
+        return Duration(max(micro, 0), MICRO)
+
+    # -- interval relations ------------------------------------------------------------
+
+    def _recommend_interval(self, report: InferenceReport, out: Recommendation) -> None:
+        fit = report.interval
+        assert fit is not None
+        out.observed.extend(fit.all)
+        out.declare.extend(fit.orderings)
+        out.declare.extend(fit.regularities)
+        if fit.successive is not None:
+            out.declare.append(fit.successive)
+        names = {spec.name for spec in fit.orderings}
+        if "globally sequential (intervals)" in names:
+            out.payoffs.append(
+                "sequential intervals are disjoint and ordered: timeslice by "
+                "binary search (planner: sequential-interval-search)"
+            )
+        if fit.successive is not None and fit.successive.name == "globally contiguous":
+            out.payoffs.append(
+                "contiguous: only interval starts need storing; each end is "
+                "the next element's start"
+            )
+        if any(spec.strict for spec in fit.regularities if hasattr(spec, "strict")):
+            out.payoffs.append(
+                "strict interval regularity: all durations equal; store the "
+                "duration once in the schema, not per element"
+            )

@@ -1,0 +1,131 @@
+"""Drift monitoring: is a declared specialization about to be violated?
+
+A declared bound is an intensional promise; real applications drift
+(transmission delays grow, batch jobs slip).  A :class:`DriftMonitor`
+watches the stream of (tt, vt) offsets against the declared offset
+region and reports *utilization*: how much of the declared head-room
+recent elements consume.  At 100% the next slip is a violation --
+operators want the alert well before REJECT mode starts bouncing
+updates.
+
+This pairs with :class:`repro.core.constraints.EnforcementMode.RECORD`
+for auditioning a tighter declaration against live traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.core.taxonomy.base import StampedElement, event_valid_time
+from repro.core.taxonomy.regions import OffsetRegion
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Utilization of the declared region by a window of elements."""
+
+    window: int
+    lower_utilization: Optional[float]  # None when that side is unbounded
+    upper_utilization: Optional[float]
+    violations: int
+
+    @property
+    def worst_utilization(self) -> float:
+        candidates = [
+            value
+            for value in (self.lower_utilization, self.upper_utilization)
+            if value is not None
+        ]
+        return max(candidates) if candidates else 0.0
+
+    def alert(self, threshold: float = 0.9) -> bool:
+        """True when the stream is within *threshold* of a bound (or past it)."""
+        return self.violations > 0 or self.worst_utilization >= threshold
+
+
+def _one_sided_closeness(offset: int, bound: int, is_upper: bool) -> float:
+    """Closeness of *offset* to a one-sided non-zero *bound*.
+
+    1.0 exactly at the bound, approaching 0 deep inside the region,
+    above 1 outside it (2.0 when on the wholly wrong side of zero).
+    """
+    if is_upper:  # region: offset <= bound
+        if bound > 0:
+            return max(offset / bound, 0.0)
+        if offset >= 0:
+            return 2.0
+        return bound / offset
+    # region: offset >= bound
+    if bound < 0:
+        return max(offset / bound, 0.0)
+    if offset <= 0:
+        return 2.0
+    return bound / offset
+
+
+class DriftMonitor:
+    """Sliding-window utilization of a declared offset region.
+
+    Utilization of a bound is how close the most extreme recent offset
+    comes to it: for a two-sided region [L, U] it is the distance from
+    the region's center as a fraction of the half-span (0 dead-center,
+    1 exactly at the bound); for a one-sided region with a non-zero
+    bound it is the ratio toward the bound.  Values above 1 mean the
+    stream has crossed the bound (violations are also counted
+    separately).
+    """
+
+    def __init__(self, region: OffsetRegion, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.region = region
+        self._offsets: Deque[int] = deque(maxlen=window)
+        self._violations = 0
+
+    def observe(self, element: StampedElement) -> None:
+        offset = (
+            event_valid_time(element).microseconds - element.tt_start.microseconds
+        )
+        self._offsets.append(offset)
+        if not self.region.contains(offset):
+            self._violations += 1
+
+    def observe_all(self, elements: List[StampedElement]) -> None:
+        for element in elements:
+            self.observe(element)
+
+    def report(self) -> DriftReport:
+        if not self._offsets:
+            return DriftReport(0, None, None, 0)
+        low = min(self._offsets)
+        high = max(self._offsets)
+        return DriftReport(
+            window=len(self._offsets),
+            lower_utilization=self._utilization(low, toward_lower=True),
+            upper_utilization=self._utilization(high, toward_lower=False),
+            violations=self._violations,
+        )
+
+    def _utilization(self, offset: int, toward_lower: bool) -> Optional[float]:
+        lower = self.region.lower
+        upper = self.region.upper
+        bound = lower if toward_lower else upper
+        if bound is None:
+            return None
+        if lower is not None and upper is not None and upper.offset != lower.offset:
+            # Two-sided region: distance from the region's center as a
+            # fraction of the half-span -- 0 dead-center, 1 at the bound.
+            center = (lower.offset + upper.offset) / 2
+            half_span = (upper.offset - lower.offset) / 2
+            distance = (center - offset) if toward_lower else (offset - center)
+            return max(distance / half_span, 0.0)
+        if bound.offset == 0:
+            # One-sided region bounded by the diagonal itself (retroactive
+            # or predictive): there is no declared scale to normalize
+            # against; only violations are meaningful.
+            return None
+        # One-sided with a non-zero bound: 1.0 at the bound, -> 0 deep
+        # inside the region, > 1 past the bound.
+        return _one_sided_closeness(offset, bound.offset, is_upper=not toward_lower)

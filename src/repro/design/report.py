@@ -1,0 +1,134 @@
+"""Textual rendering of lattices and advisor findings.
+
+The ASCII lattice rendering reproduces the *shape* of the paper's
+figures -- nodes arranged in generalization levels, parents above
+children -- for design documents and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.taxonomy.lattice import Lattice
+from repro.design.advisor import Recommendation
+
+
+def lattice_levels(lattice: Lattice) -> List[List[str]]:
+    """Nodes grouped by depth (longest path from a root)."""
+    depth: Dict[str, int] = {}
+    for name in lattice.topological_order():
+        parents = lattice.parents(name)
+        depth[name] = 0 if not parents else 1 + max(depth[p] for p in parents)
+    levels: List[List[str]] = [[] for _ in range(max(depth.values()) + 1)]
+    for name, level in depth.items():
+        levels[level].append(name)
+    for level in levels:
+        level.sort()
+    return levels
+
+
+def render_lattice_ascii(lattice: Lattice) -> str:
+    """Centered levels, top (most general) to bottom (most special)."""
+    levels = lattice_levels(lattice)
+    rows = ["  |  ".join(level) for level in levels]
+    width = max(len(row) for row in rows)
+    lines = [lattice.name, "=" * len(lattice.name)]
+    for index, row in enumerate(rows):
+        lines.append(row.center(width))
+        if index < len(rows) - 1:
+            lines.append("|".center(width))
+    return "\n".join(lines)
+
+
+def offset_histogram(elements, buckets: int = 12, width: int = 40) -> str:
+    """A text histogram of the offsets ``d = vt - tt`` of an extension.
+
+    The picture a designer looks at before declaring bounds: where the
+    offsets cluster, how wide the spread is, and (combined with
+    :class:`repro.design.drift.DriftMonitor`) how much head-room a
+    candidate declaration leaves.  Offsets are labeled in seconds.
+    """
+    offsets = [
+        e.vt.microseconds - e.tt_start.microseconds for e in elements
+    ]
+    if not offsets:
+        return "(no elements)"
+    low, high = min(offsets), max(offsets)
+    if low == high:
+        return f"all {len(offsets)} offsets = {low / 1e6:+.3f}s"
+    span = high - low
+    counts = [0] * buckets
+    for offset in offsets:
+        index = min(int((offset - low) * buckets / span), buckets - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        bucket_low = low + span * index / buckets
+        bucket_high = low + span * (index + 1) / buckets
+        bar = "#" * max(1, round(count * width / peak)) if count else ""
+        lines.append(
+            f"[{bucket_low / 1e6:+9.2f}s, {bucket_high / 1e6:+9.2f}s) "
+            f"{count:>6} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_region_panel(region, size: int = 11, span: int = 40) -> str:
+    """One Figure 1 panel: the allowed region of the (tt, vt) plane.
+
+    Renders a *size* x *size* character grid covering tt, vt in
+    [0, span] (abstract seconds); ``#`` marks allowed stamp pairs, ``.``
+    disallowed ones, and ``\\``-ish diagonal cells that are allowed are
+    shown as ``#`` too (the diagonal vt = tt runs corner to corner).
+    The vertical axis is vt (increasing upward), matching the paper.
+    """
+    second = 1_000_000
+    step = span / (size - 1)
+    rows = []
+    for row in range(size - 1, -1, -1):
+        vt = round(row * step) * second
+        cells = []
+        for column in range(size):
+            tt = round(column * step) * second
+            cells.append("#" if region.contains(vt - tt) else ".")
+        rows.append(" ".join(cells))
+    header = "vt"
+    footer = "tt ->"
+    return "\n".join([header] + rows + [footer.rjust(2 * size - 1)])
+
+
+def render_figure1(size: int = 11, span: int = 40) -> str:
+    """All Figure 1 panels, one per isolated-event specialization."""
+    from repro.core.taxonomy.lattice import EVENT_ISOLATED_LATTICE
+
+    panels = []
+    for name in EVENT_ISOLATED_LATTICE.topological_order():
+        instance = EVENT_ISOLATED_LATTICE.instance(name)
+        panels.append(name)
+        panels.append(render_region_panel(instance.region(), size=size, span=span))
+        panels.append("")
+    return "\n".join(panels)
+
+
+def render_recommendation(recommendation: Recommendation, name: str = "relation") -> str:
+    """A design-document section for one analyzed relation."""
+    lines = [
+        f"Design analysis: {name}",
+        "-" * (17 + len(name)),
+        f"sample: {recommendation.sample_size} {recommendation.kind} elements",
+        "",
+        "observed (tightest fit on the sample):",
+    ]
+    for spec in recommendation.observed:
+        lines.append(f"  * {spec.name}")
+    lines.append("")
+    lines.append("recommended declarations (safety margin applied):")
+    for spec in recommendation.declare:
+        lines.append(f"  * {spec.name}")
+    if recommendation.payoffs:
+        lines.append("")
+        lines.append("payoffs unlocked:")
+        for payoff in recommendation.payoffs:
+            lines.append(f"  - {payoff}")
+    return "\n".join(lines)

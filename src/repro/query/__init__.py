@@ -1,0 +1,49 @@
+"""Query processing over temporal relations.
+
+The paper distinguishes three query classes (Section 1): *current*
+queries (the only kind conventional systems support), *historical*
+queries (valid time), and *rollback* queries (transaction time).  This
+package provides:
+
+* :mod:`repro.query.ast` -- a small algebra covering all three classes,
+  plus selection, projection, and a valid-time join;
+* :mod:`repro.query.executor` -- the reference evaluator (full scans,
+  no index use; the baseline every optimization is tested against);
+* :mod:`repro.query.operators` -- physical operators;
+* :mod:`repro.query.planner` -- the **specialization-aware planner**,
+  the operational payoff the paper promises: "the additional semantics,
+  when captured by an appropriately extended database system, may be
+  used for selecting appropriate storage structures, indexing
+  techniques, and query processing strategies" (Section 1).
+"""
+
+from repro.query.ast import (
+    BitemporalSlice,
+    CurrentState,
+    Project,
+    QueryNode,
+    Rollback,
+    Scan,
+    Select,
+    TemporalJoin,
+    ValidOverlap,
+    ValidTimeslice,
+)
+from repro.query.executor import NaiveExecutor
+from repro.query.planner import Planner, PlannedQuery
+
+__all__ = [
+    "BitemporalSlice",
+    "CurrentState",
+    "Project",
+    "QueryNode",
+    "Rollback",
+    "Scan",
+    "Select",
+    "TemporalJoin",
+    "ValidOverlap",
+    "ValidTimeslice",
+    "NaiveExecutor",
+    "Planner",
+    "PlannedQuery",
+]

@@ -1,0 +1,177 @@
+"""The query algebra.
+
+Nodes are immutable descriptions; evaluation lives in
+:mod:`repro.query.executor` (reference semantics) and
+:mod:`repro.query.planner` (index-aware plans).  A node tree bottoms out
+in :class:`Scan` nodes naming a :class:`~repro.relation.temporal_relation.TemporalRelation`.
+
+The three query classes of Section 1 map to:
+
+* current queries -- ``CurrentState(Scan(r))``;
+* historical queries -- ``ValidTimeslice`` / ``ValidOverlap``;
+* rollback queries -- ``Rollback``;
+* combined bitemporal access -- ``BitemporalSlice``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Sequence, Tuple
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.relation.element import Element
+from repro.relation.temporal_relation import TemporalRelation
+
+Predicate = Callable[[Element], bool]
+JoinCondition = Callable[[Element, Element], bool]
+
+
+class QueryNode:
+    """Base class for algebra nodes (purely structural)."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Scan(QueryNode):
+    """All stored elements of a relation (the full bitemporal set)."""
+
+    relation: TemporalRelation
+
+    def describe(self) -> str:
+        return f"scan({self.relation.schema.name})"
+
+
+@dataclass(frozen=True)
+class CurrentState(QueryNode):
+    """The current historical state -- what a conventional DBMS stores."""
+
+    child: QueryNode
+
+    def describe(self) -> str:
+        return f"current({self.child.describe()})"
+
+
+@dataclass(frozen=True)
+class Rollback(QueryNode):
+    """The historical state at transaction time *tt* [BZ82, Sch77]."""
+
+    child: QueryNode
+    tt: TimePoint
+
+    def describe(self) -> str:
+        return f"rollback({self.child.describe()}, tt={self.tt!r})"
+
+
+@dataclass(frozen=True)
+class ValidTimeslice(QueryNode):
+    """Facts true in reality at valid time *vt* [BZ82, JMS79]."""
+
+    child: QueryNode
+    vt: Timestamp
+
+    def describe(self) -> str:
+        return f"timeslice({self.child.describe()}, vt={self.vt!r})"
+
+
+@dataclass(frozen=True)
+class ValidOverlap(QueryNode):
+    """Facts whose validity intersects the window."""
+
+    child: QueryNode
+    window: Interval
+
+    def describe(self) -> str:
+        return f"overlap({self.child.describe()}, {self.window!r})"
+
+
+@dataclass(frozen=True)
+class BitemporalSlice(QueryNode):
+    """Valid timeslice evaluated against a past state: "what did we
+    believe, at transaction time tt, was true at valid time vt?"."""
+
+    child: QueryNode
+    vt: Timestamp
+    tt: TimePoint
+
+    def describe(self) -> str:
+        return f"bitemporal({self.child.describe()}, vt={self.vt!r}, tt={self.tt!r})"
+
+
+@dataclass(frozen=True)
+class Select(QueryNode):
+    """Filter by a per-element predicate."""
+
+    child: QueryNode
+    predicate: Predicate
+    label: str = "predicate"
+
+    def describe(self) -> str:
+        return f"select[{self.label}]({self.child.describe()})"
+
+
+@dataclass(frozen=True)
+class Project(QueryNode):
+    """Extract named attribute values; evaluates to rows (dicts).
+
+    The pseudo-attributes ``__vt__``, ``__tt_start__``, ``__tt_stop__``,
+    ``__object__`` expose the stamps and the object surrogate.
+    """
+
+    child: QueryNode
+    attributes: Tuple[str, ...]
+
+    def __init__(self, child: QueryNode, attributes: Sequence[str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def describe(self) -> str:
+        return f"project[{', '.join(self.attributes)}]({self.child.describe()})"
+
+    def row_of(self, element: Element) -> Dict[str, Any]:
+        row: Dict[str, Any] = {}
+        for attr in self.attributes:
+            if attr == "__vt__":
+                row[attr] = element.vt
+            elif attr == "__tt_start__":
+                row[attr] = element.tt_start
+            elif attr == "__tt_stop__":
+                row[attr] = element.tt_stop
+            elif attr == "__object__":
+                row[attr] = element.object_surrogate
+            else:
+                row[attr] = element.attributes.get(attr)
+        return row
+
+
+@dataclass(frozen=True)
+class TemporalJoin(QueryNode):
+    """Pair elements of two inputs whose valid times intersect.
+
+    Event-event pairs join when the stamps coincide; interval pairs when
+    the intervals overlap; mixed pairs when the event falls inside the
+    interval.  ``condition`` further restricts pairs (e.g. equality on a
+    shared key attribute).  Evaluates to (left, right) element pairs.
+    """
+
+    left: QueryNode
+    right: QueryNode
+    condition: JoinCondition = lambda left, right: True
+    label: str = "true"
+
+    def describe(self) -> str:
+        return f"join[{self.label}]({self.left.describe()}, {self.right.describe()})"
+
+
+def valid_times_intersect(left: Element, right: Element) -> bool:
+    """The temporal half of the join condition."""
+    lvt, rvt = left.vt, right.vt
+    if isinstance(lvt, Interval) and isinstance(rvt, Interval):
+        return lvt.overlaps(rvt)
+    if isinstance(lvt, Interval):
+        return lvt.contains_point(rvt)
+    if isinstance(rvt, Interval):
+        return rvt.contains_point(lvt)
+    return lvt == rvt

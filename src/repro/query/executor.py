@@ -1,0 +1,92 @@
+"""The reference (naive) evaluator.
+
+Evaluates any algebra tree by materializing full scans and filtering --
+no indexes, no specializations.  Every optimized plan produced by
+:class:`repro.query.planner.Planner` is property-tested against this
+executor for equal results; the benchmarks measure the gap.
+
+The executor also counts the elements it examines
+(:attr:`NaiveExecutor.examined`) so benchmarks can report work saved,
+independent of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.relation.element import Element
+from repro.query import ast
+
+Rows = Union[List[Element], List[Dict[str, Any]], List[Tuple[Element, Element]]]
+
+
+class NaiveExecutor:
+    """Full-scan evaluation of a query tree."""
+
+    def __init__(self) -> None:
+        self.examined = 0
+
+    def run(self, query: ast.QueryNode) -> Rows:
+        return self._evaluate(query)
+
+    def _evaluate(self, node: ast.QueryNode) -> Rows:
+        if isinstance(node, ast.Scan):
+            elements = node.relation.all_elements()
+            self.examined += len(elements)
+            return elements
+        if isinstance(node, ast.CurrentState):
+            return [e for e in self._elements(node.child) if e.is_current]
+        if isinstance(node, ast.Rollback):
+            return [e for e in self._elements(node.child) if e.stored_during(node.tt)]
+        if isinstance(node, ast.ValidTimeslice):
+            return [
+                e
+                for e in self._elements(node.child)
+                if e.is_current and e.valid_at(node.vt)
+            ]
+        if isinstance(node, ast.ValidOverlap):
+            return [
+                e
+                for e in self._elements(node.child)
+                if e.is_current and _overlaps(e, node.window)
+            ]
+        if isinstance(node, ast.BitemporalSlice):
+            return [
+                e
+                for e in self._elements(node.child)
+                if e.stored_during(node.tt) and e.valid_at(node.vt)
+            ]
+        if isinstance(node, ast.Select):
+            return [e for e in self._elements(node.child) if node.predicate(e)]
+        if isinstance(node, ast.Project):
+            return [node.row_of(e) for e in self._elements(node.child)]
+        if isinstance(node, ast.TemporalJoin):
+            left = self._elements(node.left)
+            right = self._elements(node.right)
+            pairs: List[Tuple[Element, Element]] = []
+            for l_element in left:
+                for r_element in right:
+                    self.examined += 1
+                    if ast.valid_times_intersect(l_element, r_element) and node.condition(
+                        l_element, r_element
+                    ):
+                        pairs.append((l_element, r_element))
+            return pairs
+        raise TypeError(f"unknown query node {node!r}")
+
+    def _elements(self, node: ast.QueryNode) -> List[Element]:
+        result = self._evaluate(node)
+        if result and not isinstance(result[0], Element):
+            raise TypeError(
+                f"{node.describe()} evaluates to rows, not elements; "
+                "Project and TemporalJoin must be outermost"
+            )
+        return result  # type: ignore[return-value]
+
+
+def _overlaps(element: Element, window) -> bool:
+    from repro.chronos.interval import Interval
+
+    if isinstance(element.vt, Interval):
+        return element.vt.overlaps(window)
+    return window.contains_point(element.vt)

@@ -1,0 +1,324 @@
+"""The specialization-aware planner.
+
+This is the operational payoff of the paper (Section 1): declared
+temporal specializations license cheaper access paths.
+
+Rules, in preference order, for a valid timeslice:
+
+1. *degenerate* (exact) -- timeslice becomes a point lookup on the
+   transaction-time index (Section 3.1: treat the relation as a
+   rollback relation);
+2. event relation declared *non-decreasing* / *sequential* (or
+   *non-increasing*) -- binary search along the transaction order
+   (Section 3.2: "valid time can be approximated with transaction
+   time");
+3. interval relation declared *sequential* -- intervals are disjoint
+   and ordered; binary search;
+4. declared bounded types -- scan only the transaction-time window the
+   offset region permits (one- or two-sided);
+5. the engine's own valid-time index;
+6. full scan.
+
+Rollback queries always use the append-order binary search (uniqueness
+and monotonicity of transaction time need no declaration).  Any tree
+shape the rules do not cover falls back to the reference executor, so
+planning never changes results -- property-tested in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Specialization, TimeReference
+from repro.core.taxonomy.event_inter import (
+    GloballyNonDecreasing,
+    GloballyNonIncreasing,
+    GloballySequential,
+)
+from repro.core.taxonomy.event_isolated import Degenerate, EventSpecialization
+from repro.core.taxonomy.interval_inter import IntervalGloballySequential
+from repro.core.taxonomy.partition import PerPartition
+from repro.core.taxonomy.regions import OffsetRegion
+from repro.query import ast, operators
+from repro.query.executor import NaiveExecutor
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
+
+
+@dataclass
+class PlannedQuery:
+    """An executable plan with its explanation."""
+
+    strategy: str
+    explanation: str
+    _thunk: Callable[[], Tuple[list, int]]
+    examined: int = field(default=0, init=False)
+
+    def execute(self) -> list:
+        results, examined = self._thunk()
+        self.examined = examined
+        return results
+
+
+class Planner:
+    """Chooses physical operators from a relation's declared semantics."""
+
+    def __init__(self, relation: TemporalRelation) -> None:
+        self.relation = relation
+        self._specs = list(relation.schema.specializations)
+
+    # -- declared-semantics predicates --------------------------------------------
+
+    def _insertion_specs(self) -> List[Specialization]:
+        """Specializations relative to insertion time (the ones that
+        constrain where a fact's stamps lie when it is stored)."""
+        found = []
+        for spec in self._specs:
+            if getattr(spec, "time_reference", TimeReference.INSERTION) is TimeReference.INSERTION:
+                found.append(spec)
+        return found
+
+    def _has(self, *classes: type) -> bool:
+        """Is one of *classes* declared (per relation, not per partition)?
+
+        Per-partition orderings do NOT license global binary search --
+        only the global forms do -- so PerPartition wrappers are
+        deliberately not unwrapped here.
+        """
+        return any(isinstance(spec, classes) for spec in self._insertion_specs())
+
+    def _declared_degenerate(self) -> Optional[Degenerate]:
+        for spec in self._insertion_specs():
+            if isinstance(spec, Degenerate):
+                return spec
+        return None
+
+    def declared_offset_region(self) -> Optional[OffsetRegion]:
+        """The intersection of the declared Figure 1 regions.
+
+        Calendric-specific bounds have no fixed region; such
+        specializations simply contribute nothing (sound: the window
+        only ever shrinks from other declarations).
+        """
+        region: Optional[OffsetRegion] = None
+        for spec in self._insertion_specs():
+            if not isinstance(spec, EventSpecialization):
+                continue
+            try:
+                spec_region = spec.region()
+            except (TypeError, NotImplementedError):
+                continue
+            region = spec_region if region is None else region.intersection(spec_region)
+            if region is None:
+                # Contradictory declarations; fall back to no window.
+                return None
+        return region
+
+    @property
+    def _has_memory_index(self) -> bool:
+        return isinstance(self.relation.engine, MemoryEngine)
+
+    # -- planning -----------------------------------------------------------------------
+
+    def plan(self, query: ast.QueryNode) -> PlannedQuery:
+        plan = self._try_plan(query)
+        if plan is not None:
+            return plan
+        return PlannedQuery(
+            strategy="naive",
+            explanation="no applicable rule; reference executor",
+            _thunk=lambda: _run_naive(query),
+        )
+
+    def _try_plan(self, query: ast.QueryNode) -> Optional[PlannedQuery]:
+        if isinstance(query, ast.Rollback) and self._is_scan(query.child):
+            return PlannedQuery(
+                strategy="rollback-prefix",
+                explanation="transaction times are append-ordered; binary search + prefix",
+                _thunk=lambda: operators.rollback_prefix(self.relation, query.tt),
+            )
+        if isinstance(query, ast.BitemporalSlice) and self._is_scan(query.child):
+            return PlannedQuery(
+                strategy="bitemporal-prefix",
+                explanation="tt-prefix by binary search, vt filter on the prefix",
+                _thunk=lambda: operators.bitemporal_prefix(self.relation, query.vt, query.tt),
+            )
+        if isinstance(query, ast.ValidTimeslice) and self._is_scan(query.child):
+            return self._plan_timeslice(query.vt)
+        if isinstance(query, ast.ValidOverlap) and self._is_scan(query.child):
+            if self._has_memory_index and self.relation.schema.is_event:
+                region = self.declared_offset_region()
+                if region is not None and region.line_count > 0:
+                    lower = None if region.lower is None else region.lower.offset
+                    upper = None if region.upper is None else region.upper.offset
+                    return PlannedQuery(
+                        strategy="bounded-tt-window-overlap",
+                        explanation=(
+                            "declared bounds confine the window's matches to a "
+                            "transaction-time range"
+                        ),
+                        _thunk=lambda: operators.overlap_bounded_window(
+                            self.relation, query.window, lower, upper
+                        ),
+                    )
+            return PlannedQuery(
+                strategy="engine-overlap",
+                explanation="engine valid-time index (sorted index / interval tree / SQL)",
+                _thunk=lambda: operators.overlap_engine_index(self.relation, query.window),
+            )
+        if isinstance(query, ast.CurrentState) and self._is_scan(query.child):
+            return PlannedQuery(
+                strategy="current",
+                explanation="current-state filter",
+                _thunk=lambda: _count_all(list(self.relation.engine.current())),
+            )
+        if isinstance(query, ast.TemporalJoin):
+            return self._plan_join(query)
+        return None
+
+    def _plan_join(self, query: ast.TemporalJoin) -> Optional[PlannedQuery]:
+        """Sort-merge join when both inputs are ordered event relations.
+
+        Applies to ``TemporalJoin(CurrentState(Scan), CurrentState(Scan))``
+        -- the natural "join the facts we currently believe" shape.  The
+        merge requires both relations' current elements to be valid-time
+        sorted in transaction order, exactly what a non-decreasing (or
+        sequential) declaration guarantees.
+        """
+
+        def scanned_current(node: ast.QueryNode):
+            if isinstance(node, ast.CurrentState) and self._is_scan(node.child):
+                return node.child.relation  # type: ignore[union-attr]
+            return None
+
+        left_relation = scanned_current(query.left)
+        right_relation = scanned_current(query.right)
+        if left_relation is None or right_relation is None:
+            return None
+
+        def declared_ordered(relation: TemporalRelation) -> bool:
+            if relation.schema.is_event:
+                ordered_types: tuple = (GloballySequential, GloballyNonDecreasing)
+            else:
+                from repro.core.taxonomy.interval_inter import (
+                    IntervalGloballyNonDecreasing,
+                )
+
+                ordered_types = (
+                    IntervalGloballySequential,
+                    IntervalGloballyNonDecreasing,
+                )
+            return any(
+                isinstance(spec, ordered_types)
+                and getattr(spec, "time_reference", TimeReference.INSERTION)
+                is TimeReference.INSERTION
+                for spec in relation.schema.specializations
+            )
+
+        if not (declared_ordered(left_relation) and declared_ordered(right_relation)):
+            return None
+        if left_relation.schema.is_event and right_relation.schema.is_event:
+            return PlannedQuery(
+                strategy="merge-join",
+                explanation=(
+                    "both inputs declared non-decreasing; single merge pass over "
+                    "valid-time-sorted current states"
+                ),
+                _thunk=lambda: operators.merge_join_events(
+                    left_relation, right_relation, query.condition
+                ),
+            )
+        if not left_relation.schema.is_event and not right_relation.schema.is_event:
+            return PlannedQuery(
+                strategy="interval-merge-join",
+                explanation=(
+                    "both interval inputs declared non-decreasing; plane-sweep "
+                    "overlap join over start-sorted current states"
+                ),
+                _thunk=lambda: operators.merge_join_intervals(
+                    left_relation, right_relation, query.condition
+                ),
+            )
+        return None
+
+    def _plan_timeslice(self, vt: Timestamp) -> PlannedQuery:
+        is_event = self.relation.schema.is_event
+        if self._has_memory_index:
+            degenerate = self._declared_degenerate()
+            if degenerate is not None and is_event:
+                if degenerate.granularity is None:
+                    return PlannedQuery(
+                        strategy="degenerate-rollback",
+                        explanation="vt = tt declared; timeslice is a tt-index point lookup",
+                        _thunk=lambda: operators.timeslice_degenerate(self.relation, vt),
+                    )
+                granularity = degenerate.granularity
+                return PlannedQuery(
+                    strategy="degenerate-tick-window",
+                    explanation=(
+                        f"vt = tt within one {granularity.name.lower()} declared; "
+                        "timeslice scans a single granularity tick of the tt index"
+                    ),
+                    _thunk=lambda: operators.timeslice_degenerate_granular(
+                        self.relation, vt, granularity
+                    ),
+                )
+            if is_event and self._has(GloballySequential, GloballyNonDecreasing):
+                return PlannedQuery(
+                    strategy="monotone-binary-search",
+                    explanation=(
+                        "valid times non-decreasing along transaction order; "
+                        "binary search for the matching run"
+                    ),
+                    _thunk=lambda: operators.timeslice_monotone_events(self.relation, vt),
+                )
+            if is_event and self._has(GloballyNonIncreasing):
+                return PlannedQuery(
+                    strategy="monotone-binary-search-descending",
+                    explanation="valid times non-increasing along transaction order",
+                    _thunk=lambda: operators.timeslice_monotone_events(
+                        self.relation, vt, descending=True
+                    ),
+                )
+            if not is_event and self._has(IntervalGloballySequential):
+                return PlannedQuery(
+                    strategy="sequential-interval-search",
+                    explanation="sequential intervals are disjoint and ordered; binary search",
+                    _thunk=lambda: operators.timeslice_sequential_intervals(self.relation, vt),
+                )
+            region = self.declared_offset_region()
+            if region is not None and region.line_count > 0 and is_event:
+                lower = None if region.lower is None else region.lower.offset
+                upper = None if region.upper is None else region.upper.offset
+                sides = ("one" if region.line_count == 1 else "two") + "-sided"
+                return PlannedQuery(
+                    strategy="bounded-tt-window",
+                    explanation=(
+                        f"declared bounds confine matches to a {sides} "
+                        "transaction-time window"
+                    ),
+                    _thunk=lambda: operators.timeslice_bounded_window(
+                        self.relation, vt, lower, upper
+                    ),
+                )
+        return PlannedQuery(
+            strategy="engine-index",
+            explanation="engine valid-time index (sorted index / interval tree / SQL)",
+            _thunk=lambda: operators.timeslice_engine_index(self.relation, vt),
+        )
+
+    @staticmethod
+    def _is_scan(node: ast.QueryNode) -> bool:
+        return isinstance(node, ast.Scan)
+
+
+def _run_naive(query: ast.QueryNode) -> Tuple[list, int]:
+    executor = NaiveExecutor()
+    results = executor.run(query)
+    return results, executor.examined
+
+
+def _count_all(results: list) -> Tuple[list, int]:
+    return results, len(results)

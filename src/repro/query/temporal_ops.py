@@ -1,0 +1,204 @@
+"""Temporal operators beyond the core algebra.
+
+These are the standard valid-time operations a downstream user of a
+bitemporal store needs (and that TQuel-era systems provided [Sno87]):
+
+* :func:`coalesce` -- merge value-equivalent elements whose valid
+  intervals are adjacent or overlapping into maximal periods;
+* :func:`timeslice_series` -- evaluate a valid timeslice at each of a
+  sequence of instants (the "history of a query");
+* :func:`count_over_time` -- the step function "how many facts were
+  valid at each instant", as maximal constant segments;
+* :func:`aggregate_over_time` -- generalized instant-wise aggregation
+  of a numeric attribute (count / sum / min / max / avg);
+* :func:`valid_extent` -- per-object union of valid periods.
+
+All operate on materialized element lists, so they compose with any
+algebra/planner output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chronos.interval import Interval
+from repro.chronos.period import Period
+from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.relation.element import Element
+
+
+def _valid_interval(element: Element) -> Interval:
+    vt = element.vt
+    if isinstance(vt, Interval):
+        return vt
+    # An event occupies one tick at its own granularity.
+    from repro.chronos.duration import Duration
+
+    return Interval(vt, vt + Duration(1, vt.granularity))
+
+
+def default_value_key(element: Element) -> Tuple[Hashable, ...]:
+    """Value equivalence: same object and same attribute values."""
+    return (
+        element.object_surrogate,
+        tuple(sorted(element.time_invariant.items())),
+        tuple(sorted(element.time_varying.items())),
+    )
+
+
+@dataclass(frozen=True)
+class CoalescedFact:
+    """A maximal period during which a value held."""
+
+    object_surrogate: Hashable
+    attributes: Dict[str, Any]
+    period: Period
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        return self.period.intervals
+
+
+def coalesce(
+    elements: Iterable[Element],
+    value_key: Callable[[Element], Hashable] = default_value_key,
+) -> List[CoalescedFact]:
+    """Merge value-equivalent elements into maximal valid periods.
+
+    Overlapping and adjacent (meeting) intervals of value-equivalent
+    elements merge; the result is order-insensitive and deterministic
+    (sorted by object surrogate representation, then period start).
+    """
+    groups: Dict[Hashable, List[Element]] = {}
+    for element in elements:
+        groups.setdefault(value_key(element), []).append(element)
+    facts: List[CoalescedFact] = []
+    for members in groups.values():
+        period = Period(_valid_interval(member) for member in members)
+        representative = members[0]
+        attributes = dict(representative.time_invariant)
+        attributes.update(representative.time_varying)
+        facts.append(
+            CoalescedFact(
+                object_surrogate=representative.object_surrogate,
+                attributes=attributes,
+                period=period,
+            )
+        )
+    facts.sort(key=lambda f: (repr(f.object_surrogate), _start_key(f.period)))
+    return facts
+
+
+def _start_key(period: Period) -> int:
+    span = period.span()
+    if span is None:
+        return 0
+    start = span.start
+    return start.microseconds if isinstance(start, Timestamp) else -(2**62)
+
+
+def timeslice_series(
+    elements: Sequence[Element], instants: Iterable[Timestamp]
+) -> List[Tuple[Timestamp, List[Element]]]:
+    """The current-state valid timeslice at each instant."""
+    live = [element for element in elements if element.is_current]
+    series = []
+    for instant in instants:
+        series.append((instant, [e for e in live if e.valid_at(instant)]))
+    return series
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One maximal constant piece of a step function over valid time."""
+
+    interval: Interval
+    value: Any
+
+
+def aggregate_over_time(
+    elements: Sequence[Element],
+    aggregate: str = "count",
+    attribute: Optional[str] = None,
+) -> List[Segment]:
+    """Instant-wise aggregation over valid time, as constant segments.
+
+    ``aggregate`` is one of ``count``, ``sum``, ``min``, ``max``,
+    ``avg``; all but ``count`` require *attribute* (numeric).  Only
+    spans where at least one fact is valid produce segments.  The
+    classic sweep: sort endpoints, aggregate the live set between
+    consecutive endpoints.
+    """
+    if aggregate not in ("count", "sum", "min", "max", "avg"):
+        raise ValueError(f"unknown aggregate {aggregate!r}")
+    if aggregate != "count" and attribute is None:
+        raise ValueError(f"aggregate {aggregate!r} requires an attribute")
+    live = [element for element in elements if element.is_current]
+    events: List[Tuple[int, int, Element]] = []  # (coordinate, delta, element)
+    endpoints: List[int] = []
+    spans: List[Tuple[int, int, Element]] = []
+    for element in live:
+        interval = _valid_interval(element)
+        start = _coordinate(interval.start, low=True)
+        end = _coordinate(interval.end, low=False)
+        spans.append((start, end, element))
+        endpoints.append(start)
+        endpoints.append(end)
+    if not spans:
+        return []
+    cuts = sorted(set(endpoints))
+    segments: List[Segment] = []
+    for low, high in zip(cuts, cuts[1:]):
+        members = [e for s, t, e in spans if s <= low and t >= high]
+        if not members:
+            continue
+        value = _aggregate_value(members, aggregate, attribute)
+        interval = Interval(
+            Timestamp(low, "microsecond"), Timestamp(high, "microsecond")
+        )
+        if segments and segments[-1].value == value and segments[-1].interval.meets(interval):
+            segments[-1] = Segment(
+                Interval(segments[-1].interval.start, interval.end), value
+            )
+        else:
+            segments.append(Segment(interval, value))
+    return segments
+
+
+def count_over_time(elements: Sequence[Element]) -> List[Segment]:
+    """``aggregate_over_time(..., 'count')`` -- how many facts were valid."""
+    return aggregate_over_time(elements, "count")
+
+
+def _aggregate_value(members: List[Element], aggregate: str, attribute: Optional[str]) -> Any:
+    if aggregate == "count":
+        return len(members)
+    values = [member.attributes.get(attribute) for member in members]
+    numbers = [value for value in values if isinstance(value, (int, float))]
+    if not numbers:
+        return None
+    if aggregate == "sum":
+        return sum(numbers)
+    if aggregate == "min":
+        return min(numbers)
+    if aggregate == "max":
+        return max(numbers)
+    return sum(numbers) / len(numbers)
+
+
+def _coordinate(point: TimePoint, low: bool) -> int:
+    if isinstance(point, Timestamp):
+        return point.microseconds
+    return -(2**62) if not point.is_positive else 2**62
+
+
+def valid_extent(elements: Iterable[Element]) -> Dict[Hashable, Period]:
+    """Per-object union of (current) valid periods -- the life span each
+    object is recorded as existing, in the modeled reality."""
+    extents: Dict[Hashable, List[Interval]] = {}
+    for element in elements:
+        if not element.is_current:
+            continue
+        extents.setdefault(element.object_surrogate, []).append(_valid_interval(element))
+    return {surrogate: Period(spans) for surrogate, spans in extents.items()}

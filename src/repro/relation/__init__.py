@@ -1,0 +1,42 @@
+"""Temporal relations: the conceptual model of Section 2 of the paper.
+
+A temporal relation is "a sequence of historical states indexed by
+transaction time", made of *elements* carrying an element surrogate, an
+object surrogate, transaction and valid time-stamps, time-invariant and
+time-varying attribute values, and user-defined times.
+
+* :mod:`repro.relation.element` -- the element record;
+* :mod:`repro.relation.surrogate` -- system-generated surrogates;
+* :mod:`repro.relation.schema` -- relation schemas with attribute roles
+  and declared specializations;
+* :mod:`repro.relation.temporal_relation` -- the relation itself, with
+  insert / logical-delete / modify, rollback and timeslice access, and
+  constraint enforcement;
+* :mod:`repro.relation.lifeline` -- per-object time sequences.
+"""
+
+from repro.relation.element import Element
+from repro.relation.errors import (
+    ElementNotFound,
+    ReadOnlyRelation,
+    SchemaError,
+    TemporalRelationError,
+)
+from repro.relation.lifeline import Lifeline
+from repro.relation.schema import AttributeRole, TemporalSchema, ValidTimeKind
+from repro.relation.surrogate import SurrogateGenerator
+from repro.relation.temporal_relation import TemporalRelation
+
+__all__ = [
+    "Element",
+    "ElementNotFound",
+    "ReadOnlyRelation",
+    "SchemaError",
+    "TemporalRelationError",
+    "Lifeline",
+    "AttributeRole",
+    "TemporalSchema",
+    "ValidTimeKind",
+    "SurrogateGenerator",
+    "TemporalRelation",
+]

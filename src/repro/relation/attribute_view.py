@@ -1,0 +1,114 @@
+"""Attribute-value time-stamping: the homogeneous-model view [Gad88].
+
+Section 2 of the paper is explicit that its conceptual model "makes no
+mention of whether tuple time-stamping or attribute-value time-stamping
+is employed" and lists Gadia's representation -- "tuples containing
+attributes time-stamped with one or more finite unions of intervals" --
+among the admissible physical forms.  This module provides that view:
+:func:`attribute_histories` folds a tuple-time-stamped relation into
+per-attribute value histories, each value carrying the
+:class:`~repro.chronos.period.Period` during which it held.
+
+The transform is lossy exactly where the models differ (transaction
+time is projected away by choosing one state), so it takes the state to
+view: current by default, or any rollback state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.chronos.duration import Duration
+from repro.chronos.interval import Interval
+from repro.chronos.period import Period
+from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.relation.element import Element
+from repro.relation.temporal_relation import TemporalRelation
+
+
+@dataclass(frozen=True)
+class AttributeHistory:
+    """One time-varying attribute of one object, attribute-stamped."""
+
+    object_surrogate: Hashable
+    attribute: str
+    #: value -> the finite union of intervals during which it held.
+    values: Tuple[Tuple[Any, Period], ...]
+
+    def value_at(self, instant: Timestamp) -> Optional[Any]:
+        """The attribute's value at *instant*, or None if unrecorded."""
+        for value, period in self.values:
+            if period.contains_point(instant):
+                return value
+        return None
+
+    def recorded_period(self) -> Period:
+        """When any value at all is recorded for this attribute."""
+        combined = Period.empty()
+        for _value, period in self.values:
+            combined = combined.union(period)
+        return combined
+
+
+def _valid_interval(element: Element) -> Interval:
+    vt = element.vt
+    if isinstance(vt, Interval):
+        return vt
+    return Interval(vt, vt + Duration(1, vt.granularity))
+
+
+def attribute_histories(
+    relation: TemporalRelation, as_of_tt: Optional[TimePoint] = None
+) -> List[AttributeHistory]:
+    """Fold one historical state into attribute-value-stamped form.
+
+    Each (object, time-varying attribute) pair yields one
+    :class:`AttributeHistory`; equal values holding over several
+    (possibly adjacent) intervals coalesce into one period -- the
+    "finite unions of intervals" of [Gad88].
+    """
+    if as_of_tt is None:
+        elements = relation.current()
+    else:
+        elements = relation.as_of(as_of_tt)
+
+    accumulator: Dict[Tuple[Hashable, str], Dict[Any, List[Interval]]] = {}
+    for element in elements:
+        span = _valid_interval(element)
+        for attribute, value in element.time_varying.items():
+            per_value = accumulator.setdefault(
+                (element.object_surrogate, attribute), {}
+            )
+            per_value.setdefault(value, []).append(span)
+
+    histories: List[AttributeHistory] = []
+    for (surrogate, attribute), per_value in sorted(
+        accumulator.items(), key=lambda item: (repr(item[0][0]), item[0][1])
+    ):
+        stamped_values = tuple(
+            (value, Period(spans))
+            for value, spans in sorted(per_value.items(), key=lambda kv: repr(kv[0]))
+        )
+        histories.append(
+            AttributeHistory(
+                object_surrogate=surrogate,
+                attribute=attribute,
+                values=stamped_values,
+            )
+        )
+    return histories
+
+
+def snapshot_at(
+    relation: TemporalRelation, instant: Timestamp, as_of_tt: Optional[TimePoint] = None
+) -> Dict[Hashable, Dict[str, Any]]:
+    """The conventional (snapshot) relation at one valid-time instant,
+    reconstructed from the attribute-stamped view -- a round-trip check
+    between the two representations."""
+    snapshot: Dict[Hashable, Dict[str, Any]] = {}
+    for history in attribute_histories(relation, as_of_tt=as_of_tt):
+        value = history.value_at(instant)
+        if value is not None:
+            snapshot.setdefault(history.object_surrogate, {})[history.attribute] = value
+    return snapshot

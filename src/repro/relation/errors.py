@@ -1,0 +1,22 @@
+"""Exception hierarchy for the relation and storage layers."""
+
+
+class TemporalRelationError(Exception):
+    """Base class for relation-level failures."""
+
+
+class SchemaError(TemporalRelationError):
+    """A schema definition or an update inconsistent with the schema."""
+
+
+class ElementNotFound(TemporalRelationError, KeyError):
+    """No current element with the requested surrogate."""
+
+
+class ReadOnlyRelation(TemporalRelationError):
+    """A mutation was attempted on a read-only (rolled-back) view."""
+
+
+class KeyViolation(TemporalRelationError):
+    """Two current facts with the same time-invariant key overlap in
+    valid time (the sequenced key constraint of [NA89])."""

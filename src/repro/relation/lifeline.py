@@ -1,0 +1,59 @@
+"""Life-lines: the per-object element sequences of Section 2.
+
+"At any point in time, each real-world object may have, in a single
+relation, a set of associated elements, all with the same object
+surrogate (c.f., a 'life-line' [Sch77] or a 'time sequence' [SK86])."
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Sequence
+
+from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.relation.element import Element
+
+
+class Lifeline:
+    """All elements of one object, in transaction-time order."""
+
+    def __init__(self, object_surrogate: Hashable, elements: Sequence[Element]) -> None:
+        self.object_surrogate = object_surrogate
+        self._elements: List[Element] = sorted(
+            elements, key=lambda e: e.tt_start.microseconds
+        )
+        for element in self._elements:
+            if element.object_surrogate != object_surrogate:
+                raise ValueError(
+                    f"element {element.element_surrogate} belongs to "
+                    f"{element.object_surrogate!r}, not {object_surrogate!r}"
+                )
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def elements(self) -> Sequence[Element]:
+        return tuple(self._elements)
+
+    def current(self) -> List[Element]:
+        """The object's facts in the current historical state."""
+        return [element for element in self._elements if element.is_current]
+
+    def as_of(self, tt: TimePoint) -> List[Element]:
+        """The object's facts in the historical state at *tt*."""
+        return [element for element in self._elements if element.stored_during(tt)]
+
+    def valid_at(self, vt: Timestamp) -> List[Element]:
+        """Current facts about the object true in reality at *vt*."""
+        return [
+            element
+            for element in self._elements
+            if element.is_current and element.valid_at(vt)
+        ]
+
+    def latest(self) -> Optional[Element]:
+        """The most recently stored element, if any."""
+        return self._elements[-1] if self._elements else None

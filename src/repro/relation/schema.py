@@ -1,0 +1,163 @@
+"""Relation schemas: attribute roles, stamp kinds, declared specializations.
+
+The schema captures what Section 2 calls the design of a temporal
+relation: whether elements are event- or interval-stamped, the valid
+time-stamp granularity, which attributes are time-invariant (including
+the time-invariant key [NA89]), which are time-varying, which are
+user-defined times -- plus the *declared temporal specializations*, the
+paper's central design artifact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.chronos.granularity import Granularity, GranularityLike, as_granularity
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.constraints import EnforcementMode
+from repro.core.taxonomy.base import Specialization
+from repro.core.taxonomy.registry import parse
+from repro.relation.errors import SchemaError
+
+
+class ValidTimeKind(enum.Enum):
+    """Whether elements represent events or facts valid over intervals."""
+
+    EVENT = "event"
+    INTERVAL = "interval"
+
+
+class AttributeRole(enum.Enum):
+    """The attribute roles of Section 2."""
+
+    TIME_INVARIANT = "time-invariant"
+    TIME_VARYING = "time-varying"
+    USER_TIME = "user-defined time"
+
+
+SpecOrName = Union[Specialization, str]
+
+
+@dataclass
+class TemporalSchema:
+    """Schema of one temporal relation.
+
+    ``specializations`` accepts instances or the textual forms accepted
+    by :func:`repro.core.taxonomy.registry.parse`, e.g.
+    ``"delayed retroactive(30s)"``.
+    """
+
+    name: str
+    valid_time_kind: ValidTimeKind = ValidTimeKind.EVENT
+    key: Sequence[str] = ()
+    time_invariant: Sequence[str] = ()
+    time_varying: Sequence[str] = ()
+    user_times: Sequence[str] = ()
+    granularity: GranularityLike = Granularity.SECOND
+    specializations: Sequence[SpecOrName] = ()
+    enforcement: EnforcementMode = EnforcementMode.REJECT
+    #: Enforce the sequenced key constraint [NA89]: at any valid-time
+    #: instant, at most one *current* element per key value.  Only
+    #: meaningful when ``key`` is non-empty.
+    enforce_key: bool = True
+
+    def __post_init__(self) -> None:
+        self.granularity = as_granularity(self.granularity)
+        self.key = tuple(self.key)
+        self.time_invariant = tuple(self.time_invariant)
+        self.time_varying = tuple(self.time_varying)
+        self.user_times = tuple(self.user_times)
+        self._validate_attribute_names()
+        resolved: List[Specialization] = []
+        for spec in self.specializations:
+            resolved.append(parse(spec) if isinstance(spec, str) else spec)
+        self.specializations = tuple(resolved)
+
+    def _validate_attribute_names(self) -> None:
+        roles: Dict[str, AttributeRole] = {}
+        for names, role in (
+            (self.time_invariant, AttributeRole.TIME_INVARIANT),
+            (self.time_varying, AttributeRole.TIME_VARYING),
+            (self.user_times, AttributeRole.USER_TIME),
+        ):
+            for attr in names:
+                if attr in roles:
+                    raise SchemaError(
+                        f"attribute {attr!r} declared both {roles[attr].value} "
+                        f"and {role.value}"
+                    )
+                roles[attr] = role
+        for attr in self.key:
+            if roles.get(attr) is not AttributeRole.TIME_INVARIANT:
+                raise SchemaError(
+                    f"key attribute {attr!r} must be declared time-invariant "
+                    "(the time-invariant key of [NA89])"
+                )
+
+    # -- value checking --------------------------------------------------------
+
+    @property
+    def is_event(self) -> bool:
+        return self.valid_time_kind is ValidTimeKind.EVENT
+
+    def role_of(self, attribute: str) -> Optional[AttributeRole]:
+        if attribute in self.time_invariant:
+            return AttributeRole.TIME_INVARIANT
+        if attribute in self.time_varying:
+            return AttributeRole.TIME_VARYING
+        if attribute in self.user_times:
+            return AttributeRole.USER_TIME
+        return None
+
+    def check_valid_time(self, vt: Any) -> None:
+        """Reject valid time-stamps of the wrong kind."""
+        if self.is_event and not isinstance(vt, Timestamp):
+            raise SchemaError(
+                f"relation {self.name!r} is event-stamped; got valid time {vt!r}"
+            )
+        if not self.is_event and not isinstance(vt, Interval):
+            raise SchemaError(
+                f"relation {self.name!r} is interval-stamped; got valid time {vt!r}"
+            )
+
+    def split_attributes(
+        self, values: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, Any], Dict[str, Timestamp]]:
+        """Partition supplied values by role; reject undeclared names."""
+        invariant: Dict[str, Any] = {}
+        varying: Dict[str, Any] = {}
+        user: Dict[str, Timestamp] = {}
+        for attr, value in values.items():
+            role = self.role_of(attr)
+            if role is None:
+                declared = ", ".join(
+                    self.time_invariant + self.time_varying + self.user_times
+                )
+                raise SchemaError(
+                    f"attribute {attr!r} is not declared in schema {self.name!r} "
+                    f"(declared: {declared or 'none'})"
+                )
+            if role is AttributeRole.TIME_INVARIANT:
+                invariant[attr] = value
+            elif role is AttributeRole.TIME_VARYING:
+                varying[attr] = value
+            else:
+                if not isinstance(value, Timestamp):
+                    raise SchemaError(
+                        f"user-defined time {attr!r} must be a Timestamp, got {value!r}"
+                    )
+                user[attr] = value
+        return invariant, varying, user
+
+    def key_of(self, invariant: Mapping[str, Any]) -> Tuple[Any, ...]:
+        """The time-invariant key value of an element."""
+        try:
+            return tuple(invariant[attr] for attr in self.key)
+        except KeyError as missing:
+            raise SchemaError(f"missing key attribute {missing.args[0]!r}") from None
+
+    def specialization_names(self) -> List[str]:
+        return [spec.name for spec in self.specializations]

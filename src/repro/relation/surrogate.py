@@ -1,0 +1,41 @@
+"""System-generated surrogates.
+
+Section 2: "An element surrogate is a system-generated, unique
+identifier of an element that can be referenced and compared for
+equality, but not displayed to the user. ... If a particular event or
+interval is (logically) deleted, then immediately re-inserted, the two
+resulting elements will have different element surrogates, allowing the
+deletion and insertion points to be unambiguously defined."
+
+A :class:`SurrogateGenerator` issues strictly increasing integers and
+never reuses one, which is exactly the property the existence-interval
+semantics needs.
+"""
+
+from __future__ import annotations
+
+
+class SurrogateGenerator:
+    """Issues unique, strictly increasing integer surrogates."""
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 0:
+            raise ValueError("surrogates must be non-negative")
+        self._next = start
+
+    def fresh(self) -> int:
+        """The next surrogate; never returned twice."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def reserve_through(self, used: int) -> None:
+        """Ensure future surrogates exceed *used* (e.g. after loading a
+        persisted relation)."""
+        if used >= self._next:
+            self._next = used + 1
+
+    @property
+    def high_water_mark(self) -> int:
+        """The largest surrogate issued so far (start - 1 if none)."""
+        return self._next - 1

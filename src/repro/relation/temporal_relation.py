@@ -1,0 +1,272 @@
+"""The temporal relation: Section 2's conceptual model, executable.
+
+A :class:`TemporalRelation` combines a schema, a transaction clock, a
+storage engine, and the schema's declared specializations (enforced
+incrementally through :class:`repro.core.constraints.ConstraintSet`).
+
+Update semantics follow the paper exactly:
+
+* **insert** stores a new element whose existence interval opens at the
+  transaction time and whose ``tt_stop`` is FOREVER;
+* **logical deletion** closes the existence interval; nothing is ever
+  physically removed, so rollback works;
+* **modification** "consists of a deletion followed by an insertion"
+  with a *fresh element surrogate* -- both stamped with the same
+  transaction time, producing a single new historical state.
+
+Reading:
+
+* :meth:`current` -- the current state (what a conventional DBMS holds);
+* :meth:`as_of` -- rollback to a past historical state;
+* :meth:`valid_at` / :meth:`valid_overlapping` -- valid timeslice;
+* :meth:`lifeline` -- one object's history;
+* :meth:`backlog` -- the operation-log view of the relation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, List, Mapping, Optional
+
+from repro.chronos.clock import LogicalClock, TransactionClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, TimePoint, Timestamp
+from repro.core.constraints import ConstraintSet
+from repro.core.taxonomy.base import TimeReference
+from repro.relation.element import Element, ValidTime
+from repro.relation.errors import ElementNotFound, KeyViolation, SchemaError
+from repro.relation.lifeline import Lifeline
+from repro.relation.schema import TemporalSchema
+from repro.relation.surrogate import SurrogateGenerator
+from repro.storage.backlog import Backlog
+from repro.storage.base import StorageEngine
+from repro.storage.memory import MemoryEngine
+
+
+class TemporalRelation:
+    """One temporal relation with enforced specializations."""
+
+    def __init__(
+        self,
+        schema: TemporalSchema,
+        clock: Optional[TransactionClock] = None,
+        engine: Optional[StorageEngine] = None,
+        keep_backlog: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.clock = clock if clock is not None else LogicalClock(granularity=schema.granularity)
+        self.engine = engine if engine is not None else MemoryEngine()
+        self.constraints = ConstraintSet(schema.specializations, mode=schema.enforcement)
+        self._surrogates = SurrogateGenerator()
+        self._backlog = Backlog() if keep_backlog else None
+        if engine is not None and len(engine):
+            self._adopt_existing()
+
+    def _adopt_existing(self) -> None:
+        """Re-seed surrogates and warm constraint monitors from storage."""
+        high = 0
+        for element in self.engine.scan():
+            high = max(high, element.element_surrogate)
+            self.constraints.observe(element)
+        self._surrogates.reserve_through(high)
+
+    # -- update operations ----------------------------------------------------------
+
+    def insert(
+        self,
+        object_surrogate: Hashable,
+        vt: ValidTime,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> Element:
+        """Store a new fact; returns the stored element.
+
+        Raises :class:`repro.core.constraints.ConstraintViolation` (in
+        REJECT mode) when the stamps violate a declared specialization;
+        the relation is left unchanged in that case.
+        """
+        self.schema.check_valid_time(vt)
+        invariant, varying, user = self.schema.split_attributes(attributes or {})
+        self._check_sequenced_key(vt, invariant)
+        tt = self.clock.now()
+        element = Element(
+            element_surrogate=self._surrogates.fresh(),
+            object_surrogate=object_surrogate,
+            tt_start=tt,
+            vt=vt,
+            time_invariant=invariant,
+            time_varying=varying,
+            user_times=user,
+        )
+        self.constraints.observe(element)  # may raise; storage untouched then
+        self.engine.append(element)
+        if self._backlog is not None:
+            self._backlog.record_insert(element)
+        return element
+
+    def delete(self, element_surrogate: int) -> Element:
+        """Logically delete an element; returns the closed record.
+
+        Deletion-relative specializations (Section 3.1) are validated
+        *before* the existence interval is closed, so a rejected
+        deletion leaves the relation unchanged.
+        """
+        old = self.engine.get(element_surrogate)
+        if not old.is_current:
+            raise ElementNotFound(
+                f"element {element_surrogate} was already deleted at {old.tt_stop!r}"
+            )
+        tt = self.clock.now()
+        self._enforce_deletion_constraints(old.closed(tt))
+        closed = self.engine.close_element(element_surrogate, tt)
+        if self._backlog is not None:
+            self._backlog.record_delete(element_surrogate, tt)
+        return closed
+
+    def modify(
+        self,
+        element_surrogate: int,
+        vt: Optional[ValidTime] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> Element:
+        """Logical delete + insert with a fresh surrogate (Section 2).
+
+        Unspecified parts are carried over from the old element.  Both
+        halves share one transaction time, so exactly one new historical
+        state results.
+        """
+        old = self.engine.get(element_surrogate)
+        if not old.is_current:
+            raise ElementNotFound(
+                f"element {element_surrogate} was already deleted at {old.tt_stop!r}"
+            )
+        new_vt = vt if vt is not None else old.vt
+        self.schema.check_valid_time(new_vt)
+        merged: Dict[str, Any] = dict(old.time_invariant)
+        merged.update(old.time_varying)
+        merged.update(old.user_times)
+        merged.update(attributes or {})
+        invariant, varying, user = self.schema.split_attributes(merged)
+        self._check_sequenced_key(new_vt, invariant, exclude=element_surrogate)
+
+        tt = self.clock.now()
+        # Validate both halves before mutating anything: the deletion
+        # against deletion-relative specializations, the insertion
+        # against the full constraint set (observe commits the monitors
+        # only when the element is accepted).
+        self._enforce_deletion_constraints(old.closed(tt))
+        replacement = Element(
+            element_surrogate=self._surrogates.fresh(),
+            object_surrogate=old.object_surrogate,
+            tt_start=tt,
+            vt=new_vt,
+            time_invariant=invariant,
+            time_varying=varying,
+            user_times=user,
+        )
+        self.constraints.observe(replacement)
+        self.engine.close_element(element_surrogate, tt)
+        self.engine.append(replacement)
+        if self._backlog is not None:
+            self._backlog.record_modification(element_surrogate, replacement)
+        return replacement
+
+    def _check_sequenced_key(
+        self,
+        vt: ValidTime,
+        invariant: Mapping[str, Any],
+        exclude: Optional[int] = None,
+    ) -> None:
+        """The sequenced key constraint [NA89]: within the current
+        state, no two facts with the same time-invariant key may be
+        valid at the same instant.  ``exclude`` skips the element a
+        modification is about to replace."""
+        if not self.schema.key or not self.schema.enforce_key:
+            return
+        key = self.schema.key_of(invariant)
+        if isinstance(vt, Interval):
+            candidates = self.engine.valid_overlapping(vt)
+        else:
+            candidates = self.engine.valid_at(vt)
+        for other in candidates:
+            if other.element_surrogate == exclude:
+                continue
+            try:
+                other_key = self.schema.key_of(other.time_invariant)
+            except SchemaError:
+                continue
+            if other_key == key:
+                raise KeyViolation(
+                    f"key {key!r} is already valid during {vt!r} "
+                    f"(element {other.element_surrogate})"
+                )
+
+    def _enforce_deletion_constraints(self, closed_preview: Element) -> None:
+        """Check deletion-relative specializations (Section 3.1) against
+        a *preview* of the closed element, before any mutation."""
+        from repro.core.constraints import ConstraintViolation, EnforcementMode
+
+        failures = []
+        for spec in self.constraints.specializations:
+            if getattr(spec, "time_reference", None) is TimeReference.DELETION:
+                failures.extend(spec.violations([closed_preview]))
+        if not failures:
+            return
+        if self.constraints.mode is EnforcementMode.REJECT:
+            raise ConstraintViolation(failures)
+        self.constraints.recorded.extend(failures)
+
+    # -- reading ------------------------------------------------------------------------
+
+    def current(self) -> List[Element]:
+        """The current historical state."""
+        return list(self.engine.current())
+
+    def as_of(self, tt: TimePoint) -> List[Element]:
+        """Rollback: the historical state at transaction time *tt*."""
+        return list(self.engine.as_of(tt))
+
+    def valid_at(self, vt: Timestamp, as_of_tt: Optional[TimePoint] = None) -> List[Element]:
+        """Valid timeslice (optionally combined with rollback)."""
+        return list(self.engine.valid_at(vt, as_of_tt))
+
+    def valid_overlapping(
+        self, window: Interval, as_of_tt: Optional[TimePoint] = None
+    ) -> List[Element]:
+        return list(self.engine.valid_overlapping(window, as_of_tt))
+
+    def lifeline(self, object_surrogate: Hashable) -> Lifeline:
+        """One object's full history (its per-surrogate partition)."""
+        mine = [
+            element
+            for element in self.engine.scan()
+            if element.object_surrogate == object_surrogate
+        ]
+        return Lifeline(object_surrogate, mine)
+
+    def objects(self) -> List[Hashable]:
+        """Distinct object surrogates, in first-appearance order."""
+        seen: Dict[Hashable, None] = {}
+        for element in self.engine.scan():
+            seen.setdefault(element.object_surrogate, None)
+        return list(seen)
+
+    def all_elements(self) -> List[Element]:
+        """The full bitemporal element set."""
+        return list(self.engine.scan())
+
+    def backlog(self) -> Backlog:
+        """The operation-log view (kept incrementally when enabled)."""
+        if self._backlog is None:
+            raise SchemaError(
+                f"relation {self.schema.name!r} was created with keep_backlog=False"
+            )
+        return self._backlog
+
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.schema.specialization_names()) or "general"
+        return (
+            f"TemporalRelation({self.schema.name!r}, {len(self)} elements, "
+            f"specializations: {names})"
+        )

@@ -1,0 +1,45 @@
+"""Storage engines for bitemporal relations.
+
+Section 2 of the paper is explicit that its conceptual model "does not
+imply (nor disallow) a particular physical representation", and lists
+several: interval-stamped tuple stores, backlog relations of operations
+with single transaction stamps [JMRS90], and more.  This package
+implements the representations the paper names:
+
+* :mod:`repro.storage.memory` -- an in-memory engine holding elements in
+  transaction order (the tuple-store representation);
+* :mod:`repro.storage.backlog` -- the backlog representation: an
+  append-only log of insertion/deletion operations, with state
+  reconstruction by replay;
+* :mod:`repro.storage.snapshot` -- cached historical states to
+  accelerate rollback over a backlog;
+* :mod:`repro.storage.indexes` -- transaction-time and valid-time
+  secondary indexes, including the bounded-window scan that exploits
+  bounded specializations (benchmark E8);
+* :mod:`repro.storage.interval_tree` -- a centered interval tree for
+  valid-time stabbing and overlap queries;
+* :mod:`repro.storage.sqlite_backend` -- a persistent engine over the
+  standard-library ``sqlite3``.
+"""
+
+from repro.storage.backlog import Backlog, Operation, OperationKind
+from repro.storage.base import StorageEngine
+from repro.storage.indexes import BoundedWindow, TransactionTimeIndex, ValidTimeEventIndex
+from repro.storage.interval_tree import IntervalTree
+from repro.storage.memory import MemoryEngine
+from repro.storage.snapshot import SnapshotCache
+from repro.storage.sqlite_backend import SQLiteEngine
+
+__all__ = [
+    "Backlog",
+    "Operation",
+    "OperationKind",
+    "StorageEngine",
+    "BoundedWindow",
+    "TransactionTimeIndex",
+    "ValidTimeEventIndex",
+    "IntervalTree",
+    "MemoryEngine",
+    "SnapshotCache",
+    "SQLiteEngine",
+]

@@ -1,0 +1,184 @@
+"""Backlog relations: the operation-log representation [JMRS90].
+
+Section 2 lists "a backlog relation of insertion, modification, and
+deletion operations (tuples) with single transaction time-stamps" as one
+physical representation of a temporal relation.  A :class:`Backlog` is
+exactly that: an append-only sequence of operations, each stamped with
+one transaction time.  Any historical state is recovered by replaying
+the prefix of operations up to the wanted transaction time.
+
+The backlog is the ground truth the other engines are tested against:
+``MemoryEngine.as_of(t)`` must equal ``Backlog.state_at(t)`` for every
+t (property-tested), and :class:`repro.storage.snapshot.SnapshotCache`
+accelerates replay with cached states.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.relation.element import Element
+from repro.relation.errors import ElementNotFound
+
+
+class OperationKind(enum.Enum):
+    """The operation kinds of [JMRS90]; a modification is represented as
+    a deletion followed by an insertion (Section 2 of the paper)."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One backlog entry: a single-transaction-stamped operation tuple."""
+
+    kind: OperationKind
+    tt: Timestamp
+    element_surrogate: int
+    element: Optional[Element] = None  # payload for INSERT
+
+    def __post_init__(self) -> None:
+        if self.kind is OperationKind.INSERT and self.element is None:
+            raise ValueError("INSERT operations carry the inserted element")
+        if self.kind is OperationKind.DELETE and self.element is not None:
+            raise ValueError("DELETE operations carry only the surrogate")
+
+
+class Backlog:
+    """An append-only operation log with state reconstruction."""
+
+    def __init__(self) -> None:
+        self._operations: List[Operation] = []
+        self._live: Dict[int, Element] = {}  # current state, maintained eagerly
+
+    # -- appending -------------------------------------------------------------
+
+    def record_insert(self, element: Element) -> None:
+        self._check_order(element.tt_start)
+        if element.element_surrogate in self._live:
+            raise ValueError(
+                f"element surrogate {element.element_surrogate} already current"
+            )
+        self._operations.append(
+            Operation(OperationKind.INSERT, element.tt_start, element.element_surrogate, element)
+        )
+        self._live[element.element_surrogate] = element
+
+    def record_delete(self, element_surrogate: int, tt: Timestamp) -> None:
+        self._check_order(tt)
+        if element_surrogate not in self._live:
+            raise ElementNotFound(f"no current element with surrogate {element_surrogate}")
+        self._operations.append(Operation(OperationKind.DELETE, tt, element_surrogate))
+        del self._live[element_surrogate]
+
+    def record_modification(self, deleted_surrogate: int, replacement: Element) -> None:
+        """A modification: DELETE + INSERT sharing one transaction time.
+
+        Section 2: a modification logically deletes the old element and
+        stores a new one "indexed by the transaction time of the
+        transaction making the change" -- a single new historical state,
+        hence a single stamp for both halves.
+        """
+        tt = replacement.tt_start
+        self._check_order(tt)
+        if deleted_surrogate not in self._live:
+            raise ElementNotFound(f"no current element with surrogate {deleted_surrogate}")
+        if replacement.element_surrogate in self._live:
+            raise ValueError(
+                f"element surrogate {replacement.element_surrogate} already current"
+            )
+        self._operations.append(Operation(OperationKind.DELETE, tt, deleted_surrogate))
+        self._operations.append(
+            Operation(OperationKind.INSERT, tt, replacement.element_surrogate, replacement)
+        )
+        del self._live[deleted_surrogate]
+        self._live[replacement.element_surrogate] = replacement
+
+    def _check_order(self, tt: Timestamp) -> None:
+        if self._operations and not self._operations[-1].tt < tt:
+            raise ValueError(
+                f"operations must carry strictly increasing transaction times; "
+                f"got {tt!r} after {self._operations[-1].tt!r}"
+            )
+
+    # -- reconstruction ------------------------------------------------------------
+
+    def state_at(self, tt: TimePoint) -> Dict[int, Element]:
+        """Replay the prefix through *tt*: surrogate -> element."""
+        return self.replay(self._operations_through(tt))
+
+    @staticmethod
+    def replay(operations: Iterator[Operation]) -> Dict[int, Element]:
+        state: Dict[int, Element] = {}
+        for operation in operations:
+            if operation.kind is OperationKind.INSERT:
+                state[operation.element_surrogate] = operation.element  # type: ignore[assignment]
+            else:
+                state.pop(operation.element_surrogate, None)
+        return state
+
+    def _operations_through(self, tt: TimePoint) -> Iterator[Operation]:
+        for operation in self._operations:
+            if operation.tt <= tt:
+                yield operation
+
+    def current_state(self) -> Dict[int, Element]:
+        """The present state (maintained incrementally, no replay)."""
+        return dict(self._live)
+
+    def to_elements(self) -> List[Element]:
+        """The full bitemporal element set, with existence intervals
+        closed where a DELETE exists -- i.e. the tuple-store view."""
+        by_surrogate: Dict[int, Element] = {}
+        for operation in self._operations:
+            if operation.kind is OperationKind.INSERT:
+                by_surrogate[operation.element_surrogate] = operation.element  # type: ignore[assignment]
+            else:
+                open_element = by_surrogate[operation.element_surrogate]
+                by_surrogate[operation.element_surrogate] = open_element.closed(operation.tt)
+        return list(by_surrogate.values())
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def compact(self, horizon: Timestamp) -> "Backlog":
+        """A smaller backlog answering the same queries for tt >= horizon.
+
+        Operations at or before the horizon collapse into synthetic
+        insertions of the horizon state; history before the horizon is
+        discarded (the usual vacuuming trade-off for transaction time).
+        """
+        compacted = Backlog()
+        horizon_state = self.state_at(horizon)
+        for surrogate in sorted(horizon_state, key=lambda s: horizon_state[s].tt_start.microseconds):
+            compacted._operations.append(
+                Operation(
+                    OperationKind.INSERT,
+                    horizon_state[surrogate].tt_start,
+                    surrogate,
+                    horizon_state[surrogate],
+                )
+            )
+            compacted._live[surrogate] = horizon_state[surrogate]
+        for operation in self._operations:
+            if operation.tt <= horizon:
+                continue
+            if operation.kind is OperationKind.INSERT:
+                compacted._operations.append(operation)
+                compacted._live[operation.element_surrogate] = operation.element  # type: ignore[assignment]
+            elif operation.element_surrogate in compacted._live:
+                compacted._operations.append(operation)
+                del compacted._live[operation.element_surrogate]
+        return compacted
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        return tuple(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)

@@ -1,0 +1,88 @@
+"""The storage-engine interface shared by every representation."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Optional
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.relation.element import Element
+from repro.relation.errors import ElementNotFound
+
+
+class StorageEngine(abc.ABC):
+    """Append-only bitemporal storage.
+
+    Elements are appended in strictly increasing insertion-transaction-
+    time order (the transaction clock guarantees this).  Logical
+    deletion closes an element's existence interval; nothing is ever
+    physically removed (Section 2: the historical states are preserved
+    so that rollback is possible).
+    """
+
+    # -- mutation -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def append(self, element: Element) -> None:
+        """Store a new element (its ``tt_start`` exceeds all stored ones)."""
+
+    @abc.abstractmethod
+    def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
+        """Logically delete an element; returns the closed record."""
+
+    # -- lookup ---------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def get(self, element_surrogate: int) -> Element:
+        """The (latest) record of the element, or raise :class:`ElementNotFound`."""
+
+    @abc.abstractmethod
+    def scan(self) -> Iterator[Element]:
+        """All stored elements, in insertion order (the full bitemporal set)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored elements (including logically deleted ones)."""
+
+    # -- temporal access (reference implementations; engines may override) -----------
+
+    def current(self) -> Iterator[Element]:
+        """The current historical state (elements not logically deleted)."""
+        return (element for element in self.scan() if element.is_current)
+
+    def as_of(self, tt: TimePoint) -> Iterator[Element]:
+        """Rollback: the historical state at transaction time *tt*."""
+        return (element for element in self.scan() if element.stored_during(tt))
+
+    def valid_at(
+        self, vt: Timestamp, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        """Valid timeslice: facts true in reality at *vt*.
+
+        Evaluated against the current state, or against the rollback
+        state at *as_of_tt* when given (a bitemporal slice).
+        """
+        source = self.current() if as_of_tt is None else self.as_of(as_of_tt)
+        return (element for element in source if element.valid_at(vt))
+
+    def valid_overlapping(
+        self, window: Interval, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        """Elements whose valid time intersects *window*."""
+        source = self.current() if as_of_tt is None else self.as_of(as_of_tt)
+        for element in source:
+            if isinstance(element.vt, Interval):
+                if element.vt.overlaps(window):
+                    yield element
+            elif window.contains_point(element.vt):
+                yield element
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def materialize(self) -> List[Element]:
+        """All stored elements as a list (for checks and tests)."""
+        return list(self.scan())
+
+    def _not_found(self, element_surrogate: int) -> ElementNotFound:
+        return ElementNotFound(f"no element with surrogate {element_surrogate}")

@@ -1,0 +1,164 @@
+"""A centered interval tree for valid-time interval queries.
+
+Used by the general (unspecialized) engine path for stabbing ("which
+facts were true at v?") and overlap ("which facts were true some time
+during [a, b)?") queries over interval-stamped relations.  The tree is
+the classic centered construction: each node stores the intervals
+containing its center, sorted by both endpoints, giving
+O(log n + k) stabbing queries.
+
+The tree is rebuilt lazily: mutations mark it dirty and the next query
+rebuilds, which suits the append-mostly workloads of temporal relations.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import TimePoint, Timestamp
+
+Payload = TypeVar("Payload")
+
+#: Sentinel coordinates for unbounded endpoints.
+_NEG = -(2**62)
+_POS = 2**62
+
+
+def _coord(point: TimePoint) -> int:
+    if isinstance(point, Timestamp):
+        return point.microseconds
+    return _POS if point.is_positive else _NEG
+
+
+class _Node(Generic[Payload]):
+    __slots__ = ("center", "by_start", "by_end", "left", "right")
+
+    def __init__(
+        self,
+        center: int,
+        spanning: List[Tuple[int, int, Payload]],
+        left: Optional["_Node[Payload]"],
+        right: Optional["_Node[Payload]"],
+    ) -> None:
+        self.center = center
+        self.by_start = sorted(spanning, key=lambda item: item[0])
+        self.by_end = sorted(spanning, key=lambda item: item[1], reverse=True)
+        self.left = left
+        self.right = right
+
+
+class IntervalTree(Generic[Payload]):
+    """Centered interval tree over half-open intervals."""
+
+    def __init__(self) -> None:
+        self._items: List[Tuple[int, int, Payload]] = []
+        self._root: Optional[_Node[Payload]] = None
+        self._dirty = False
+
+    def add(self, interval: Interval, payload: Payload) -> None:
+        self._items.append((_coord(interval.start), _coord(interval.end), payload))
+        self._dirty = True
+
+    def bulk_load(self, items: Iterable[Tuple[Interval, Payload]]) -> None:
+        for interval, payload in items:
+            self.add(interval, payload)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- queries ---------------------------------------------------------------
+
+    def stab(self, point: TimePoint) -> Iterator[Payload]:
+        """Payloads of intervals containing *point* (half-open)."""
+        self._ensure_built()
+        coordinate = _coord(point)
+        node = self._root
+        while node is not None:
+            if coordinate < node.center:
+                for start, _end, payload in node.by_start:
+                    if start > coordinate:
+                        break
+                    yield payload
+                node = node.left
+            elif coordinate > node.center:
+                for _start, end, payload in node.by_end:
+                    if end <= coordinate:
+                        break
+                    yield payload
+                node = node.right
+            else:
+                for start, _end, payload in node.by_start:
+                    yield payload
+                node = None
+
+    def overlapping(self, window: Interval) -> Iterator[Payload]:
+        """Payloads of intervals sharing at least a point with *window*."""
+        self._ensure_built()
+        low, high = _coord(window.start), _coord(window.end)
+        seen: set = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if high <= node.center:
+                # Only spanning intervals starting before `high` can overlap.
+                for start, _end, payload in node.by_start:
+                    if start >= high:
+                        break
+                    if id(payload) not in seen:
+                        seen.add(id(payload))
+                        yield payload
+                stack.append(node.left)
+                # Spanning intervals of right subtree all start > center >= high? No:
+                # right subtree intervals start after center, i.e. >= center; they
+                # start at > center, and high <= center implies no overlap.
+            elif low > node.center:
+                for _start, end, payload in node.by_end:
+                    if end <= low:
+                        break
+                    if id(payload) not in seen:
+                        seen.add(id(payload))
+                        yield payload
+                stack.append(node.right)
+            else:
+                for _start, _end, payload in node.by_start:
+                    if id(payload) not in seen:
+                        seen.add(id(payload))
+                        yield payload
+                stack.append(node.left)
+                stack.append(node.right)
+
+    # -- construction -------------------------------------------------------------
+
+    def _ensure_built(self) -> None:
+        if self._dirty or (self._root is None and self._items):
+            self._root = self._build(self._items)
+            self._dirty = False
+
+    def _build(
+        self, items: Sequence[Tuple[int, int, Payload]]
+    ) -> Optional[_Node[Payload]]:
+        if not items:
+            return None
+        # The midpoint between the least start and the greatest end keeps
+        # the spanning invariant (start <= center < end for every node
+        # interval) and guarantees progress: the interval realizing the
+        # greatest end never goes left, the one realizing the least start
+        # never goes right, so both recursions strictly shrink.
+        least_start = min(start for start, _end, _payload in items)
+        greatest_end = max(end for _start, end, _payload in items)
+        center = (least_start + greatest_end) // 2
+        left_items: List[Tuple[int, int, Payload]] = []
+        right_items: List[Tuple[int, int, Payload]] = []
+        spanning: List[Tuple[int, int, Payload]] = []
+        for item in items:
+            start, end, _payload = item
+            if end <= center:
+                left_items.append(item)
+            elif start > center:
+                right_items.append(item)
+            else:
+                spanning.append(item)
+        return _Node(center, spanning, self._build(left_items), self._build(right_items))

@@ -1,0 +1,145 @@
+"""Durable backlog persistence: JSON-lines operation logs.
+
+The backlog representation [JMRS90] is naturally a log; this module
+serializes it one operation per line, giving the in-memory engines a
+durability/replication story without SQLite: write the log as updates
+happen (or export post hoc), ship it, replay it elsewhere.
+
+Format: each line is a JSON object
+``{"op": "insert"|"delete", "tt": micro, "surrogate": n, ...}`` with
+insert lines carrying the full element payload.  Timestamps are
+microsecond integers on the shared exact time-line; attribute values
+must be JSON-serializable (the same contract as the SQLite engine).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, Iterator, Optional
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, Timestamp
+from repro.relation.element import Element
+from repro.storage.backlog import Backlog, Operation, OperationKind
+
+_POS = 2**62
+_NEG = -(2**62)
+
+
+def _encode_point(point: Any) -> int:
+    if isinstance(point, Timestamp):
+        return point.microseconds
+    return _POS if point.is_positive else _NEG
+
+
+def _decode_point(coordinate: int) -> Any:
+    if coordinate >= _POS:
+        return FOREVER
+    if coordinate <= _NEG:
+        return NEGATIVE_INFINITY
+    return Timestamp(coordinate, "microsecond")
+
+
+def _encode_element(element: Element) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "surrogate": element.element_surrogate,
+        "object": element.object_surrogate,
+        "tt_start": element.tt_start.microseconds,
+        "invariant": dict(element.time_invariant),
+        "varying": dict(element.time_varying),
+        "user_times": {k: v.microseconds for k, v in element.user_times.items()},
+    }
+    if isinstance(element.vt, Interval):
+        record["vt"] = [_encode_point(element.vt.start), _encode_point(element.vt.end)]
+    else:
+        record["vt"] = element.vt.microseconds
+    return record
+
+
+def _decode_element(record: Dict[str, Any]) -> Element:
+    raw_vt = record["vt"]
+    if isinstance(raw_vt, list):
+        vt: Any = Interval(_decode_point(raw_vt[0]), _decode_point(raw_vt[1]))
+    else:
+        vt = Timestamp(raw_vt, "microsecond")
+    return Element(
+        element_surrogate=record["surrogate"],
+        object_surrogate=record["object"],
+        tt_start=Timestamp(record["tt_start"], "microsecond"),
+        vt=vt,
+        time_invariant=record["invariant"],
+        time_varying=record["varying"],
+        user_times={
+            key: Timestamp(value, "microsecond")
+            for key, value in record["user_times"].items()
+        },
+    )
+
+
+def dump_operations(operations: Iterable[Operation], stream: IO[str]) -> int:
+    """Write operations as JSON lines; returns the line count."""
+    count = 0
+    for operation in operations:
+        line: Dict[str, Any] = {
+            "op": operation.kind.value,
+            "tt": operation.tt.microseconds,
+            "surrogate": operation.element_surrogate,
+        }
+        if operation.kind is OperationKind.INSERT:
+            line["element"] = _encode_element(operation.element)  # type: ignore[arg-type]
+        stream.write(json.dumps(line, sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def dump_backlog(backlog: Backlog, path: str) -> int:
+    with open(path, "w", encoding="utf-8") as handle:
+        return dump_operations(backlog.operations, handle)
+
+
+def load_operations(stream: IO[str]) -> Iterator[Operation]:
+    """Parse JSON lines back into operations (blank lines skipped)."""
+    for line_number, line in enumerate(stream, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"malformed log line {line_number}: {error}") from None
+        kind = OperationKind(record["op"])
+        tt = Timestamp(record["tt"], "microsecond")
+        if kind is OperationKind.INSERT:
+            yield Operation(kind, tt, record["surrogate"], _decode_element(record["element"]))
+        else:
+            yield Operation(kind, tt, record["surrogate"])
+
+
+def load_backlog(path: str) -> Backlog:
+    """Rebuild a backlog (with its live-state cache) from a log file."""
+    backlog = Backlog()
+    with open(path, encoding="utf-8") as handle:
+        pending: Optional[Operation] = None
+        for operation in load_operations(handle):
+            if operation.kind is OperationKind.INSERT:
+                if pending is not None and pending.tt == operation.tt:
+                    # A DELETE/INSERT pair sharing one stamp: a modification.
+                    backlog.record_modification(
+                        pending.element_surrogate, operation.element  # type: ignore[arg-type]
+                    )
+                    pending = None
+                    continue
+                _flush(backlog, pending)
+                pending = None
+                backlog.record_insert(operation.element)  # type: ignore[arg-type]
+            else:
+                _flush(backlog, pending)
+                pending = operation
+        _flush(backlog, pending)
+    return backlog
+
+
+def _flush(backlog: Backlog, pending: Optional[Operation]) -> None:
+    if pending is not None:
+        backlog.record_delete(pending.element_surrogate, pending.tt)

@@ -1,0 +1,142 @@
+"""The in-memory tuple-store engine.
+
+Elements live in an append-ordered :class:`TransactionTimeIndex`; event
+relations additionally maintain a :class:`ValidTimeEventIndex` and
+interval relations an :class:`IntervalTree`, giving the physical
+operators the planner chooses among.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.relation.element import Element
+from repro.storage.base import StorageEngine
+from repro.storage.indexes import TransactionTimeIndex, ValidTimeEventIndex
+from repro.storage.interval_tree import IntervalTree
+
+
+class MemoryEngine(StorageEngine):
+    """Append-ordered in-memory storage with secondary indexes."""
+
+    def __init__(self, maintain_vt_index: bool = True) -> None:
+        self._tt_index = TransactionTimeIndex()
+        self._positions: Dict[int, int] = {}
+        self._maintain_vt_index = maintain_vt_index
+        self._vt_events: Optional[ValidTimeEventIndex] = None
+        self._vt_intervals: Optional[IntervalTree[int]] = None
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append(self, element: Element) -> None:
+        if element.element_surrogate in self._positions:
+            raise ValueError(
+                f"element surrogate {element.element_surrogate} already stored"
+            )
+        self._positions[element.element_surrogate] = len(self._tt_index)
+        self._tt_index.append(element)
+        if not self._maintain_vt_index:
+            return
+        if isinstance(element.vt, Interval):
+            if self._vt_intervals is None:
+                self._vt_intervals = IntervalTree()
+            self._vt_intervals.add(element.vt, element.element_surrogate)
+        else:
+            if self._vt_events is None:
+                self._vt_events = ValidTimeEventIndex()
+            self._vt_events.add(element)
+
+    def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
+        position = self._positions.get(element_surrogate)
+        if position is None:
+            raise self._not_found(element_surrogate)
+        closed = self._tt_index.element_at(position).closed(tt_stop)
+        self._tt_index.replace(position, closed)
+        return closed
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, element_surrogate: int) -> Element:
+        position = self._positions.get(element_surrogate)
+        if position is None:
+            raise self._not_found(element_surrogate)
+        return self._tt_index.element_at(position)
+
+    def scan(self) -> Iterator[Element]:
+        return iter(self._tt_index)
+
+    def __len__(self) -> int:
+        return len(self._tt_index)
+
+    # -- temporal access, exploiting indexes -----------------------------------------
+
+    def as_of(self, tt: TimePoint) -> Iterator[Element]:
+        """Rollback via binary search on the append-ordered tt index."""
+        return (
+            element
+            for element in self._tt_index.prefix_through(tt)
+            if element.stored_during(tt)
+        )
+
+    def valid_at(
+        self, vt: Timestamp, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        if as_of_tt is not None or not self._maintain_vt_index:
+            yield from super().valid_at(vt, as_of_tt)
+            return
+        if self._vt_intervals is not None:
+            for surrogate in self._vt_intervals.stab(vt):
+                element = self.get(surrogate)
+                if element.is_current:
+                    yield element
+        if self._vt_events is not None:
+            for element in self._vt_events.at(vt):
+                current = self.get(element.element_surrogate)
+                if current.is_current:
+                    yield current
+
+    def valid_overlapping(
+        self, window: Interval, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        if as_of_tt is not None or not self._maintain_vt_index:
+            yield from super().valid_overlapping(window, as_of_tt)
+            return
+        if self._vt_intervals is not None:
+            for surrogate in self._vt_intervals.overlapping(window):
+                element = self.get(surrogate)
+                if element.is_current:
+                    yield element
+        if self._vt_events is not None:
+            if isinstance(window.start, Timestamp) and isinstance(window.end, Timestamp):
+                candidates = self._vt_events.between(window.start, window.end)
+            else:
+                # Unbounded window: the sorted index cannot bracket it.
+                candidates = (e for e in self.scan() if not isinstance(e.vt, Interval))
+            for element in candidates:
+                current = self.get(element.element_surrogate)
+                if current.is_current and window.contains_point(current.vt):
+                    yield current
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def transaction_index(self) -> TransactionTimeIndex:
+        return self._tt_index
+
+    @property
+    def event_index(self) -> Optional[ValidTimeEventIndex]:
+        return self._vt_events
+
+    @property
+    def interval_index(self) -> Optional[IntervalTree]:
+        return self._vt_intervals
+
+    def index_statistics(self) -> Dict[str, int]:
+        """Counters benchmarks read (e.g. in-order append ratio)."""
+        stats = {"elements": len(self)}
+        if self._vt_events is not None:
+            stats["vt_appends_in_order"] = self._vt_events.appended_in_order
+            stats["vt_inserts_out_of_order"] = self._vt_events.inserted_out_of_order
+        return stats

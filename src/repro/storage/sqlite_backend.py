@@ -1,0 +1,234 @@
+"""A persistent storage engine over the standard-library ``sqlite3``.
+
+One table per engine instance holds the full bitemporal element set;
+transaction-time and valid-time B-tree indexes serve rollback and
+timeslice queries.  Time-stamps are stored as microsecond integers (the
+common exact time-line), so an element read back compares equal to the
+one stored even when its original granularity was coarser.
+
+Attribute values must be JSON-serializable (ints, floats, strings,
+booleans, lists, dicts); object surrogates must be strings, integers,
+or None.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
+from repro.relation.element import Element
+from repro.storage.base import StorageEngine
+
+#: Sentinel microsecond coordinates for unbounded valid-time endpoints.
+_NEG = -(2**62)
+_POS = 2**62
+
+
+def _encode_point(point: TimePoint) -> int:
+    if isinstance(point, Timestamp):
+        return point.microseconds
+    return _POS if point.is_positive else _NEG
+
+
+def _decode_point(coordinate: int) -> TimePoint:
+    if coordinate >= _POS:
+        return FOREVER
+    if coordinate <= _NEG:
+        return NEGATIVE_INFINITY
+    return Timestamp(coordinate, "microsecond")
+
+
+class SQLiteEngine(StorageEngine):
+    """Bitemporal storage in a SQLite table (file-backed or in-memory)."""
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS elements (
+            element_surrogate INTEGER PRIMARY KEY,
+            object_surrogate  TEXT,
+            tt_start          INTEGER NOT NULL,
+            tt_stop           INTEGER,
+            vt_kind           TEXT NOT NULL CHECK (vt_kind IN ('event', 'interval')),
+            vt_start          INTEGER NOT NULL,
+            vt_end            INTEGER,
+            time_invariant    TEXT NOT NULL,
+            time_varying      TEXT NOT NULL,
+            user_times        TEXT NOT NULL
+        );
+        CREATE INDEX IF NOT EXISTS elements_tt_start ON elements (tt_start);
+        CREATE INDEX IF NOT EXISTS elements_vt_start ON elements (vt_start);
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.executescript(self._SCHEMA)
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append(self, element: Element) -> None:
+        vt = element.vt
+        if isinstance(vt, Interval):
+            kind, vt_start, vt_end = "interval", _encode_point(vt.start), _encode_point(vt.end)
+        else:
+            kind, vt_start, vt_end = "event", vt.microseconds, None
+        try:
+            self._connection.execute(
+                "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    element.element_surrogate,
+                    json.dumps(element.object_surrogate),
+                    element.tt_start.microseconds,
+                    None if element.tt_stop is FOREVER else _encode_point(element.tt_stop),
+                    kind,
+                    vt_start,
+                    vt_end,
+                    json.dumps(dict(element.time_invariant)),
+                    json.dumps(dict(element.time_varying)),
+                    json.dumps({k: v.microseconds for k, v in element.user_times.items()}),
+                ),
+            )
+        except sqlite3.IntegrityError as error:
+            raise ValueError(
+                f"element surrogate {element.element_surrogate} already stored"
+            ) from error
+        self._connection.commit()
+
+    def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
+        element = self.get(element_surrogate)  # raises if absent
+        closed = element.closed(tt_stop)  # validates ordering / double delete
+        self._connection.execute(
+            "UPDATE elements SET tt_stop = ? WHERE element_surrogate = ?",
+            (tt_stop.microseconds, element_surrogate),
+        )
+        self._connection.commit()
+        return closed
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, element_surrogate: int) -> Element:
+        row = self._connection.execute(
+            "SELECT * FROM elements WHERE element_surrogate = ?", (element_surrogate,)
+        ).fetchone()
+        if row is None:
+            raise self._not_found(element_surrogate)
+        return self._decode(row)
+
+    def scan(self) -> Iterator[Element]:
+        cursor = self._connection.execute("SELECT * FROM elements ORDER BY tt_start")
+        for row in cursor:
+            yield self._decode(row)
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM elements").fetchone()
+        return count
+
+    # -- temporal access via SQL ------------------------------------------------------
+
+    def current(self) -> Iterator[Element]:
+        cursor = self._connection.execute(
+            "SELECT * FROM elements WHERE tt_stop IS NULL ORDER BY tt_start"
+        )
+        for row in cursor:
+            yield self._decode(row)
+
+    def as_of(self, tt: TimePoint) -> Iterator[Element]:
+        if not isinstance(tt, Timestamp):
+            if tt.is_positive:
+                yield from self.current()
+            return
+        cursor = self._connection.execute(
+            "SELECT * FROM elements WHERE tt_start <= ? "
+            "AND (tt_stop IS NULL OR tt_stop > ?) ORDER BY tt_start",
+            (tt.microseconds, tt.microseconds),
+        )
+        for row in cursor:
+            yield self._decode(row)
+
+    def valid_at(
+        self, vt: Timestamp, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        if as_of_tt is not None:
+            yield from super().valid_at(vt, as_of_tt)
+            return
+        coordinate = vt.microseconds
+        cursor = self._connection.execute(
+            "SELECT * FROM elements WHERE tt_stop IS NULL AND ("
+            " (vt_kind = 'event' AND vt_start = ?) OR"
+            " (vt_kind = 'interval' AND vt_start <= ? AND vt_end > ?)"
+            ") ORDER BY tt_start",
+            (coordinate, coordinate, coordinate),
+        )
+        for row in cursor:
+            yield self._decode(row)
+
+    def valid_overlapping(
+        self, window: Interval, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        if as_of_tt is not None:
+            yield from super().valid_overlapping(window, as_of_tt)
+            return
+        low = _encode_point(window.start)
+        high = _encode_point(window.end)
+        cursor = self._connection.execute(
+            "SELECT * FROM elements WHERE tt_stop IS NULL AND ("
+            " (vt_kind = 'event' AND vt_start >= ? AND vt_start < ?) OR"
+            " (vt_kind = 'interval' AND vt_start < ? AND vt_end > ?)"
+            ") ORDER BY tt_start",
+            (low, high, high, low),
+        )
+        for row in cursor:
+            yield self._decode(row)
+
+    # -- codecs --------------------------------------------------------------------------
+
+    @staticmethod
+    def _decode(row: Tuple[Any, ...]) -> Element:
+        (
+            surrogate,
+            object_surrogate,
+            tt_start,
+            tt_stop,
+            vt_kind,
+            vt_start,
+            vt_end,
+            invariant,
+            varying,
+            user_times,
+        ) = row
+        if vt_kind == "interval":
+            vt: Any = Interval(_decode_point(vt_start), _decode_point(vt_end))
+        else:
+            vt = Timestamp(vt_start, "microsecond")
+        return Element(
+            element_surrogate=surrogate,
+            object_surrogate=json.loads(object_surrogate),
+            tt_start=Timestamp(tt_start, "microsecond"),
+            tt_stop=FOREVER if tt_stop is None else Timestamp(tt_stop, "microsecond"),
+            vt=vt,
+            time_invariant=json.loads(invariant),
+            time_varying=json.loads(varying),
+            user_times={
+                key: Timestamp(value, "microsecond")
+                for key, value in json.loads(user_times).items()
+            },
+        )
+
+    def max_surrogate(self) -> int:
+        """Largest stored element surrogate (0 when empty); used to
+        re-seed the surrogate generator when re-opening a relation."""
+        (value,) = self._connection.execute(
+            "SELECT COALESCE(MAX(element_surrogate), 0) FROM elements"
+        ).fetchone()
+        return value

@@ -1,0 +1,97 @@
+"""Specialization-aware vacuuming of transaction-time history.
+
+A bitemporal store never physically deletes, so it grows without bound.
+Vacuuming trades history for space: fix a *rollback horizon* H and
+discard whatever no query with ``tt >= H`` can see -- exactly the
+elements whose existence interval ended before H.
+
+The taxonomy sharpens this.  For a relation with declared offset bounds
+``lower <= vt - tt <= upper``, a valid timeslice at any ``vt >= V`` can
+only touch elements with ``tt >= V - upper``; so a *valid-time interest
+floor* V (e.g. "we never ask about reality before last January")
+translates into a transaction-time horizon via the declared bounds
+(:func:`tt_horizon_for_valid_floor`), and vacuuming to that horizon
+provably preserves every remaining query answer -- one more instance of
+the paper's claim that the declared semantics drive storage decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chronos.timestamp import Timestamp
+from repro.query.planner import Planner
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.base import StorageEngine
+from repro.storage.memory import MemoryEngine
+
+
+@dataclass(frozen=True)
+class VacuumReport:
+    """What a vacuum pass did."""
+
+    horizon: Timestamp
+    kept: int
+    purged: int
+
+    @property
+    def total(self) -> int:
+        return self.kept + self.purged
+
+    @property
+    def space_saved_fraction(self) -> float:
+        return self.purged / self.total if self.total else 0.0
+
+
+def vacuum_engine(engine: StorageEngine, horizon: Timestamp) -> "tuple[MemoryEngine, VacuumReport]":
+    """A new engine holding only elements visible at or after *horizon*.
+
+    An element survives iff its existence interval extends to the
+    horizon (``tt_stop > horizon``) -- current elements always survive.
+    Rollback answers for ``tt >= horizon``, current queries, and valid
+    timeslices are unchanged (asserted by the test suite).
+    """
+    compacted = MemoryEngine()
+    kept = 0
+    purged = 0
+    for element in engine.scan():
+        if isinstance(element.tt_stop, Timestamp) and element.tt_stop <= horizon:
+            purged += 1
+            continue
+        compacted.append(element)
+        kept += 1
+    return compacted, VacuumReport(horizon=horizon, kept=kept, purged=purged)
+
+
+def vacuum_relation(relation: TemporalRelation, horizon: Timestamp) -> VacuumReport:
+    """Vacuum a relation in place (replaces its engine).
+
+    The relation's backlog, if kept, still holds full history; callers
+    wanting the space back should also compact it
+    (:meth:`repro.storage.backlog.Backlog.compact`).
+    """
+    compacted, report = vacuum_engine(relation.engine, horizon)
+    relation.engine = compacted
+    return report
+
+
+def tt_horizon_for_valid_floor(
+    relation: TemporalRelation, valid_floor: Timestamp
+) -> Optional[Timestamp]:
+    """The transaction horizon implied by a valid-time interest floor.
+
+    Uses the declared offset region (the planner's reasoning, reused):
+    with ``vt - tt <= upper``, elements relevant to any ``vt >=
+    valid_floor`` have ``tt >= valid_floor - upper``.  Returns None when
+    no upper offset is declared (the relation may store facts arbitrarily
+    far ahead of their validity, so no safe horizon follows).
+
+    Note the direction: vacuuming to this horizon preserves *valid
+    timeslices* at or above the floor; rollback queries below the
+    horizon are of course forfeited -- that is the point of vacuuming.
+    """
+    region = Planner(relation).declared_offset_region()
+    if region is None or region.upper is None:
+        return None
+    return Timestamp(valid_floor.microseconds - region.upper.offset, "microsecond")

@@ -1,0 +1,49 @@
+"""Synthetic workload generators for the paper's running examples.
+
+The paper motivates each specialization with an application; every one
+of those applications is reproduced here as a seeded, deterministic
+generator that drives a :class:`~repro.relation.temporal_relation.TemporalRelation`
+through a realistic update stream with exactly the promised (tt, vt)
+geometry:
+
+=====================  =============================================
+module                 paper example (specializations exercised)
+=====================  =============================================
+``monitoring``         chemical-plant sampling (retroactive, delayed
+                       retroactive, tt event regular)
+``payroll``            direct-deposit checks (predictive, early
+                       strongly predictively bounded, determined)
+``assignments``        employee project assignments (interval,
+                       retroactively bounded, per-surrogate
+                       sequential / non-decreasing)
+``accounting``         current-month ledger (strongly bounded)
+``orders``             pending orders <= 30 days ahead (predictively
+                       bounded)
+``archeology``         excavation of progressively earlier periods
+                       (globally non-increasing)
+``warning``            early-warning system (early predictive)
+``general``            unrestricted bitemporal traffic (baseline)
+=====================  =============================================
+"""
+
+from repro.workloads.accounting import generate_ledger
+from repro.workloads.archeology import generate_excavation
+from repro.workloads.assignments import generate_assignments
+from repro.workloads.base import Workload
+from repro.workloads.general import generate_general
+from repro.workloads.monitoring import generate_monitoring
+from repro.workloads.orders import generate_orders
+from repro.workloads.payroll import generate_payroll
+from repro.workloads.warning import generate_warnings
+
+__all__ = [
+    "Workload",
+    "generate_ledger",
+    "generate_excavation",
+    "generate_assignments",
+    "generate_general",
+    "generate_monitoring",
+    "generate_orders",
+    "generate_payroll",
+    "generate_warnings",
+]

@@ -1,0 +1,61 @@
+"""The accounting ledger (the paper's strongly bounded example).
+
+"Here, information concerns only the current situation, except that
+recently valid information and information valid in the near future can
+be recorded and updated.  An example is an accounting relation
+recording the current month's transactions.  Corrections to entries of
+previous months are stored as compensating transactions in the current
+month."
+"""
+
+from __future__ import annotations
+
+from repro.chronos.timestamp import Timestamp
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.workloads.base import Workload, driver_clock, seeded
+
+DAY = 86_400
+
+
+def generate_ledger(
+    entries: int = 300,
+    past_bound_days: int = 5,
+    future_bound_days: int = 3,
+    correction_rate: float = 0.1,
+    seed: int = 1992,
+) -> Workload:
+    """Ledger entries whose effective dates stay within a few days of
+    the posting date; a fraction are compensating corrections (posted
+    now, effective a few days back)."""
+    schema = TemporalSchema(
+        name="ledger",
+        time_varying=("amount", "kind"),
+        specializations=[f"strongly bounded({past_bound_days}d, {future_bound_days}d)"],
+    )
+    rng = seeded(seed)
+    clock = driver_clock()
+    relation = TemporalRelation(schema, clock=clock)
+    posted = 0
+    for _ in range(entries):
+        posted += rng.randint(600, DAY // 4)
+        clock.advance_to(Timestamp(posted))
+        if rng.random() < correction_rate:
+            effective = posted - rng.randint(0, past_bound_days * DAY)
+            kind = "compensating"
+        else:
+            effective = posted + rng.randint(0, future_bound_days * DAY)
+            kind = "regular"
+        relation.insert(
+            f"entry-{posted}",
+            Timestamp(effective),
+            {"amount": rng.randint(-5000, 5000), "kind": kind},
+        )
+    return Workload(
+        relation=relation,
+        description=(
+            f"{entries} ledger entries, effective dates within "
+            f"-{past_bound_days}d..+{future_bound_days}d of posting"
+        ),
+        guaranteed=[f"strongly bounded({past_bound_days}d, {future_bound_days}d)"],
+    )

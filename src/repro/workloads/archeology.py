@@ -1,0 +1,50 @@
+"""The archeology relation (the paper's non-increasing example).
+
+"As transaction time proceeds, we enter information that is valid
+further and further into the past.  An example is an archeological
+relation that records information about progressively earlier periods
+uncovered as excavation proceeds."
+"""
+
+from __future__ import annotations
+
+from repro.chronos.timestamp import Timestamp
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.workloads.base import Workload, driver_clock, seeded
+
+DAY = 86_400
+YEAR = 365 * DAY
+
+
+def generate_excavation(
+    strata: int = 60,
+    dig_days_between_finds: int = 3,
+    years_per_stratum: int = 150,
+    seed: int = 1992,
+) -> Workload:
+    """Each find documents an earlier period than every previous find."""
+    schema = TemporalSchema(
+        name="excavation",
+        time_varying=("artifact", "depth_cm"),
+        specializations=["globally non-increasing", "retroactive"],
+    )
+    rng = seeded(seed)
+    clock = driver_clock()
+    relation = TemporalRelation(schema, clock=clock)
+    dig_time = 0
+    period = 0  # seconds relative to the epoch; strictly decreasing
+    for stratum in range(strata):
+        dig_time += rng.randint(1, dig_days_between_finds) * DAY
+        period -= rng.randint(1, years_per_stratum) * YEAR
+        clock.advance_to(Timestamp(dig_time))
+        relation.insert(
+            f"stratum-{stratum}",
+            Timestamp(period),
+            {"artifact": f"shard-{rng.randint(1, 999)}", "depth_cm": 10 * (stratum + 1)},
+        )
+    return Workload(
+        relation=relation,
+        description=f"{strata} strata, each dated earlier than the last",
+        guaranteed=["globally non-increasing", "retroactive"],
+    )

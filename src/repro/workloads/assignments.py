@@ -1,0 +1,100 @@
+"""Employee project assignments (the paper's interval running example).
+
+"A relation recording the project each employee is assigned to.  While
+assignments may be recorded arbitrarily into the future, an assignment
+is required to be recorded in the database no later than one month
+after it is effective" -- retroactively bounded.  "If the assignment for
+the next week is recorded during the weekend then this relation will be
+per surrogate sequential"; recording on Thursday instead makes it
+per-surrogate non-decreasing but not sequential (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.interval_inter import (
+    IntervalGloballyNonDecreasing,
+    IntervalGloballySequential,
+)
+from repro.core.taxonomy.partition import PerPartition
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+from repro.workloads.base import Workload, driver_clock, seeded
+
+DAY = 86_400
+WEEK = 7 * DAY
+
+PROJECTS = ("apollo", "borealis", "cascade", "dunes")
+
+
+def generate_assignments(
+    employees: int = 6,
+    weeks: int = 26,
+    record_on: str = "weekend",
+    seed: int = 1992,
+) -> Workload:
+    """Weekly assignment intervals for each employee.
+
+    ``record_on="weekend"`` records each week's assignment during the
+    preceding weekend (per-surrogate **sequential**); ``"thursday"``
+    records it on the Thursday before, inside the current week's
+    interval (per-surrogate **non-decreasing** but not sequential).
+    """
+    if record_on not in ("weekend", "thursday"):
+        raise ValueError("record_on must be 'weekend' or 'thursday'")
+    sequential = record_on == "weekend"
+    per_partition = PerPartition(
+        IntervalGloballySequential() if sequential else IntervalGloballyNonDecreasing()
+    )
+    schema = TemporalSchema(
+        name="assignments",
+        valid_time_kind=ValidTimeKind.INTERVAL,
+        key=("badge",),
+        time_invariant=("badge",),
+        time_varying=("project",),
+        specializations=[per_partition],
+    )
+    rng = seeded(seed)
+    clock = driver_clock()
+    relation = TemporalRelation(schema, clock=clock)
+    # Assignments cover the five working days (Monday through the end
+    # of Friday); the weekend is outside every interval, which is what
+    # makes weekend recording sequential: the previous week's interval
+    # has both occurred and been stored before the next one commences.
+    working_days = 5 * DAY
+    entries = []
+    for employee in range(employees):
+        for week in range(1, weeks + 1):
+            week_start = week * WEEK
+            if sequential:
+                # Saturday or Sunday before the week starts.
+                stored = week_start - rng.randint(1, 2) * DAY + employee
+            else:
+                # Thursday inside the current week's interval.
+                stored = week_start - 4 * DAY + employee
+            entries.append(
+                (
+                    stored,
+                    week_start,
+                    f"badge-{employee}",
+                    PROJECTS[rng.randrange(len(PROJECTS))],
+                )
+            )
+    entries.sort()
+    for stored, week_start, badge, project in entries:
+        clock.advance_to(Timestamp(stored))
+        relation.insert(
+            badge,
+            Interval(Timestamp(week_start), Timestamp(week_start + working_days)),
+            {"badge": badge, "project": project},
+        )
+    mode = "sequential" if sequential else "non-decreasing"
+    return Workload(
+        relation=relation,
+        description=(
+            f"{employees} employees x {weeks} weeks, recorded on "
+            f"{record_on} (per-surrogate {mode})"
+        ),
+        guaranteed=[f"per-surrogate globally {mode}"],
+    )

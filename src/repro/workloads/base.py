@@ -1,0 +1,33 @@
+"""Common scaffolding for workload generators."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.relation.temporal_relation import TemporalRelation
+
+
+@dataclass
+class Workload:
+    """A generated relation plus its provenance."""
+
+    relation: TemporalRelation
+    description: str
+    #: Names of the specializations the generator guarantees by
+    #: construction (what inference is expected to recover).
+    guaranteed: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.description!r}, {len(self.relation)} elements)"
+
+
+def seeded(seed: int) -> random.Random:
+    """A dedicated RNG; generators never touch the global random state."""
+    return random.Random(seed)
+
+
+def driver_clock(start: int = 0, granularity: str = "second") -> SimulatedWallClock:
+    return SimulatedWallClock(start=start, granularity=granularity)

@@ -1,0 +1,45 @@
+"""Unrestricted bitemporal traffic -- the baseline every specialized
+workload is compared against (no declared specializations, offsets in
+both directions, interleaved logical deletions)."""
+
+from __future__ import annotations
+
+from repro.chronos.timestamp import Timestamp
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.workloads.base import Workload, driver_clock, seeded
+
+DAY = 86_400
+
+
+def generate_general(
+    inserts: int = 500,
+    max_offset_days: int = 30,
+    delete_rate: float = 0.2,
+    seed: int = 1992,
+) -> Workload:
+    """Inserts with offsets uniform in +-max_offset_days; a fraction of
+    earlier elements are logically deleted along the way."""
+    schema = TemporalSchema(name="general_traffic", time_varying=("payload",))
+    rng = seeded(seed)
+    clock = driver_clock()
+    relation = TemporalRelation(schema, clock=clock)
+    stored = 0
+    live: list = []
+    for number in range(inserts):
+        stored += rng.randint(60, 7_200)
+        clock.advance_to(Timestamp(stored))
+        if live and rng.random() < delete_rate:
+            victim = live.pop(rng.randrange(len(live)))
+            relation.delete(victim)
+            continue
+        offset = rng.randint(-max_offset_days * DAY, max_offset_days * DAY)
+        element = relation.insert(
+            f"obj-{number}", Timestamp(stored + offset), {"payload": number}
+        )
+        live.append(element.element_surrogate)
+    return Workload(
+        relation=relation,
+        description=f"{inserts} unrestricted updates, +-{max_offset_days}d offsets",
+        guaranteed=[],
+    )

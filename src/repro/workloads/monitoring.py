@@ -1,0 +1,98 @@
+"""Chemical-plant process monitoring (Section 3.1's running example).
+
+"Retroactive relations are common in monitoring situations, such as
+process control in a chemical production plant, where variables such as
+temperature and pressure are periodically sampled and stored in a
+database for subsequent analysis.  Further, it is often the case that
+some (non-negative) minimum delay between the actual time of measurement
+and the time of storage can be determined."
+
+Sensors sample on a fixed period (making the relation transaction-time
+event regular per sensor when delays are constant, and retroactive /
+delayed retroactive always); transmission delay is uniform in
+``[min_delay, max_delay]`` seconds.
+"""
+
+from __future__ import annotations
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.workloads.base import Workload, driver_clock, seeded
+
+
+def generate_monitoring(
+    sensors: int = 4,
+    samples_per_sensor: int = 100,
+    period_seconds: int = 60,
+    min_delay_seconds: int = 30,
+    max_delay_seconds: int = 55,
+    seed: int = 1992,
+) -> Workload:
+    """Build the temperature relation of the paper's example.
+
+    With ``min_delay_seconds > 0`` the relation is delayed retroactive
+    with that bound; it is always strongly retroactively bounded by
+    ``max_delay_seconds``.
+    """
+    if not 0 <= min_delay_seconds <= max_delay_seconds:
+        raise ValueError("delays must satisfy 0 <= min <= max")
+    if max_delay_seconds >= period_seconds:
+        raise ValueError("delays beyond one period would reorder arrivals")
+    if max_delay_seconds - sensors < min_delay_seconds:
+        raise ValueError(
+            "max_delay must exceed min_delay by at least the sensor count "
+            "(colliding arrivals are serialized by bumping the store time)"
+        )
+    declared = [
+        "retroactive",
+        f"delayed retroactive({min_delay_seconds}s)" if min_delay_seconds else None,
+        f"delayed strongly retroactively bounded({min_delay_seconds}s, {max_delay_seconds}s)"
+        if min_delay_seconds
+        else f"strongly retroactively bounded({max_delay_seconds}s)",
+    ]
+    schema = TemporalSchema(
+        name="plant_temperatures",
+        key=("sensor",),
+        time_invariant=("sensor",),
+        time_varying=("celsius", "pressure_kpa"),
+        specializations=[spec for spec in declared if spec],
+    )
+    rng = seeded(seed)
+    clock = driver_clock()
+    relation = TemporalRelation(schema, clock=clock)
+
+    arrivals = []
+    for sensor in range(sensors):
+        for tick in range(samples_per_sensor):
+            measured = tick * period_seconds + sensor  # sensors offset by 1s
+            # Reserve `sensors` seconds of head-room: simultaneous
+            # arrivals are serialized one second apart by the clock, and
+            # the bumped store times must still respect max_delay.
+            delay = rng.randint(min_delay_seconds, max_delay_seconds - sensors)
+            arrivals.append(
+                (
+                    measured + delay,
+                    measured,
+                    f"sensor-{sensor}",
+                    round(20 + 10 * rng.random(), 3),
+                    round(101 + 5 * rng.random(), 3),
+                )
+            )
+    arrivals.sort()
+    for stored, measured, sensor, celsius, pressure in arrivals:
+        clock.advance_to(Timestamp(stored))
+        relation.insert(
+            sensor,
+            Timestamp(measured),
+            {"sensor": sensor, "celsius": celsius, "pressure_kpa": pressure},
+        )
+    return Workload(
+        relation=relation,
+        description=(
+            f"{sensors} sensors x {samples_per_sensor} samples, period "
+            f"{period_seconds}s, delays {min_delay_seconds}-{max_delay_seconds}s"
+        ),
+        guaranteed=[spec for spec in declared if spec],
+    )

@@ -1,0 +1,51 @@
+"""The order database (the paper's predictively bounded example).
+
+"An order database in which pending orders, constrained by company
+policy to be no more than 30 days in the future, are stored along with
+previously filled orders."
+"""
+
+from __future__ import annotations
+
+from repro.chronos.timestamp import Timestamp
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.workloads.base import Workload, driver_clock, seeded
+
+DAY = 86_400
+
+
+def generate_orders(
+    orders: int = 400,
+    horizon_days: int = 30,
+    backfill_rate: float = 0.4,
+    seed: int = 1992,
+) -> Workload:
+    """Orders due at most *horizon_days* ahead; a fraction are records
+    of past (filled) orders, which may be arbitrarily old."""
+    schema = TemporalSchema(
+        name="orders",
+        time_varying=("sku", "quantity"),
+        specializations=[f"predictively bounded({horizon_days}d)"],
+    )
+    rng = seeded(seed)
+    clock = driver_clock()
+    relation = TemporalRelation(schema, clock=clock)
+    recorded = 10**6  # leave room for old filled orders in the past
+    for number in range(orders):
+        recorded += rng.randint(300, 3 * 3600)
+        clock.advance_to(Timestamp(recorded))
+        if rng.random() < backfill_rate:
+            due = recorded - rng.randint(0, 10**6)  # old filled order
+        else:
+            due = recorded + rng.randint(0, horizon_days * DAY)
+        relation.insert(
+            f"order-{number}",
+            Timestamp(due),
+            {"sku": f"sku-{rng.randint(1, 50)}", "quantity": rng.randint(1, 100)},
+        )
+    return Workload(
+        relation=relation,
+        description=f"{orders} orders, pending due dates capped at +{horizon_days}d",
+        guaranteed=[f"predictively bounded({horizon_days}d)"],
+    )

@@ -1,0 +1,55 @@
+"""The early-warning system (the paper's early predictive example).
+
+"This type of relation may be encountered within early warning systems
+where warnings must be received sometime in advance."
+"""
+
+from __future__ import annotations
+
+from repro.chronos.timestamp import Timestamp
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.workloads.base import Workload, driver_clock, seeded
+
+HOUR = 3_600
+
+EVENTS = ("storm", "flood", "frost", "heatwave")
+
+
+def generate_warnings(
+    warnings: int = 150,
+    min_notice_hours: int = 6,
+    max_notice_hours: int = 72,
+    seed: int = 1992,
+) -> Workload:
+    """Warnings issued between 6 and 72 hours before the event."""
+    if not 0 < min_notice_hours <= max_notice_hours:
+        raise ValueError("notice bounds must satisfy 0 < min <= max")
+    schema = TemporalSchema(
+        name="warnings",
+        time_varying=("event", "severity"),
+        specializations=[
+            f"early predictive({min_notice_hours}h)",
+            f"early strongly predictively bounded({min_notice_hours}h, {max_notice_hours}h)",
+        ],
+    )
+    rng = seeded(seed)
+    clock = driver_clock()
+    relation = TemporalRelation(schema, clock=clock)
+    issued = 0
+    for _ in range(warnings):
+        issued += rng.randint(600, 8 * HOUR)
+        clock.advance_to(Timestamp(issued))
+        notice = rng.randint(min_notice_hours * HOUR + 60, max_notice_hours * HOUR)
+        relation.insert(
+            f"warning-{issued}",
+            Timestamp(issued + notice),
+            {"event": rng.choice(EVENTS), "severity": rng.randint(1, 5)},
+        )
+    return Workload(
+        relation=relation,
+        description=(
+            f"{warnings} warnings issued {min_notice_hours}-{max_notice_hours}h ahead"
+        ),
+        guaranteed=[f"early predictive({min_notice_hours}h)"],
+    )

@@ -1,0 +1,155 @@
+"""Unit and property tests for Allen's thirteen interval relations.
+
+These tests constitute the E5 structural reproduction: the thirteen
+relations are total, mutually exclusive, and correctly paired with their
+inverses, matching [All83] as cited in Section 3.4 of the paper.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given
+
+from repro.chronos.allen import AllenRelation, allen_relation, compose
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+
+from tests.conftest import intervals
+
+
+def iv(start: int, end: int) -> Interval:
+    return Interval(Timestamp(start), Timestamp(end))
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            (iv(0, 2), iv(3, 5), AllenRelation.BEFORE),
+            (iv(0, 3), iv(3, 5), AllenRelation.MEETS),
+            (iv(0, 4), iv(3, 6), AllenRelation.OVERLAPS),
+            (iv(0, 2), iv(0, 5), AllenRelation.STARTS),
+            (iv(1, 4), iv(0, 5), AllenRelation.DURING),
+            (iv(3, 5), iv(0, 5), AllenRelation.FINISHES),
+            (iv(0, 5), iv(0, 5), AllenRelation.EQUAL),
+            (iv(3, 5), iv(0, 2), AllenRelation.BEFORE_INVERSE),
+            (iv(3, 5), iv(0, 3), AllenRelation.MEETS_INVERSE),
+            (iv(3, 6), iv(0, 4), AllenRelation.OVERLAPS_INVERSE),
+            (iv(0, 5), iv(0, 2), AllenRelation.STARTS_INVERSE),
+            (iv(0, 5), iv(1, 4), AllenRelation.DURING_INVERSE),
+            (iv(0, 5), iv(3, 5), AllenRelation.FINISHES_INVERSE),
+        ],
+    )
+    def test_each_relation_has_a_witness(self, a, b, expected):
+        assert allen_relation(a, b) is expected
+
+    def test_thirteen_relations_exist(self):
+        assert len(AllenRelation) == 13
+
+    def test_all_thirteen_realizable(self):
+        """Every relation is realized by some pair over small endpoints."""
+        points = [Timestamp(i) for i in range(5)]
+        pairs = [
+            Interval(points[i], points[j])
+            for i, j in itertools.combinations(range(5), 2)
+        ]
+        seen = {allen_relation(a, b) for a in pairs for b in pairs}
+        assert seen == set(AllenRelation)
+
+    @given(intervals(), intervals())
+    def test_total_and_single_valued(self, a, b):
+        # allen_relation always returns exactly one member: totality is
+        # the absence of exceptions, exclusivity is the inverse check.
+        relation = allen_relation(a, b)
+        assert isinstance(relation, AllenRelation)
+
+    @given(intervals(), intervals())
+    def test_inverse_relationship(self, a, b):
+        assert allen_relation(a, b).inverse is allen_relation(b, a)
+
+    @given(intervals())
+    def test_equal_is_reflexive(self, a):
+        assert allen_relation(a, a) is AllenRelation.EQUAL
+
+    def test_mutual_exclusion_via_defining_predicates(self):
+        """Check the 13 textbook predicates directly: exactly one holds."""
+        points = [Timestamp(i) for i in range(6)]
+        pairs = [
+            Interval(points[i], points[j])
+            for i, j in itertools.combinations(range(6), 2)
+        ]
+        for a, b in itertools.product(pairs, repeat=2):
+            matches = [rel for rel in AllenRelation if _defining(rel, a, b)]
+            assert matches == [allen_relation(a, b)]
+
+
+def _defining(rel: AllenRelation, a: Interval, b: Interval) -> bool:
+    """The independent textbook definition of each relation."""
+    s1, e1, s2, e2 = a.start, a.end, b.start, b.end
+    if rel is AllenRelation.BEFORE:
+        return e1 < s2
+    if rel is AllenRelation.MEETS:
+        return e1 == s2
+    if rel is AllenRelation.OVERLAPS:
+        return s1 < s2 < e1 < e2
+    if rel is AllenRelation.STARTS:
+        return s1 == s2 and e1 < e2
+    if rel is AllenRelation.DURING:
+        return s2 < s1 and e1 < e2
+    if rel is AllenRelation.FINISHES:
+        return e1 == e2 and s2 < s1
+    if rel is AllenRelation.EQUAL:
+        return s1 == s2 and e1 == e2
+    return _defining(rel.inverse, b, a)
+
+
+class TestInverses:
+    def test_equal_is_self_inverse(self):
+        assert AllenRelation.EQUAL.inverse is AllenRelation.EQUAL
+
+    def test_inverse_is_involution(self):
+        for rel in AllenRelation:
+            assert rel.inverse.inverse is rel
+
+    def test_is_inverse_flag(self):
+        assert AllenRelation.BEFORE_INVERSE.is_inverse
+        assert not AllenRelation.BEFORE.is_inverse
+        assert not AllenRelation.EQUAL.is_inverse
+
+
+class TestComposition:
+    def test_before_before_is_before(self):
+        assert compose(AllenRelation.BEFORE, AllenRelation.BEFORE) == {AllenRelation.BEFORE}
+
+    def test_meets_meets_is_before(self):
+        assert compose(AllenRelation.MEETS, AllenRelation.MEETS) == {AllenRelation.BEFORE}
+
+    def test_equal_is_identity(self):
+        for rel in AllenRelation:
+            assert compose(AllenRelation.EQUAL, rel) == {rel}
+            assert compose(rel, AllenRelation.EQUAL) == {rel}
+
+    def test_overlaps_overlaps(self):
+        assert compose(AllenRelation.OVERLAPS, AllenRelation.OVERLAPS) == {
+            AllenRelation.BEFORE,
+            AllenRelation.MEETS,
+            AllenRelation.OVERLAPS,
+        }
+
+    def test_all_169_entries_defined_and_nonempty(self):
+        for r1 in AllenRelation:
+            for r2 in AllenRelation:
+                assert compose(r1, r2)
+
+    @given(intervals(), intervals(), intervals())
+    def test_composition_soundness(self, a, b, c):
+        """The actual A-to-C relation is always in compose(A->B, B->C)."""
+        assert allen_relation(a, c) in compose(allen_relation(a, b), allen_relation(b, c))
+
+    def test_composition_respects_inverse_symmetry(self):
+        """compose(r1, r2) inverse-mirrors compose(r2^-1, r1^-1)."""
+        for r1 in AllenRelation:
+            for r2 in AllenRelation:
+                direct = compose(r1, r2)
+                mirrored = {rel.inverse for rel in compose(r2.inverse, r1.inverse)}
+                assert direct == mirrored

@@ -1,0 +1,131 @@
+"""Unit and property tests for the proleptic Gregorian calendar."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.calendar import (
+    GregorianDate,
+    add_months,
+    add_years,
+    date_to_ordinal,
+    days_in_month,
+    days_in_year,
+    is_leap_year,
+    ordinal_to_date,
+)
+
+
+class TestLeapYears:
+    @pytest.mark.parametrize("year", [1992, 1996, 2000, 2024, 2400])
+    def test_leap(self, year):
+        assert is_leap_year(year)
+
+    @pytest.mark.parametrize("year", [1900, 2100, 1991, 2026])
+    def test_not_leap(self, year):
+        assert not is_leap_year(year)
+
+    def test_days_in_year(self):
+        assert days_in_year(2024) == 366
+        assert days_in_year(2026) == 365
+
+
+class TestDaysInMonth:
+    def test_february(self):
+        assert days_in_month(2024, 2) == 29
+        assert days_in_month(2026, 2) == 28
+
+    def test_thirty_and_thirty_one(self):
+        assert days_in_month(2026, 4) == 30
+        assert days_in_month(2026, 7) == 31
+
+    def test_invalid_month(self):
+        with pytest.raises(ValueError):
+            days_in_month(2026, 13)
+
+
+class TestOrdinals:
+    def test_epoch(self):
+        assert date_to_ordinal(1, 1, 1) == 0
+        assert ordinal_to_date(0) == GregorianDate(1, 1, 1)
+
+    def test_against_datetime(self):
+        for date in (
+            datetime.date(1992, 2, 3),
+            datetime.date(2000, 2, 29),
+            datetime.date(2026, 7, 5),
+            datetime.date(1, 12, 31),
+        ):
+            ours = date_to_ordinal(date.year, date.month, date.day)
+            assert ours == date.toordinal() - 1
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_roundtrip(self, ordinal):
+        date = ordinal_to_date(ordinal)
+        assert date.to_ordinal() == ordinal
+
+    @given(
+        st.integers(min_value=1, max_value=3000),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=28),
+    )
+    def test_roundtrip_from_date(self, year, month, day):
+        ordinal = date_to_ordinal(year, month, day)
+        assert ordinal_to_date(ordinal) == GregorianDate(year, month, day)
+
+    def test_invalid_day_rejected(self):
+        with pytest.raises(ValueError):
+            date_to_ordinal(2026, 2, 29)
+
+
+class TestGregorianDate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GregorianDate(2026, 2, 29)
+        with pytest.raises(ValueError):
+            GregorianDate(2026, 0, 1)
+
+    def test_ordering(self):
+        assert GregorianDate(2026, 1, 31) < GregorianDate(2026, 2, 1)
+
+    def test_str(self):
+        assert str(GregorianDate(1992, 2, 3)) == "1992-02-03"
+
+
+class TestAddMonths:
+    def test_simple(self):
+        assert add_months(GregorianDate(2026, 1, 15), 1) == GregorianDate(2026, 2, 15)
+
+    def test_clamping_to_short_month(self):
+        # The paper's "one month contains 28 to 31 days" example.
+        assert add_months(GregorianDate(2026, 1, 31), 1) == GregorianDate(2026, 2, 28)
+        assert add_months(GregorianDate(2024, 1, 31), 1) == GregorianDate(2024, 2, 29)
+
+    def test_year_rollover(self):
+        assert add_months(GregorianDate(2026, 11, 30), 3) == GregorianDate(2027, 2, 28)
+        assert add_months(GregorianDate(2026, 1, 15), -2) == GregorianDate(2025, 11, 15)
+
+    @given(
+        st.integers(min_value=1900, max_value=2100),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=28),
+        st.integers(min_value=-60, max_value=60),
+    )
+    def test_day_at_most_original(self, year, month, day, months):
+        shifted = add_months(GregorianDate(year, month, day), months)
+        assert shifted.day <= day or shifted.day == day
+
+    @given(
+        st.integers(min_value=1900, max_value=2100),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=28),
+        st.integers(min_value=-24, max_value=24),
+    )
+    def test_inverse_for_safe_days(self, year, month, day, months):
+        # Days <= 28 never clamp, so adding then subtracting months is exact.
+        date = GregorianDate(year, month, day)
+        assert add_months(add_months(date, months), -months) == date
+
+    def test_add_years_leap_clamp(self):
+        assert add_years(GregorianDate(2024, 2, 29), 1) == GregorianDate(2025, 2, 28)

@@ -1,0 +1,60 @@
+"""Unit tests for transaction-time generators."""
+
+import pytest
+
+from repro.chronos.clock import LogicalClock, SimulatedWallClock
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+
+
+class TestLogicalClock:
+    def test_strictly_increasing(self):
+        clock = LogicalClock()
+        stamps = [clock.now() for _ in range(100)]
+        assert all(a < b for a, b in zip(stamps, stamps[1:]))
+
+    def test_start_offset(self):
+        assert LogicalClock(start=42).now() == Timestamp(42)
+
+    def test_peek_does_not_consume(self):
+        clock = LogicalClock()
+        assert clock.peek() == clock.peek() == clock.now()
+
+
+class TestSimulatedWallClock:
+    def test_advance(self):
+        clock = SimulatedWallClock()
+        clock.advance(Duration(10))
+        assert clock.now() == Timestamp(10)
+
+    def test_uniqueness_under_bursts(self):
+        """Multiple now() calls without advancing still yield unique stamps."""
+        clock = SimulatedWallClock()
+        stamps = [clock.now() for _ in range(5)]
+        assert len(set(stamps)) == 5
+        assert all(a < b for a, b in zip(stamps, stamps[1:]))
+
+    def test_advance_to(self):
+        clock = SimulatedWallClock()
+        clock.advance_to(Timestamp(100))
+        assert clock.now() == Timestamp(100)
+        clock.advance_to(Timestamp(50))  # no going back
+        assert clock.now() > Timestamp(100)
+
+    def test_cannot_move_backwards(self):
+        clock = SimulatedWallClock()
+        with pytest.raises(ValueError):
+            clock.advance(Duration(-1))
+
+    def test_monotone_after_burst_then_advance(self):
+        clock = SimulatedWallClock()
+        burst = [clock.now() for _ in range(3)]
+        clock.advance(Duration(1))  # less than the burst consumed
+        assert clock.now() > burst[-1]
+
+    def test_peek(self):
+        clock = SimulatedWallClock()
+        clock.advance(Duration(7))
+        assert clock.peek() == Timestamp(7)
+        assert clock.now() == Timestamp(7)
+        assert clock.peek() == Timestamp(8)

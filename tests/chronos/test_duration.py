@@ -1,0 +1,104 @@
+"""Unit and property tests for fixed and calendric durations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.calendar import GregorianDate
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.chronos.granularity import Granularity
+from repro.chronos.timestamp import Timestamp
+
+
+class TestDuration:
+    def test_requires_int(self):
+        with pytest.raises(TypeError):
+            Duration(1.5)
+
+    def test_microseconds(self):
+        assert Duration(2, "minute").microseconds == 120_000_000
+
+    def test_zero(self):
+        assert Duration.zero().is_zero()
+        assert not Duration(1).is_zero()
+
+    def test_negative(self):
+        assert Duration(-1).is_negative()
+        assert not Duration(0).is_negative()
+
+    def test_addition_mixed_granularity(self):
+        assert Duration(1, "minute") + Duration(30, "second") == Duration(90, "second")
+
+    def test_subtraction_and_negation(self):
+        assert Duration(10) - Duration(4) == Duration(6)
+        assert -Duration(5) == Duration(-5)
+
+    def test_scalar_multiplication(self):
+        assert Duration(3) * 4 == Duration(12)
+        assert 4 * Duration(3) == Duration(12)
+
+    def test_floordiv_by_duration_gives_count(self):
+        assert Duration(90, "second") // Duration(1, "minute") == 1
+        assert Duration(120, "second") // Duration(1, "minute") == 2
+
+    def test_floordiv_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Duration(1) // Duration(0)
+
+    def test_mod(self):
+        assert Duration(90, "second") % Duration(1, "minute") == Duration(30, "second")
+
+    def test_ordering(self):
+        assert Duration(59, "second") < Duration(1, "minute")
+        assert Duration(60, "second") == Duration(1, "minute")
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_addition_commutes(self, a, b):
+        assert Duration(a) + Duration(b) == Duration(b) + Duration(a)
+
+    @given(st.integers(-10**6, 10**6))
+    def test_negation_involution(self, ticks):
+        assert -(-Duration(ticks)) == Duration(ticks)
+
+
+class TestCalendricDuration:
+    def test_years_are_twelve_months(self):
+        assert CalendricDuration(years=2) == CalendricDuration(months=24)
+
+    def test_requires_ints(self):
+        with pytest.raises(TypeError):
+            CalendricDuration(months=1.5)
+
+    def test_negation(self):
+        assert -CalendricDuration(months=3) == CalendricDuration(months=-3)
+
+    def test_variable_realized_length(self):
+        # One month after 1 Feb is 28 days; after 1 Jul it is 31 days.
+        feb = Timestamp.from_date(2026, 2, 1)
+        jul = Timestamp.from_date(2026, 7, 1)
+        month = CalendricDuration(months=1)
+        assert (feb + month) - feb == Duration(28, "day")
+        assert (jul + month) - jul == Duration(31, "day")
+
+    def test_add_to_via_operator(self):
+        ts = Timestamp.from_date(2026, 1, 15)
+        assert (ts + CalendricDuration(months=1)).to_date() == GregorianDate(2026, 2, 15)
+
+    def test_subtract_via_operator(self):
+        ts = Timestamp.from_date(2026, 3, 31)
+        assert (ts - CalendricDuration(months=1)).to_date() == GregorianDate(2026, 2, 28)
+
+    @given(
+        st.integers(min_value=1950, max_value=2050),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=28),
+        st.integers(min_value=-36, max_value=36),
+    )
+    def test_roundtrip_safe_days(self, year, month, day, months):
+        ts = Timestamp.from_date(year, month, day)
+        duration = CalendricDuration(months=months)
+        assert ((ts + duration) - duration) == ts
+
+    def test_result_granularity_preserved_for_day_stamps(self):
+        ts = Timestamp.from_date(2026, 1, 15)
+        shifted = ts + CalendricDuration(months=1)
+        assert shifted.granularity is Granularity.DAY

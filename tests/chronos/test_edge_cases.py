@@ -1,0 +1,102 @@
+"""Edge-case tests across the chronos substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.duration import Duration
+from repro.chronos.granularity import Granularity
+from repro.chronos.interval import Interval
+from repro.chronos.period import Period
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, Timestamp
+
+
+class TestTimestampRefinement:
+    def test_adding_non_multiple_duration_refines_granularity(self):
+        # 1 minute + 30 seconds cannot stay at minute granularity.
+        result = Timestamp(1, "minute") + Duration(30, "second")
+        assert result.granularity is Granularity.SECOND
+        assert result == Timestamp(90, "second")
+
+    def test_adding_multiple_keeps_granularity(self):
+        result = Timestamp(1, "minute") + Duration(120, "second")
+        assert result.granularity is Granularity.MINUTE
+
+    def test_odd_microsecond_offsets(self):
+        result = Timestamp(1, "second") + Duration(1, "microsecond")
+        assert result.granularity is Granularity.MICROSECOND
+        assert result.microseconds == 1_000_001
+
+    @given(st.integers(-10**9, 10**9))
+    def test_at_granularity_floors(self, micro):
+        ts = Timestamp(micro, "microsecond")
+        floored = ts.at_granularity("second")
+        assert floored <= ts
+        assert ts.microseconds - floored.microseconds < 1_000_000
+
+
+class TestDurationEdge:
+    def test_floordiv_negative_duration(self):
+        assert Duration(-90, "second") // Duration(1, "minute") == -2
+
+    def test_floordiv_int(self):
+        assert Duration(90, "second") // 2 == Duration(45, "second")
+
+    def test_mod_returns_microsecond_remainder(self):
+        remainder = Duration(61, "second") % Duration(1, "minute")
+        assert remainder == Duration(1, "second")
+        assert remainder.granularity is Granularity.MICROSECOND
+
+    def test_mod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Duration(1) % Duration(0)
+
+    def test_mixed_granularity_comparisons(self):
+        assert Duration(1, "day") == Duration(24, "hour")
+        assert Duration(1, "week") > Duration(6, "day")
+
+
+class TestIntervalsWithSentinels:
+    def test_always_interval(self):
+        always = Interval(NEGATIVE_INFINITY, FOREVER)
+        assert always.contains_point(Timestamp(-(10**15)))
+        assert always.contains_point(Timestamp(10**15))
+        assert not always.is_bounded
+
+    def test_open_ended_overlap(self):
+        current = Interval(Timestamp(10), FOREVER)
+        past = Interval(NEGATIVE_INFINITY, Timestamp(10))
+        assert not current.overlaps(past)
+        assert past.meets(current)
+        assert past.union(current) == Interval(NEGATIVE_INFINITY, FOREVER)
+
+    def test_difference_with_unbounded_cut(self):
+        base = Interval(Timestamp(0), Timestamp(10))
+        pieces = list(base.difference(Interval(Timestamp(5), FOREVER)))
+        assert pieces == [Interval(Timestamp(0), Timestamp(5))]
+
+
+class TestPeriodWithSentinels:
+    def test_complement_style_difference(self):
+        everything = Period.of(NEGATIVE_INFINITY, FOREVER)
+        hole = Period.of(Timestamp(0), Timestamp(10))
+        rest = everything.difference(hole)
+        assert len(rest) == 2
+        assert rest.contains_point(Timestamp(-1))
+        assert rest.contains_point(Timestamp(10))
+        assert not rest.contains_point(Timestamp(5))
+
+    def test_union_collapses_to_everything(self):
+        left = Period.of(NEGATIVE_INFINITY, Timestamp(5))
+        right = Period.of(Timestamp(5), FOREVER)
+        assert left.union(right) == Period.of(NEGATIVE_INFINITY, FOREVER)
+
+
+class TestSentinelArithmeticSafety:
+    def test_sentinels_not_orderable_with_other_types(self):
+        with pytest.raises(TypeError):
+            FOREVER < 5  # noqa: B015
+
+    def test_sentinel_identity(self):
+        assert FOREVER is not NEGATIVE_INFINITY
+        assert FOREVER != NEGATIVE_INFINITY
+        assert hash(FOREVER) != hash(NEGATIVE_INFINITY)

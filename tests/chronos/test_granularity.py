@@ -1,0 +1,57 @@
+"""Unit tests for granularities and conversions."""
+
+import pytest
+
+from repro.chronos.granularity import Granularity, as_granularity
+
+
+class TestGranularity:
+    def test_microsecond_lengths_are_consistent(self):
+        assert Granularity.MILLISECOND.microseconds == 1_000
+        assert Granularity.SECOND.microseconds == 1_000_000
+        assert Granularity.MINUTE.microseconds == 60 * Granularity.SECOND.microseconds
+        assert Granularity.HOUR.microseconds == 60 * Granularity.MINUTE.microseconds
+        assert Granularity.DAY.microseconds == 24 * Granularity.HOUR.microseconds
+        assert Granularity.WEEK.microseconds == 7 * Granularity.DAY.microseconds
+
+    def test_finer_and_coarser(self):
+        assert Granularity.SECOND.is_finer_than(Granularity.MINUTE)
+        assert Granularity.MINUTE.is_coarser_than(Granularity.SECOND)
+        assert not Granularity.SECOND.is_finer_than(Granularity.SECOND)
+        assert not Granularity.SECOND.is_coarser_than(Granularity.SECOND)
+
+    def test_is_multiple_of(self):
+        assert Granularity.HOUR.is_multiple_of(Granularity.MINUTE)
+        assert Granularity.DAY.is_multiple_of(Granularity.SECOND)
+        assert not Granularity.SECOND.is_multiple_of(Granularity.MINUTE)
+        # A week is a whole number of days but a day is not a whole
+        # number of weeks.
+        assert Granularity.WEEK.is_multiple_of(Granularity.DAY)
+        assert not Granularity.DAY.is_multiple_of(Granularity.WEEK)
+
+    def test_convert_to_finer_is_exact(self):
+        assert Granularity.MINUTE.convert(3, Granularity.SECOND) == 180
+        assert Granularity.DAY.convert(2, Granularity.HOUR) == 48
+
+    def test_convert_to_coarser_floors(self):
+        assert Granularity.SECOND.convert(119, Granularity.MINUTE) == 1
+        assert Granularity.SECOND.convert(-1, Granularity.MINUTE) == -1
+        assert Granularity.SECOND.convert(-61, Granularity.MINUTE) == -2
+
+    def test_convert_roundtrip_through_finer(self):
+        ticks = 37
+        fine = Granularity.HOUR.convert(ticks, Granularity.MICROSECOND)
+        assert Granularity.MICROSECOND.convert(fine, Granularity.HOUR) == ticks
+
+
+class TestAsGranularity:
+    def test_passthrough(self):
+        assert as_granularity(Granularity.DAY) is Granularity.DAY
+
+    @pytest.mark.parametrize("name", ["second", "SECOND", "Second"])
+    def test_names_case_insensitive(self, name):
+        assert as_granularity(name) is Granularity.SECOND
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="unknown granularity"):
+            as_granularity("fortnight")

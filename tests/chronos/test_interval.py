@@ -1,0 +1,108 @@
+"""Unit and property tests for half-open intervals."""
+
+import pytest
+from hypothesis import given
+
+from repro.chronos.duration import Duration
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, Timestamp
+
+from tests.conftest import intervals
+
+
+def iv(start: int, end: int) -> Interval:
+    return Interval(Timestamp(start), Timestamp(end))
+
+
+class TestConstruction:
+    def test_requires_start_before_end(self):
+        with pytest.raises(ValueError):
+            iv(5, 5)
+        with pytest.raises(ValueError):
+            iv(6, 5)
+
+    def test_rejects_non_timepoints(self):
+        with pytest.raises(TypeError):
+            Interval(0, 5)
+
+    def test_unbounded_endpoints(self):
+        current = Interval(Timestamp(3), FOREVER)
+        assert not current.is_bounded
+        assert Interval(NEGATIVE_INFINITY, FOREVER).contains_point(Timestamp(0))
+
+    def test_duration(self):
+        assert iv(2, 9).duration() == Duration(7)
+        with pytest.raises(ValueError):
+            Interval(Timestamp(0), FOREVER).duration()
+
+
+class TestPointPredicates:
+    def test_half_open_semantics(self):
+        interval = iv(2, 5)
+        assert interval.contains_point(Timestamp(2))
+        assert interval.contains_point(Timestamp(4))
+        assert not interval.contains_point(Timestamp(5))
+        assert not interval.contains_point(Timestamp(1))
+
+
+class TestIntervalPredicates:
+    def test_contains(self):
+        assert iv(0, 10).contains(iv(2, 5))
+        assert iv(0, 10).contains(iv(0, 10))
+        assert not iv(0, 10).contains(iv(5, 11))
+
+    def test_overlaps(self):
+        assert iv(0, 5).overlaps(iv(4, 8))
+        assert not iv(0, 5).overlaps(iv(5, 8))  # meets is not overlap
+        assert not iv(0, 5).overlaps(iv(6, 8))
+
+    def test_meets_and_before(self):
+        assert iv(0, 5).meets(iv(5, 8))
+        assert iv(0, 4).before(iv(5, 8))
+        assert not iv(0, 5).before(iv(5, 8))
+
+    @given(intervals(), intervals())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestSetOperations:
+    def test_intersection(self):
+        assert iv(0, 5).intersection(iv(3, 8)) == iv(3, 5)
+        assert iv(0, 5).intersection(iv(5, 8)) is None
+
+    def test_union(self):
+        assert iv(0, 5).union(iv(3, 8)) == iv(0, 8)
+        assert iv(0, 5).union(iv(5, 8)) == iv(0, 8)  # adjacent merge
+        assert iv(0, 5).union(iv(6, 8)) is None
+
+    def test_difference(self):
+        assert list(iv(0, 10).difference(iv(3, 6))) == [iv(0, 3), iv(6, 10)]
+        assert list(iv(0, 10).difference(iv(0, 10))) == []
+        assert list(iv(0, 10).difference(iv(-5, 5))) == [iv(5, 10)]
+
+    @given(intervals(), intervals())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(intervals(), intervals())
+    def test_intersection_contained_in_both(self, a, b):
+        common = a.intersection(b)
+        if common is not None:
+            assert a.contains(common) and b.contains(common)
+
+    @given(intervals(), intervals())
+    def test_difference_disjoint_from_cut(self, a, b):
+        for piece in a.difference(b):
+            assert not piece.overlaps(b)
+            assert a.contains(piece)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert iv(1, 2) == iv(1, 2)
+        assert hash(iv(1, 2)) == hash(iv(1, 2))
+        assert iv(1, 2) != iv(1, 3)
+
+    def test_repr_roundtrip_information(self):
+        assert "Timestamp(1" in repr(iv(1, 2))

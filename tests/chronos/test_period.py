@@ -1,0 +1,126 @@
+"""Unit and property tests for periods (finite unions of intervals)."""
+
+from hypothesis import given, strategies as st
+
+from repro.chronos.interval import Interval
+from repro.chronos.period import Period
+from repro.chronos.timestamp import FOREVER, Timestamp
+
+
+def iv(start: int, end: int) -> Interval:
+    return Interval(Timestamp(start), Timestamp(end))
+
+
+@st.composite
+def periods(draw):
+    pieces = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-100, max_value=100),
+                st.integers(min_value=1, max_value=30),
+            ),
+            max_size=6,
+        )
+    )
+    return Period(iv(start, start + length) for start, length in pieces)
+
+
+class TestNormalization:
+    def test_empty(self):
+        assert Period.empty().is_empty
+        assert len(Period.empty()) == 0
+
+    def test_merges_overlapping(self):
+        period = Period([iv(0, 5), iv(3, 8)])
+        assert period.intervals == (iv(0, 8),)
+
+    def test_merges_adjacent(self):
+        period = Period([iv(0, 5), iv(5, 8)])
+        assert period.intervals == (iv(0, 8),)
+
+    def test_keeps_disjoint_sorted(self):
+        period = Period([iv(10, 12), iv(0, 2)])
+        assert period.intervals == (iv(0, 2), iv(10, 12))
+
+    def test_unbounded_interval(self):
+        period = Period([Interval(Timestamp(0), FOREVER), iv(-5, -1)])
+        assert len(period) == 2
+        assert period.contains_point(Timestamp(10**9))
+
+    @given(periods())
+    def test_normalized_invariant(self, period):
+        """Intervals are sorted, disjoint, and non-adjacent."""
+        for first, second in zip(period.intervals, period.intervals[1:]):
+            assert first.end < second.start
+
+
+class TestMembership:
+    def test_contains_point(self):
+        period = Period([iv(0, 2), iv(5, 8)])
+        assert period.contains_point(Timestamp(1))
+        assert not period.contains_point(Timestamp(3))
+        assert period.contains_point(Timestamp(5))
+        assert not period.contains_point(Timestamp(8))
+
+    def test_span(self):
+        assert Period([iv(0, 2), iv(5, 8)]).span() == iv(0, 8)
+        assert Period.empty().span() is None
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert Period([iv(0, 3)]).union(Period([iv(2, 5)])) == Period([iv(0, 5)])
+
+    def test_intersection(self):
+        left = Period([iv(0, 5), iv(10, 15)])
+        right = Period([iv(3, 12)])
+        assert left.intersection(right) == Period([iv(3, 5), iv(10, 12)])
+
+    def test_difference(self):
+        base = Period([iv(0, 10)])
+        cut = Period([iv(2, 4), iv(6, 8)])
+        assert base.difference(cut) == Period([iv(0, 2), iv(4, 6), iv(8, 10)])
+
+    def test_overlaps(self):
+        assert Period([iv(0, 5)]).overlaps(Period([iv(4, 6)]))
+        assert not Period([iv(0, 5)]).overlaps(Period([iv(5, 6)]))
+
+    @given(periods(), periods())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(periods(), periods())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(periods(), periods(), periods())
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(periods(), periods())
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert not a.difference(b).overlaps(b)
+
+    @given(periods(), periods())
+    def test_partition_identity(self, a, b):
+        """(a - b) union (a intersect b) == a."""
+        assert a.difference(b).union(a.intersection(b)) == a
+
+    @given(periods())
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(periods())
+    def test_difference_with_self_is_empty(self, a):
+        assert a.difference(a).is_empty
+
+    @given(periods(), periods())
+    def test_demorgan_on_membership(self, a, b):
+        """Point membership distributes over union and intersection."""
+        for point in (Timestamp(i) for i in range(-100, 131, 7)):
+            assert a.union(b).contains_point(point) == (
+                a.contains_point(point) or b.contains_point(point)
+            )
+            assert a.intersection(b).contains_point(point) == (
+                a.contains_point(point) and b.contains_point(point)
+            )

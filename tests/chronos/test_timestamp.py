@@ -1,0 +1,134 @@
+"""Unit and property tests for time-stamps and the sentinels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.calendar import GregorianDate
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.chronos.granularity import Granularity
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, Timestamp, as_timepoint
+
+
+class TestConstruction:
+    def test_requires_int_ticks(self):
+        with pytest.raises(TypeError):
+            Timestamp(1.5)
+
+    def test_granularity_by_name(self):
+        assert Timestamp(5, "hour").granularity is Granularity.HOUR
+
+    def test_microseconds(self):
+        assert Timestamp(2, "second").microseconds == 2_000_000
+
+
+class TestOrdering:
+    def test_same_granularity(self):
+        assert Timestamp(1) < Timestamp(2)
+        assert Timestamp(2) <= Timestamp(2)
+        assert Timestamp(3) > Timestamp(2)
+
+    def test_cross_granularity(self):
+        assert Timestamp(60, "second") == Timestamp(1, "minute")
+        assert Timestamp(59, "second") < Timestamp(1, "minute")
+        assert Timestamp(2, "hour") > Timestamp(119, "minute")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Timestamp(60, "second")) == hash(Timestamp(1, "minute"))
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_total_order_matches_ticks(self, a, b):
+        assert (Timestamp(a) < Timestamp(b)) == (a < b)
+        assert (Timestamp(a) == Timestamp(b)) == (a == b)
+
+
+class TestSentinels:
+    def test_forever_is_maximal(self):
+        assert Timestamp(10**12) < FOREVER
+        assert FOREVER > Timestamp(0)
+        assert not FOREVER < FOREVER
+        assert FOREVER == FOREVER
+
+    def test_negative_infinity_is_minimal(self):
+        assert NEGATIVE_INFINITY < Timestamp(-(10**12))
+        assert NEGATIVE_INFINITY < FOREVER
+
+    def test_sentinels_not_equal_to_timestamps(self):
+        assert FOREVER != Timestamp(0)
+        assert Timestamp(0) != NEGATIVE_INFINITY
+
+    def test_as_timepoint(self):
+        assert as_timepoint(5) == Timestamp(5)
+        assert as_timepoint(FOREVER) is FOREVER
+        with pytest.raises(TypeError):
+            as_timepoint("tomorrow")
+
+
+class TestArithmetic:
+    def test_add_duration_same_granularity(self):
+        assert Timestamp(10) + Duration(5) == Timestamp(15)
+
+    def test_subtract_duration(self):
+        assert Timestamp(10) - Duration(3) == Timestamp(7)
+
+    def test_add_duration_finer_granularity_refines(self):
+        result = Timestamp(1, "minute") + Duration(30, "second")
+        assert result == Timestamp(90, "second")
+
+    def test_difference_is_duration(self):
+        assert Timestamp(20) - Timestamp(5) == Duration(15)
+
+    def test_difference_uses_finer_granularity(self):
+        diff = Timestamp(1, "minute") - Timestamp(30, "second")
+        assert diff == Duration(30, "second")
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_add_then_subtract_roundtrip(self, ticks, delta):
+        ts = Timestamp(ticks)
+        assert (ts + Duration(delta)) - Duration(delta) == ts
+
+
+class TestCalendricArithmetic:
+    def test_month_addition_clamps(self):
+        jan31 = Timestamp.from_date(2026, 1, 31)
+        assert (jan31 + CalendricDuration(months=1)).to_date() == GregorianDate(2026, 2, 28)
+
+    def test_month_subtraction(self):
+        mar31 = Timestamp.from_date(2026, 3, 31)
+        assert (mar31 - CalendricDuration(months=1)).to_date() == GregorianDate(2026, 2, 28)
+
+    def test_intra_day_position_preserved(self):
+        base = Timestamp.from_date(2026, 3, 15, granularity="hour") + Duration(9, "hour")
+        shifted = base + CalendricDuration(months=2)
+        assert shifted.to_date() == GregorianDate(2026, 5, 15)
+        midnight = Timestamp.from_date(2026, 5, 15)
+        assert shifted - midnight == Duration(9, "hour")
+
+
+class TestRounding:
+    def test_floor_to(self):
+        assert Timestamp(3_661, "second").floor_to("hour") == Timestamp(1, "hour")
+
+    def test_ceil_to(self):
+        assert Timestamp(3_661, "second").ceil_to("hour") == Timestamp(2, "hour")
+
+    def test_ceil_on_boundary_is_identity(self):
+        assert Timestamp(7_200, "second").ceil_to("hour") == Timestamp(2, "hour")
+
+    def test_floor_negative(self):
+        assert Timestamp(-1, "second").floor_to("minute") == Timestamp(-1, "minute")
+
+    @given(st.integers(-10**6, 10**6))
+    def test_floor_leq_ceil(self, ticks):
+        ts = Timestamp(ticks, "second")
+        assert ts.floor_to("minute") <= ts <= ts.ceil_to("minute")
+
+
+class TestDates:
+    def test_from_date_roundtrip(self):
+        ts = Timestamp.from_date(1992, 2, 3)
+        assert ts.to_date() == GregorianDate(1992, 2, 3)
+
+    def test_from_date_with_granularity(self):
+        day = Timestamp.from_date(2026, 1, 2)
+        seconds = Timestamp.from_date(2026, 1, 2, granularity="second")
+        assert day == seconds

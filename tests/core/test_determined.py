@@ -1,0 +1,122 @@
+"""Unit tests for determined relations and mapping functions (Section 3.1)."""
+
+import pytest
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.determined import (
+    Determined,
+    DeterminedAs,
+    MappingFunction,
+    fixed_delay,
+    floor_to_unit,
+    next_unit_offset,
+    predictively_determined,
+    retroactively_determined,
+    strongly_predictively_bounded_determined,
+    strongly_retroactively_bounded_determined,
+)
+from repro.core.taxonomy.event_isolated import StronglyBounded
+
+
+def element(tt: int, vt: int) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt))
+
+
+HOUR = 3600
+DAY = 86_400
+
+
+class TestMappingFunctions:
+    def test_m1_fixed_delay(self):
+        mapping = fixed_delay(Duration(30))
+        assert mapping(element(100, 0)) == Timestamp(130)
+
+    def test_m1_negative_delay(self):
+        mapping = fixed_delay(Duration(-30))
+        assert mapping(element(100, 0)) == Timestamp(70)
+
+    def test_m2_most_recent_hour(self):
+        mapping = floor_to_unit("hour")
+        assert mapping(element(HOUR + 61, 0)) == Timestamp(1, "hour")
+        assert mapping(element(HOUR, 0)) == Timestamp(1, "hour")
+
+    def test_m3_next_8am(self):
+        mapping = next_unit_offset("day", Duration(8, "hour"))
+        # Stored mid-day: valid from 8am the next day.
+        assert mapping(element(DAY + 100, 0)) == Timestamp(2 * DAY + 8 * HOUR)
+
+    def test_m3_on_boundary_uses_next_boundary(self):
+        mapping = next_unit_offset("day", Duration(8, "hour"))
+        assert mapping(element(DAY, 0)) == Timestamp(2 * DAY + 8 * HOUR)
+
+    def test_repr_is_informative(self):
+        assert "floor" in repr(floor_to_unit("hour"))
+
+
+class TestDetermined:
+    def test_accepts_when_mapping_matches(self):
+        spec = Determined(fixed_delay(Duration(10)))
+        assert spec.check_element(element(100, 110))
+        assert not spec.check_element(element(100, 111))
+
+    def test_failure_message_shows_expected(self):
+        spec = Determined(fixed_delay(Duration(10)))
+        message = spec.element_failure(element(100, 0))
+        assert "differs from" in message
+
+    def test_mapping_may_use_attributes(self):
+        def from_attribute(elem):
+            return Timestamp(elem.attributes["effective"])
+
+        spec = Determined(MappingFunction("attr", from_attribute))
+        elem = Stamped(
+            tt_start=Timestamp(5), vt=Timestamp(99), attributes={"effective": 99}
+        )
+        assert spec.check_element(elem)
+
+
+class TestDeterminedAs:
+    def test_retroactively_determined(self):
+        # "valid from the beginning of the most recent hour"
+        spec = retroactively_determined(floor_to_unit("hour"))
+        assert spec.check_element(element(HOUR + 30, HOUR))
+        # Mapping matches but is not retroactive: impossible for floor,
+        # so use a forward mapping to exercise the second conjunct.
+        forward = retroactively_determined(fixed_delay(Duration(10)))
+        assert not forward.check_element(element(100, 110))
+
+    def test_predictively_determined(self):
+        # "valid from the next closest 8:00 a.m." (bank deposits)
+        spec = predictively_determined(next_unit_offset("day", Duration(8, "hour")))
+        stored = DAY + 3 * HOUR
+        valid = 2 * DAY + 8 * HOUR
+        assert spec.check_element(element(stored, valid))
+        assert not spec.check_element(element(stored, valid + 1))
+
+    def test_strongly_retroactively_bounded_determined(self):
+        spec = strongly_retroactively_bounded_determined(
+            floor_to_unit("hour"), Duration(1, "hour")
+        )
+        assert spec.check_element(element(HOUR + 30, HOUR))
+
+    def test_strongly_predictively_bounded_determined(self):
+        mapping = next_unit_offset("hour", Duration(0))
+        spec = strongly_predictively_bounded_determined(mapping, Duration(1, "hour"))
+        assert spec.check_element(element(HOUR + 30, 2 * HOUR))
+        # Out of the bound: mapping lands more than an hour ahead.
+        far_mapping = fixed_delay(Duration(2, "hour"))
+        far = strongly_predictively_bounded_determined(far_mapping, Duration(1, "hour"))
+        assert not far.check_element(element(0, 2 * HOUR))
+
+    def test_name_combines_base_and_determined(self):
+        spec = DeterminedAs(StronglyBounded(Duration(5), Duration(5)), fixed_delay(Duration(0)))
+        assert spec.name == "strongly bounded determined"
+
+    def test_failure_distinguishes_mapping_from_bound(self):
+        spec = retroactively_determined(fixed_delay(Duration(10)))
+        mapping_failure = spec.element_failure(element(100, 0))
+        assert "differs from" in mapping_failure
+        bound_failure = spec.element_failure(element(100, 110))
+        assert "violates retroactive" in bound_failure

@@ -1,0 +1,205 @@
+"""Unit and property tests for the Section 3.2 inter-event taxonomy."""
+
+import pytest
+from hypothesis import given
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.event_inter import (
+    CombinedEventRegular,
+    GloballyNonDecreasing,
+    GloballyNonIncreasing,
+    GloballySequential,
+    StrictTemporalEventRegular,
+    StrictTransactionTimeEventRegular,
+    StrictValidTimeEventRegular,
+    TemporalEventRegular,
+    TransactionTimeEventRegular,
+    ValidTimeEventRegular,
+)
+
+from tests.conftest import event_extensions
+
+
+def extension(pairs):
+    return [Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt)) for tt, vt in pairs]
+
+
+class TestOrderings:
+    def test_sequential_accepts_paced_stream(self):
+        elements = extension([(10, 5), (20, 15), (30, 29)])
+        assert GloballySequential().check_extension(elements)
+
+    def test_sequential_rejects_out_of_pace(self):
+        # Second event's valid time precedes the first's storage time.
+        elements = extension([(10, 5), (20, 8)])
+        assert not GloballySequential().check_extension(elements)
+
+    def test_sequential_rejects_future_valid_time_overlap(self):
+        # First element predicts vt=50; next element starts before that.
+        elements = extension([(10, 50), (20, 30)])
+        assert not GloballySequential().check_extension(elements)
+
+    def test_non_decreasing(self):
+        assert GloballyNonDecreasing().check_extension(extension([(1, 5), (2, 5), (3, 9)]))
+        assert not GloballyNonDecreasing().check_extension(extension([(1, 5), (2, 4)]))
+
+    def test_non_increasing_archeology(self):
+        # Progressively earlier periods as excavation proceeds.
+        elements = extension([(1, -1000), (2, -2500), (3, -2500), (4, -4000)])
+        assert GloballyNonIncreasing().check_extension(elements)
+        assert not GloballyNonIncreasing().check_extension(extension([(1, 5), (2, 6)]))
+
+    @given(event_extensions(min_size=2, max_size=10))
+    def test_sequential_implies_non_decreasing(self, elements):
+        # The Figure 3 edge, verified on arbitrary extensions.
+        if GloballySequential().check_extension(elements):
+            assert GloballyNonDecreasing().check_extension(elements)
+
+    @given(event_extensions(min_size=1, max_size=8))
+    def test_pairwise_definition_equivalence(self, elements):
+        """The O(1) monitors agree with the paper's quantified definitions."""
+        ordered = sorted(elements, key=lambda e: e.tt_start.microseconds)
+
+        def naive_sequential():
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    if not max(first.tt_start, first.vt) <= min(second.tt_start, second.vt):
+                        return False
+            return True
+
+        def naive_monotone(op):
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    if not op(first.vt, second.vt):
+                        return False
+            return True
+
+        assert GloballySequential().check_extension(elements) == naive_sequential()
+        assert GloballyNonDecreasing().check_extension(elements) == naive_monotone(
+            lambda a, b: a <= b
+        )
+        assert GloballyNonIncreasing().check_extension(elements) == naive_monotone(
+            lambda a, b: a >= b
+        )
+
+
+class TestRegularity:
+    def test_tt_regular_multiples_not_evenly_spaced(self):
+        # Gaps of 10 and 30: multiples of 10, not evenly spaced -- fine.
+        elements = extension([(0, 1), (10, 2), (40, 3)])
+        assert TransactionTimeEventRegular(Duration(10)).check_extension(elements)
+        assert not TransactionTimeEventRegular(Duration(20)).check_extension(elements)
+
+    def test_vt_regular(self):
+        elements = extension([(1, 0), (2, 60), (3, 180)])
+        assert ValidTimeEventRegular(Duration(60)).check_extension(elements)
+        assert not ValidTimeEventRegular(Duration(100)).check_extension(elements)
+
+    def test_vt_regular_expresses_granularity(self):
+        # One-second granularity == vt event regular with a 1s unit.
+        elements = extension([(1, 5), (2, 9), (3, 2)])
+        assert ValidTimeEventRegular(Duration(1)).check_extension(elements)
+
+    def test_temporal_regular_requires_same_k(self):
+        # Same multiplier in both dimensions: constant offset vt - tt.
+        good = extension([(0, 100), (10, 110), (30, 130)])
+        assert TemporalEventRegular(Duration(10)).check_extension(good)
+        bad = extension([(0, 100), (10, 120)])  # tt k=1, vt k=2
+        assert not TemporalEventRegular(Duration(10)).check_extension(bad)
+
+    def test_gcd_erratum(self):
+        """The paper's 28s/6s => 2s gcd remark (Section 3.2).
+
+        Under the same-k definition the implication FAILS; under the
+        independent-k reading (CombinedEventRegular) it holds.  Recorded
+        as a reproduction finding in EXPERIMENTS.md (E3).
+        """
+        elements = extension([(0, 0), (28, 6)])
+        assert TransactionTimeEventRegular(Duration(28)).check_extension(elements)
+        assert ValidTimeEventRegular(Duration(6)).check_extension(elements)
+        assert not TemporalEventRegular(Duration(2)).check_extension(elements)
+        assert CombinedEventRegular(Duration(2)).check_extension(elements)
+
+    def test_zero_unit_requires_identical_stamps(self):
+        same = extension([(5, 9), (5, 9)])
+        assert TransactionTimeEventRegular(Duration(0)).check_extension(same)
+        assert not TransactionTimeEventRegular(Duration(0)).check_extension(
+            extension([(5, 9), (6, 9)])
+        )
+
+    def test_calendric_unit_rejected(self):
+        from repro.chronos.duration import CalendricDuration
+
+        with pytest.raises(TypeError):
+            TransactionTimeEventRegular(CalendricDuration(months=1))
+
+
+class TestStrictRegularity:
+    def test_strict_tt_regular(self):
+        good = extension([(0, 1), (10, 2), (20, 3)])
+        assert StrictTransactionTimeEventRegular(Duration(10)).check_extension(good)
+        gap = extension([(0, 1), (10, 2), (40, 3)])
+        assert not StrictTransactionTimeEventRegular(Duration(10)).check_extension(gap)
+
+    def test_strict_vt_regular_out_of_order_arrival(self):
+        # Valid times form 0, 10, 20 but arrive as 0, 20, 10.
+        good = extension([(1, 0), (2, 20), (3, 10)])
+        assert StrictValidTimeEventRegular(Duration(10)).check_extension(good)
+
+    def test_strict_vt_regular_rejects_duplicates(self):
+        dup = extension([(1, 0), (2, 0)])
+        assert not StrictValidTimeEventRegular(Duration(10)).check_extension(dup)
+
+    def test_strict_vt_regular_rejects_wrong_gap(self):
+        assert not StrictValidTimeEventRegular(Duration(10)).check_extension(
+            extension([(1, 0), (2, 25)])
+        )
+
+    def test_strict_temporal_regular(self):
+        good = extension([(0, 100), (10, 110), (20, 120)])
+        assert StrictTemporalEventRegular(Duration(10)).check_extension(good)
+        assert not StrictTemporalEventRegular(Duration(10)).check_extension(
+            extension([(0, 100), (10, 120)])
+        )
+
+    def test_strict_combination_does_not_imply_strict_temporal(self):
+        """Section 3.2: "For the strict case, however, valid and
+        transaction time event regularity does not imply temporal event
+        regularity."  Witness: same unit, offset drifting."""
+        elements = extension([(0, 10), (10, 0), (20, 20)])
+        # vt sorted: 0, 10, 20 -> strict vt regular with unit 10.
+        assert StrictTransactionTimeEventRegular(Duration(10)).check_extension(elements)
+        assert StrictValidTimeEventRegular(Duration(10)).check_extension(elements)
+        assert not StrictTemporalEventRegular(Duration(10)).check_extension(elements)
+
+    def test_strict_requires_positive_unit(self):
+        with pytest.raises(ValueError):
+            StrictTransactionTimeEventRegular(Duration(0))
+
+    @given(event_extensions(min_size=1, max_size=10))
+    def test_strict_implies_non_strict(self, elements):
+        # Two Figure 4 edges, verified on arbitrary extensions.
+        unit = Duration(7)
+        if StrictTransactionTimeEventRegular(unit).check_extension(elements):
+            assert TransactionTimeEventRegular(unit).check_extension(elements)
+        if StrictValidTimeEventRegular(unit).check_extension(elements):
+            assert ValidTimeEventRegular(unit).check_extension(elements)
+
+    @given(event_extensions(min_size=1, max_size=10))
+    def test_temporal_implies_both_components(self, elements):
+        unit = Duration(7)
+        if TemporalEventRegular(unit).check_extension(elements):
+            assert TransactionTimeEventRegular(unit).check_extension(elements)
+            assert ValidTimeEventRegular(unit).check_extension(elements)
+
+    @given(event_extensions(min_size=1, max_size=10))
+    def test_temporal_regular_means_constant_offset(self, elements):
+        """The same-k consequence: vt - tt is constant."""
+        unit = Duration(7)
+        if TemporalEventRegular(unit).check_extension(elements):
+            offsets = {
+                e.vt.microseconds - e.tt_start.microseconds for e in elements
+            }
+            assert len(offsets) == 1

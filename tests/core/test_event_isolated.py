@@ -1,0 +1,239 @@
+"""Unit and property tests for the Section 3.1 isolated-event taxonomy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped, TimeReference
+from repro.core.taxonomy.event_isolated import (
+    Degenerate,
+    DelayedRetroactive,
+    DelayedStronglyRetroactivelyBounded,
+    EarlyPredictive,
+    EarlyStronglyPredictivelyBounded,
+    General,
+    Predictive,
+    PredictivelyBounded,
+    Retroactive,
+    RetroactivelyBounded,
+    StronglyBounded,
+    StronglyPredictivelyBounded,
+    StronglyRetroactivelyBounded,
+)
+
+from tests.conftest import event_elements
+
+
+def element(tt: int, vt: int, tt_stop=None) -> Stamped:
+    if tt_stop is None:
+        return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt))
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt), tt_stop=Timestamp(tt_stop))
+
+
+class TestRetroactiveFamily:
+    def test_retroactive(self):
+        spec = Retroactive()
+        assert spec.check_element(element(10, 5))
+        assert spec.check_element(element(10, 10))  # <=-version includes equality
+        assert not spec.check_element(element(10, 11))
+
+    def test_strict_retroactive_excludes_equality(self):
+        spec = Retroactive(strict=True)
+        assert spec.check_element(element(10, 9))
+        assert not spec.check_element(element(10, 10))
+
+    def test_delayed_retroactive(self):
+        # The paper's 30-second sampling delay example.
+        spec = DelayedRetroactive(Duration(30))
+        assert spec.check_element(element(100, 70))
+        assert spec.check_element(element(100, 50))
+        assert not spec.check_element(element(100, 71))
+
+    def test_delayed_requires_positive_delay(self):
+        with pytest.raises(ValueError):
+            DelayedRetroactive(Duration(0))
+
+    def test_retroactively_bounded_allows_future(self):
+        # The paper's project-assignment example: future assignments are
+        # fine, but recording may lag by at most the bound.
+        spec = RetroactivelyBounded(Duration(10))
+        assert spec.check_element(element(100, 95))
+        assert spec.check_element(element(100, 90))
+        assert spec.check_element(element(100, 10**6))
+        assert not spec.check_element(element(100, 89))
+
+    def test_strongly_retroactively_bounded(self):
+        spec = StronglyRetroactivelyBounded(Duration(10))
+        assert spec.check_element(element(100, 100))
+        assert spec.check_element(element(100, 90))
+        assert not spec.check_element(element(100, 101))
+        assert not spec.check_element(element(100, 89))
+
+    def test_delayed_strongly_retroactively_bounded(self):
+        spec = DelayedStronglyRetroactivelyBounded(
+            min_delay=Duration(2), max_delay=Duration(30)
+        )
+        assert spec.check_element(element(100, 98))
+        assert spec.check_element(element(100, 70))
+        assert not spec.check_element(element(100, 99))
+        assert not spec.check_element(element(100, 69))
+
+    def test_delayed_strongly_bound_ordering_validated(self):
+        with pytest.raises(ValueError):
+            DelayedStronglyRetroactivelyBounded(
+                min_delay=Duration(30), max_delay=Duration(2)
+            )
+
+
+class TestPredictiveFamily:
+    def test_predictive(self):
+        spec = Predictive()
+        assert spec.check_element(element(10, 15))
+        assert spec.check_element(element(10, 10))
+        assert not spec.check_element(element(10, 9))
+
+    def test_early_predictive(self):
+        # The payroll tape: at least three days before the deposit.
+        spec = EarlyPredictive(Duration(3, "day"))
+        day = 86_400
+        assert spec.check_element(element(0, 3 * day))
+        assert spec.check_element(element(0, 5 * day))
+        assert not spec.check_element(element(0, 3 * day - 1))
+
+    def test_predictively_bounded_allows_past(self):
+        # The order database: pending orders at most 30 days ahead.
+        spec = PredictivelyBounded(Duration(30))
+        assert spec.check_element(element(100, 130))
+        assert spec.check_element(element(100, -(10**6)))
+        assert not spec.check_element(element(100, 131))
+
+    def test_strongly_predictively_bounded(self):
+        spec = StronglyPredictivelyBounded(Duration(30))
+        assert spec.check_element(element(100, 100))
+        assert spec.check_element(element(100, 130))
+        assert not spec.check_element(element(100, 99))
+        assert not spec.check_element(element(100, 131))
+
+    def test_early_strongly_predictively_bounded(self):
+        # Tape sent at most one week early, needed at least 3 days early.
+        spec = EarlyStronglyPredictivelyBounded(
+            min_lead=Duration(3, "day"), max_lead=Duration(7, "day")
+        )
+        day = 86_400
+        assert spec.check_element(element(0, 3 * day))
+        assert spec.check_element(element(0, 7 * day))
+        assert not spec.check_element(element(0, 2 * day))
+        assert not spec.check_element(element(0, 8 * day))
+
+
+class TestStronglyBoundedAndDegenerate:
+    def test_strongly_bounded(self):
+        spec = StronglyBounded(Duration(5), Duration(10))
+        assert spec.check_element(element(100, 95))
+        assert spec.check_element(element(100, 110))
+        assert not spec.check_element(element(100, 94))
+        assert not spec.check_element(element(100, 111))
+
+    def test_degenerate_exact(self):
+        spec = Degenerate()
+        assert spec.check_element(element(10, 10))
+        assert not spec.check_element(element(10, 11))
+
+    def test_degenerate_within_granularity(self):
+        # "within the selected granularity" (Section 3.1)
+        spec = Degenerate(granularity="minute")
+        assert spec.check_element(element(61, 100))  # same minute
+        assert not spec.check_element(element(59, 60))  # different minutes
+
+    def test_general_accepts_anything(self):
+        spec = General()
+        assert spec.check_element(element(0, 10**9))
+        assert spec.check_element(element(10**9, 0))
+
+
+class TestCalendricBounds:
+    def test_one_month_bound_is_anchor_dependent(self):
+        # "recorded no later than one month after it is effective"
+        spec = RetroactivelyBounded(CalendricDuration(months=1))
+        stored_mar31 = Timestamp.from_date(2026, 3, 31, granularity="second")
+        effective_mar1 = Timestamp.from_date(2026, 3, 1, granularity="second")
+        effective_feb28 = Timestamp.from_date(2026, 2, 28, granularity="second")
+        assert spec.check_stamps(effective_mar1, stored_mar31)
+        # 31 Mar minus one month = 28 Feb (clamped), so 28 Feb is allowed...
+        assert spec.check_stamps(effective_feb28, stored_mar31)
+        # ...but one day earlier is not.
+        effective_feb27 = Timestamp.from_date(2026, 2, 27, granularity="second")
+        assert not spec.check_stamps(effective_feb27, stored_mar31)
+
+    def test_calendric_bound_has_no_fixed_region(self):
+        with pytest.raises(TypeError):
+            RetroactivelyBounded(CalendricDuration(months=1)).region()
+
+
+class TestTimeReference:
+    def test_deletion_retroactive(self):
+        # Property relative to the deletion time tt_d (Section 3.1).
+        spec = Retroactive(time_reference=TimeReference.DELETION)
+        assert spec.check_element(element(0, 5, tt_stop=10))
+        assert not spec.check_element(element(0, 15, tt_stop=10))
+
+    def test_deletion_reference_vacuous_for_current_elements(self):
+        spec = Retroactive(time_reference=TimeReference.DELETION)
+        assert spec.check_element(element(0, 10**9))  # never deleted
+
+    def test_insertion_vs_deletion_can_differ(self):
+        # Deletion retroactive but not insertion retroactive.
+        elem = element(0, 5, tt_stop=10)
+        assert not Retroactive(time_reference=TimeReference.INSERTION).check_element(elem)
+        assert Retroactive(time_reference=TimeReference.DELETION).check_element(elem)
+
+
+class TestRegionPredicateAgreement:
+    """The defining predicate and the Figure 1 region always agree."""
+
+    SPECS = [
+        General(),
+        Retroactive(),
+        Retroactive(strict=True),
+        DelayedRetroactive(Duration(7)),
+        Predictive(),
+        EarlyPredictive(Duration(7)),
+        RetroactivelyBounded(Duration(12)),
+        StronglyRetroactivelyBounded(Duration(12)),
+        DelayedStronglyRetroactivelyBounded(Duration(3), Duration(12)),
+        PredictivelyBounded(Duration(12)),
+        StronglyPredictivelyBounded(Duration(12)),
+        EarlyStronglyPredictivelyBounded(Duration(3), Duration(12)),
+        StronglyBounded(Duration(5), Duration(9)),
+        Degenerate(),
+    ]
+
+    @given(event_elements(max_offset=40))
+    def test_agreement(self, elem):
+        offset = elem.vt.microseconds - elem.tt_start.microseconds
+        for spec in self.SPECS:
+            assert spec.check_element(elem) == spec.region().contains(offset), spec.name
+
+    def test_violation_message_names_the_type(self):
+        spec = DelayedRetroactive(Duration(30))
+        violations = spec.violations([element(100, 90)])
+        assert len(violations) == 1
+        assert "delayed retroactive" in str(violations[0])
+
+    def test_check_extension_all_elements(self):
+        spec = Retroactive()
+        good = [element(10, 5), element(20, 20)]
+        assert spec.check_extension(good)
+        assert not spec.check_extension(good + [element(30, 31)])
+
+
+class TestEventKindSafety:
+    def test_event_spec_rejects_interval_elements(self):
+        from repro.chronos.interval import Interval
+
+        bad = Stamped(
+            tt_start=Timestamp(0), vt=Interval(Timestamp(0), Timestamp(5))
+        )
+        with pytest.raises(TypeError, match="interval-stamped"):
+            Retroactive().check_element(bad)

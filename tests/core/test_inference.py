@@ -1,0 +1,216 @@
+"""Unit and property tests for specialization inference (E11)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chronos.duration import Duration
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.determined import fixed_delay, floor_to_unit
+from repro.core.taxonomy.event_isolated import (
+    Degenerate,
+    DelayedStronglyRetroactivelyBounded,
+    EarlyStronglyPredictivelyBounded,
+    StronglyBounded,
+    StronglyPredictivelyBounded,
+    StronglyRetroactivelyBounded,
+)
+from repro.core.taxonomy.inference import (
+    classify,
+    fit_determined,
+    fit_event_inter,
+    fit_event_isolated,
+    fit_event_isolated_open,
+    fit_interval,
+    offset_statistics,
+)
+
+from tests.conftest import event_extensions, interval_extensions
+
+
+def element(tt: int, vt: int) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt))
+
+
+class TestOffsetStatistics:
+    def test_basic(self):
+        stats = offset_statistics([element(10, 5), element(20, 25)])
+        assert stats.count == 2
+        assert stats.minimum == -5_000_000 and stats.maximum == 5_000_000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            offset_statistics([])
+
+    def test_constant_and_zero(self):
+        assert offset_statistics([element(3, 3)]).all_zero
+        assert offset_statistics([element(3, 5), element(9, 11)]).constant
+
+
+class TestFitEventIsolated:
+    def test_degenerate(self):
+        fitted = fit_event_isolated([element(5, 5), element(9, 9)])
+        assert isinstance(fitted, Degenerate)
+
+    def test_strictly_retroactive_sample(self):
+        fitted = fit_event_isolated([element(100, 70), element(200, 195)])
+        assert isinstance(fitted, DelayedStronglyRetroactivelyBounded)
+        assert fitted.min_delay == Duration(5)
+        assert fitted.max_delay == Duration(30)
+
+    def test_retroactive_touching_zero(self):
+        fitted = fit_event_isolated([element(100, 100), element(200, 170)])
+        assert isinstance(fitted, StronglyRetroactivelyBounded)
+        assert fitted.bound == Duration(30)
+
+    def test_predictive_side(self):
+        fitted = fit_event_isolated([element(0, 3), element(10, 40)])
+        assert isinstance(fitted, EarlyStronglyPredictivelyBounded)
+        assert fitted.min_lead == Duration(3)
+        assert fitted.max_lead == Duration(30)
+
+    def test_predictive_touching_zero(self):
+        fitted = fit_event_isolated([element(0, 0), element(10, 40)])
+        assert isinstance(fitted, StronglyPredictivelyBounded)
+
+    def test_mixed(self):
+        fitted = fit_event_isolated([element(100, 95), element(200, 210)])
+        assert isinstance(fitted, StronglyBounded)
+        assert fitted.past_bound == Duration(5)
+        assert fitted.future_bound == Duration(10)
+
+    @settings(max_examples=80)
+    @given(event_extensions(min_size=1, max_size=12))
+    def test_fitted_always_satisfied(self, elements):
+        assert fit_event_isolated(elements).check_extension(elements)
+
+    @settings(max_examples=80)
+    @given(event_extensions(min_size=1, max_size=12))
+    def test_open_fit_always_satisfied(self, elements):
+        assert fit_event_isolated_open(elements).check_extension(elements)
+
+    def test_open_fit_prefers_one_sided(self):
+        from repro.core.taxonomy.event_isolated import DelayedRetroactive
+
+        fitted = fit_event_isolated_open([element(100, 70), element(200, 195)])
+        assert isinstance(fitted, DelayedRetroactive)
+        assert fitted.delay == Duration(5)
+
+
+class TestFitEventInter:
+    def test_recovers_planted_regularity(self):
+        elements = [element(tt, tt - 3) for tt in (0, 60, 120, 300)]
+        fit = fit_event_inter(elements)
+        names = {spec.name for spec in fit.all}
+        assert "transaction time event regular" in names
+        assert "temporal event regular" in names
+        assert "globally non-decreasing" in names
+
+    def test_strict_detection(self):
+        elements = [element(tt, tt + 5) for tt in (0, 60, 120, 180)]
+        names = {spec.name for spec in fit_event_inter(elements).all}
+        assert "strict transaction time event regular" in names
+        assert "strict temporal event regular" in names
+
+    def test_trivial_unit_suppressed(self):
+        # Coprime gaps: gcd 1 microsecond carries no information.
+        elements = [element(0, 0), element(1, 7), element(3, 11)]
+        regular = [s for s in fit_event_inter(elements).regularities]
+        assert regular == []
+
+    @settings(max_examples=60)
+    @given(event_extensions(min_size=1, max_size=10))
+    def test_everything_reported_actually_holds(self, elements):
+        for spec in fit_event_inter(elements).all:
+            assert spec.check_extension(elements), spec.name
+
+
+class TestFitDetermined:
+    def test_recovers_fixed_delay(self):
+        elements = [element(tt, tt + 30) for tt in (5, 17, 90)]
+        fitted = fit_determined(elements)
+        assert fitted is not None
+        assert all(fitted.check_element(e) for e in elements)
+
+    def test_recovers_floor_template(self):
+        mapping = floor_to_unit("minute")
+        elements = [
+            Stamped(tt_start=Timestamp(tt), vt=mapping(element(tt, 0)))
+            for tt in (61, 119, 245)
+        ]
+        fitted = fit_determined(elements)
+        assert fitted is not None
+        assert "floor" in fitted.mapping.name
+
+    def test_recovers_next_boundary_template(self):
+        from repro.core.taxonomy.determined import next_unit_offset
+
+        mapping = next_unit_offset("hour", Duration(5, "minute"))
+        elements = [
+            Stamped(tt_start=Timestamp(tt), vt=mapping(element(tt, 0)))
+            for tt in (10, 3700, 7300)
+        ]
+        fitted = fit_determined(elements)
+        assert fitted is not None
+        assert all(fitted.check_element(e) for e in elements)
+
+    def test_undetermined_returns_none(self):
+        elements = [element(0, 3), element(10, 90), element(20, 7)]
+        assert fit_determined(elements) is None
+
+    @settings(max_examples=60)
+    @given(event_extensions(min_size=1, max_size=10))
+    def test_fit_is_sound_when_found(self, elements):
+        fitted = fit_determined(elements)
+        if fitted is not None:
+            assert fitted.check_extension(elements)
+
+
+class TestFitInterval:
+    def test_fits_regular_weekly_intervals(self):
+        week = 7 * 86_400
+        elements = [
+            Stamped(
+                tt_start=Timestamp(tt),
+                vt=Interval(Timestamp(tt), Timestamp(tt + week)),
+            )
+            for tt in (0, week, 2 * week)
+        ]
+        fit = fit_interval(elements)
+        names = {spec.name for spec in fit.all}
+        assert "strict valid time interval regular" in names
+        assert fit.successive is not None and fit.successive.name == "globally contiguous"
+
+    @settings(max_examples=60)
+    @given(interval_extensions(min_size=1, max_size=8))
+    def test_everything_reported_actually_holds(self, elements):
+        for spec in fit_interval(elements).all:
+            assert spec.check_extension(elements), spec.name
+
+
+class TestClassify:
+    def test_dispatches_on_stamp_kind(self):
+        event_report = classify([element(1, 1)])
+        assert event_report.kind == "event"
+        interval_report = classify(
+            [Stamped(tt_start=Timestamp(1), vt=Interval(Timestamp(0), Timestamp(5)))]
+        )
+        assert interval_report.kind == "interval"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify([])
+
+    def test_report_lists_specializations(self):
+        report = classify([element(tt, tt) for tt in (0, 10, 20)])
+        names = [spec.name for spec in report.specializations()]
+        assert "degenerate" in names
+        assert any("determined" in n for n in names)
+
+    @settings(max_examples=40)
+    @given(event_extensions(min_size=1, max_size=10))
+    def test_every_reported_specialization_holds(self, elements):
+        report = classify(elements)
+        for spec in report.specializations():
+            assert spec.check_extension(elements), spec.name

@@ -1,0 +1,149 @@
+"""Unit and property tests for the Section 3.4 inter-interval taxonomy."""
+
+from hypothesis import given
+
+from repro.chronos.allen import AllenRelation, allen_relation
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.interval_inter import (
+    GloballyContiguous,
+    IntervalGloballyNonDecreasing,
+    IntervalGloballyNonIncreasing,
+    IntervalGloballySequential,
+    SuccessiveTransactionTime,
+    successive_family,
+)
+
+from tests.conftest import interval_extensions
+
+
+def element(tt: int, start: int, end: int) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Interval(Timestamp(start), Timestamp(end)))
+
+
+class TestOrderings:
+    def test_sequential_weekend_assignments(self):
+        """The paper's weekly-assignment example: the next week's interval
+        is recorded during the weekend, after the previous week ends."""
+        elements = [
+            element(tt=7, start=0, end=7),
+            element(tt=14, start=7, end=14),
+            element(tt=21, start=14, end=21),
+        ]
+        assert IntervalGloballySequential().check_extension(elements)
+
+    def test_thursday_recording_is_non_decreasing_not_sequential(self):
+        """Recording next week's assignment on Thursday: tt falls inside
+        the current week's interval, so sequentiality fails but the
+        relation stays non-decreasing."""
+        elements = [
+            element(tt=0, start=0, end=7),
+            element(tt=4, start=7, end=14),   # Thursday of week one
+            element(tt=11, start=14, end=21),  # Thursday of week two
+        ]
+        assert not IntervalGloballySequential().check_extension(elements)
+        assert IntervalGloballyNonDecreasing().check_extension(elements)
+
+    def test_non_increasing(self):
+        elements = [element(1, 20, 30), element(2, 10, 25), element(3, 0, 40)]
+        assert IntervalGloballyNonIncreasing().check_extension(elements)
+        assert not IntervalGloballyNonIncreasing().check_extension(
+            [element(1, 0, 5), element(2, 3, 9)]
+        )
+
+    @given(interval_extensions(min_size=1, max_size=8))
+    def test_pairwise_definition_equivalence(self, elements):
+        ordered = sorted(elements, key=lambda e: e.tt_start.microseconds)
+
+        def naive_sequential():
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    if not max(first.tt_start, first.vt.end) <= min(
+                        second.tt_start, second.vt.start
+                    ):
+                        return False
+            return True
+
+        def naive_monotone(op):
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    if not op(first.vt.start, second.vt.start):
+                        return False
+            return True
+
+        assert IntervalGloballySequential().check_extension(elements) == naive_sequential()
+        assert IntervalGloballyNonDecreasing().check_extension(elements) == naive_monotone(
+            lambda a, b: a <= b
+        )
+        assert IntervalGloballyNonIncreasing().check_extension(elements) == naive_monotone(
+            lambda a, b: a >= b
+        )
+
+    @given(interval_extensions(min_size=2, max_size=8))
+    def test_sequential_implies_non_decreasing(self, elements):
+        if IntervalGloballySequential().check_extension(elements):
+            assert IntervalGloballyNonDecreasing().check_extension(elements)
+
+
+class TestContiguity:
+    def test_contiguous_chain(self):
+        elements = [element(1, 0, 5), element(2, 5, 9), element(3, 9, 20)]
+        assert GloballyContiguous().check_extension(elements)
+
+    def test_gap_breaks_contiguity(self):
+        elements = [element(1, 0, 5), element(2, 6, 9)]
+        assert not GloballyContiguous().check_extension(elements)
+
+    def test_contiguous_is_successive_meets(self):
+        assert GloballyContiguous().relation is AllenRelation.MEETS
+
+    def test_single_element_is_contiguous(self):
+        assert GloballyContiguous().check_extension([element(1, 0, 5)])
+
+
+class TestSuccessiveFamily:
+    def test_thirteen_members(self):
+        family = successive_family()
+        assert len(family) == 13
+        names = {spec.name for spec in family}
+        assert "st-before" in names and "sti-before" in names
+        assert "st-equal" in names
+
+    def test_st_overlaps_next_begins_before_previous_completes(self):
+        spec = SuccessiveTransactionTime(AllenRelation.OVERLAPS)
+        good = [element(1, 0, 10), element(2, 5, 15), element(3, 12, 30)]
+        assert spec.check_extension(good)
+        bad = [element(1, 0, 10), element(2, 10, 15)]  # meets, not overlaps
+        assert not spec.check_extension(bad)
+
+    def test_st_equal(self):
+        spec = SuccessiveTransactionTime(AllenRelation.EQUAL)
+        assert spec.check_extension([element(1, 0, 5), element(2, 0, 5)])
+        assert not spec.check_extension([element(1, 0, 5), element(2, 0, 6)])
+
+    def test_sti_before(self):
+        spec = SuccessiveTransactionTime(AllenRelation.BEFORE_INVERSE)
+        assert spec.check_extension([element(1, 10, 15), element(2, 0, 5)])
+
+    @given(interval_extensions(min_size=2, max_size=8))
+    def test_exactly_one_family_member_fits_uniform_chains(self, elements):
+        """When all successive pairs share an Allen relation, exactly one
+        family member accepts the extension; otherwise none does."""
+        ordered = sorted(elements, key=lambda e: e.tt_start.microseconds)
+        relations = {
+            allen_relation(a.vt, b.vt) for a, b in zip(ordered, ordered[1:])
+        }
+        accepted = [
+            spec.relation for spec in successive_family() if spec.check_extension(elements)
+        ]
+        if len(relations) == 1:
+            assert accepted == [relations.pop()]
+        else:
+            assert accepted == []
+
+    def test_violation_reports_actual_relation(self):
+        spec = SuccessiveTransactionTime(AllenRelation.MEETS)
+        violations = spec.violations([element(1, 0, 5), element(2, 7, 9)])
+        assert len(violations) == 1
+        assert "before" in violations[0].message

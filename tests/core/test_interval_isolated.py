@@ -1,0 +1,111 @@
+"""Unit tests for the Section 3.3 isolated-interval taxonomy."""
+
+import pytest
+
+from repro.chronos.duration import Duration
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.event_isolated import Degenerate, Predictive, Retroactive
+from repro.core.taxonomy.interval_isolated import (
+    Endpoint,
+    OnBothEndpoints,
+    OnEndpoint,
+    TemporalIntervalRegular,
+    TransactionTimeIntervalRegular,
+    ValidTimeIntervalRegular,
+)
+
+
+def element(tt: int, start: int, end: int, tt_stop=None) -> Stamped:
+    return Stamped(
+        tt_start=Timestamp(tt),
+        vt=Interval(Timestamp(start), Timestamp(end)),
+        tt_stop=FOREVER if tt_stop is None else Timestamp(tt_stop),
+    )
+
+
+class TestEndpointLifting:
+    def test_stored_as_soon_as_it_terminates(self):
+        """The paper's example: vt-start-retroactive and vt-end-degenerate."""
+        start_retro = OnEndpoint(Retroactive(), Endpoint.START)
+        end_degenerate = OnEndpoint(Degenerate(), Endpoint.END)
+        elem = element(tt=50, start=10, end=50)
+        assert start_retro.check_element(elem)
+        assert end_degenerate.check_element(elem)
+
+    def test_endpoint_selection_matters(self):
+        elem = element(tt=30, start=10, end=50)
+        assert OnEndpoint(Retroactive(), Endpoint.START).check_element(elem)
+        assert not OnEndpoint(Retroactive(), Endpoint.END).check_element(elem)
+        assert OnEndpoint(Predictive(), Endpoint.END).check_element(elem)
+
+    def test_both_endpoints_shorthand(self):
+        """vt-start-retroactive + vt-end-retroactive = 'retroactive'."""
+        spec = OnBothEndpoints(Retroactive())
+        assert spec.check_element(element(tt=100, start=10, end=50))
+        assert not spec.check_element(element(tt=30, start=10, end=50))
+        assert spec.name == "interval retroactive"
+
+    def test_unbounded_endpoint_fails_bounded_predicates(self):
+        current = Stamped(
+            tt_start=Timestamp(10), vt=Interval(Timestamp(0), FOREVER)
+        )
+        assert not OnEndpoint(Retroactive(), Endpoint.END).check_element(current)
+
+    def test_event_element_rejected(self):
+        with pytest.raises(TypeError, match="interval specialization"):
+            OnEndpoint(Retroactive(), Endpoint.START).check_element(
+                Stamped(tt_start=Timestamp(0), vt=Timestamp(0))
+            )
+
+
+class TestIntervalRegularity:
+    def test_valid_time_interval_regular(self):
+        spec = ValidTimeIntervalRegular(Duration(7, "day"))
+        week = 7 * 86_400
+        assert spec.check_element(element(0, 0, week))
+        assert spec.check_element(element(0, 0, 3 * week))
+        assert not spec.check_element(element(0, 0, week + 1))
+
+    def test_strict_valid_time_interval_regular(self):
+        spec = ValidTimeIntervalRegular(Duration(7, "day"), strict=True)
+        week = 7 * 86_400
+        assert spec.check_element(element(0, 0, week))
+        assert not spec.check_element(element(0, 0, 2 * week))
+        assert spec.name.startswith("strict ")
+
+    def test_transaction_time_interval_regular(self):
+        spec = TransactionTimeIntervalRegular(Duration(10))
+        assert spec.check_element(element(0, 0, 5, tt_stop=20))
+        assert not spec.check_element(element(0, 0, 5, tt_stop=25))
+
+    def test_current_elements_vacuously_regular(self):
+        spec = TransactionTimeIntervalRegular(Duration(10))
+        assert spec.check_element(element(0, 0, 5))  # tt_stop = FOREVER
+
+    def test_temporal_interval_regular_shares_the_unit(self):
+        spec = TemporalIntervalRegular(Duration(10))
+        assert spec.check_element(element(0, 0, 20, tt_stop=30))
+        assert not spec.check_element(element(0, 0, 15, tt_stop=30))
+        assert not spec.check_element(element(0, 0, 20, tt_stop=35))
+
+    def test_strict_temporal_interval_regular(self):
+        spec = TemporalIntervalRegular(Duration(10), strict=True)
+        assert spec.check_element(element(0, 0, 10, tt_stop=10))
+        assert not spec.check_element(element(0, 0, 20, tt_stop=10))
+
+    def test_unit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ValidTimeIntervalRegular(Duration(0))
+
+    def test_unit_must_be_fixed(self):
+        from repro.chronos.duration import CalendricDuration
+
+        with pytest.raises(TypeError):
+            ValidTimeIntervalRegular(CalendricDuration(months=1))
+
+    def test_unbounded_valid_interval_vacuous(self):
+        spec = ValidTimeIntervalRegular(Duration(10))
+        current = Stamped(tt_start=Timestamp(0), vt=Interval(Timestamp(0), FOREVER))
+        assert spec.check_element(current)

@@ -1,0 +1,196 @@
+"""E2/E3/E5: the four figure lattices, structurally and semantically.
+
+Structural: node and edge sets match the paper's figures (Figure 5 per
+the documented reconstruction).  Semantic: every edge is an implication
+-- any random extension satisfying the child's representative instance
+satisfies the parent's.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.taxonomy.lattice import (
+    ALL_LATTICES,
+    EVENT_ISOLATED_LATTICE,
+    INTER_EVENT_ORDERING_LATTICE,
+    INTER_EVENT_REGULARITY_LATTICE,
+    INTER_INTERVAL_LATTICE,
+    Lattice,
+    Node,
+)
+
+from tests.conftest import event_extensions, interval_extensions
+
+
+class TestStructureFigure2:
+    def test_thirteen_nodes(self):
+        assert len(EVENT_ISOLATED_LATTICE.node_names) == 13
+
+    def test_root_and_leaves(self):
+        lattice = EVENT_ISOLATED_LATTICE
+        assert lattice.roots() == ["general"]
+        assert set(lattice.leaves()) == {
+            "early strongly predictively bounded",
+            "degenerate",
+            "delayed strongly retroactively bounded",
+        }
+
+    def test_exact_edge_set(self):
+        expected = {
+            ("general", "retroactively bounded"),
+            ("general", "predictively bounded"),
+            ("retroactively bounded", "predictive"),
+            ("retroactively bounded", "strongly bounded"),
+            ("predictively bounded", "retroactive"),
+            ("predictively bounded", "strongly bounded"),
+            ("predictive", "early predictive"),
+            ("predictive", "strongly predictively bounded"),
+            ("strongly bounded", "strongly predictively bounded"),
+            ("strongly bounded", "strongly retroactively bounded"),
+            ("retroactive", "strongly retroactively bounded"),
+            ("retroactive", "delayed retroactive"),
+            ("strongly predictively bounded", "early strongly predictively bounded"),
+            ("strongly predictively bounded", "degenerate"),
+            ("strongly retroactively bounded", "degenerate"),
+            ("strongly retroactively bounded", "delayed strongly retroactively bounded"),
+            ("early predictive", "early strongly predictively bounded"),
+            ("delayed retroactive", "delayed strongly retroactively bounded"),
+        }
+        assert set(EVENT_ISOLATED_LATTICE.edges) == expected
+
+    def test_degenerate_inherits_both_strong_branches(self):
+        ancestors = EVENT_ISOLATED_LATTICE.ancestors("degenerate")
+        assert "strongly retroactively bounded" in ancestors
+        assert "strongly predictively bounded" in ancestors
+        assert "retroactive" in ancestors and "predictive" in ancestors
+        assert "general" in ancestors
+
+
+class TestStructureFigures345:
+    def test_figure3(self):
+        lattice = INTER_EVENT_ORDERING_LATTICE
+        assert set(lattice.node_names) == {
+            "general",
+            "globally non-decreasing",
+            "globally non-increasing",
+            "globally sequential",
+        }
+        assert set(lattice.edges) == {
+            ("general", "globally non-decreasing"),
+            ("general", "globally non-increasing"),
+            ("globally non-decreasing", "globally sequential"),
+        }
+
+    def test_figure4(self):
+        lattice = INTER_EVENT_REGULARITY_LATTICE
+        assert len(lattice.node_names) == 7
+        assert lattice.parents("strict temporal event regular") == [
+            "temporal event regular",
+            "strict transaction time event regular",
+            "strict valid time event regular",
+        ]
+
+    def test_figure5_nodes(self):
+        lattice = INTER_INTERVAL_LATTICE
+        # 13 successive-tt properties (one aliased as contiguous), the
+        # two orderings, sequentiality, and general.
+        assert len(lattice.node_names) == 17
+        st_nodes = [n for n in lattice.node_names if n.startswith(("st-", "sti-"))]
+        assert len(st_nodes) == 12  # st-meets appears as globally contiguous
+        assert "globally contiguous (st-meets)" in lattice.node_names
+
+
+class TestLatticeAlgebra:
+    def test_most_specific(self):
+        lattice = EVENT_ISOLATED_LATTICE
+        assert lattice.most_specific(["general", "retroactive", "degenerate"]) == {
+            "degenerate"
+        }
+        assert lattice.most_specific(["delayed retroactive", "early predictive"]) == {
+            "delayed retroactive",
+            "early predictive",
+        }
+
+    def test_closure(self):
+        lattice = INTER_EVENT_ORDERING_LATTICE
+        assert lattice.closure(["globally sequential"]) == {
+            "globally sequential",
+            "globally non-decreasing",
+            "general",
+        }
+
+    def test_topological_order_parents_first(self):
+        for lattice in ALL_LATTICES:
+            order = lattice.topological_order()
+            positions = {name: i for i, name in enumerate(order)}
+            for parent, child in lattice.edges:
+                assert positions[parent] < positions[child]
+
+    def test_is_ancestor(self):
+        assert EVENT_ISOLATED_LATTICE.is_ancestor("general", "degenerate")
+        assert not EVENT_ISOLATED_LATTICE.is_ancestor("degenerate", "general")
+        assert not EVENT_ISOLATED_LATTICE.is_ancestor(
+            "delayed retroactive", "early predictive"
+        )
+
+    def test_to_dot_mentions_every_edge(self):
+        dot = EVENT_ISOLATED_LATTICE.to_dot()
+        assert '"general" -> "retroactively bounded";' in dot
+        assert dot.startswith("digraph")
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError, match="cycle"):
+            Lattice(
+                "bad",
+                nodes=[Node("a", lambda: None), Node("b", lambda: None)],
+                edges=[("a", "b"), ("b", "a")],
+            )
+
+    def test_unknown_edge_endpoint(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Lattice("bad", nodes=[Node("a", lambda: None)], edges=[("a", "zzz")])
+
+    def test_instances_are_fresh(self):
+        lattice = INTER_EVENT_ORDERING_LATTICE
+        assert lattice.instance("globally sequential") is not lattice.instance(
+            "globally sequential"
+        )
+
+
+class TestSemanticEdgesFigure2:
+    """Every Figure 2 edge, verified as an implication on random extensions."""
+
+    @settings(max_examples=60)
+    @given(event_extensions(min_size=1, max_size=10, max_offset=60))
+    def test_child_implies_parent(self, elements):
+        lattice = EVENT_ISOLATED_LATTICE
+        for parent, child in lattice.edges:
+            child_spec = lattice.instance(child)
+            if child_spec.check_extension(elements):
+                assert lattice.instance(parent).check_extension(elements), (parent, child)
+
+
+class TestSemanticEdgesFigures34:
+    @settings(max_examples=60)
+    @given(event_extensions(min_size=1, max_size=10, max_offset=60))
+    def test_child_implies_parent(self, elements):
+        for lattice in (INTER_EVENT_ORDERING_LATTICE, INTER_EVENT_REGULARITY_LATTICE):
+            for parent, child in lattice.edges:
+                child_spec = lattice.instance(child)
+                if child_spec.check_extension(elements):
+                    assert lattice.instance(parent).check_extension(elements), (
+                        lattice.name,
+                        parent,
+                        child,
+                    )
+
+
+class TestSemanticEdgesFigure5:
+    @settings(max_examples=60)
+    @given(interval_extensions(min_size=1, max_size=8))
+    def test_child_implies_parent(self, elements):
+        lattice = INTER_INTERVAL_LATTICE
+        for parent, child in lattice.edges:
+            child_spec = lattice.instance(child)
+            if child_spec.check_extension(elements):
+                assert lattice.instance(parent).check_extension(elements), (parent, child)

@@ -1,0 +1,112 @@
+"""Unit and property tests for per-partition application (Sections 2-3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.event_inter import (
+    GloballyNonDecreasing,
+    GloballySequential,
+    TransactionTimeEventRegular,
+)
+from repro.core.taxonomy.event_isolated import Retroactive
+from repro.core.taxonomy.partition import (
+    PerPartition,
+    partition_extension,
+    per_surrogate,
+)
+
+
+def element(tt: int, vt: int, who: str) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt), object_surrogate=who)
+
+
+class TestPerPartition:
+    def test_per_surrogate_sequential(self):
+        """Interleaved life-lines: sequential per surrogate, not globally."""
+        elements = [
+            element(1, 1, "alice"),
+            element(2, 2, "bob"),
+            element(10, 5, "alice"),  # before bob's event in valid time
+            element(11, 6, "bob"),
+        ]
+        assert not GloballySequential().check_extension(elements)
+        assert PerPartition(GloballySequential()).check_extension(elements)
+
+    def test_name_records_the_partitioning(self):
+        spec = PerPartition(GloballySequential())
+        assert spec.name == "per-surrogate globally sequential"
+
+    def test_isolated_properties_unaffected_by_partitioning(self):
+        """For per-element properties, per-partition == per-relation."""
+        elements = [
+            element(10, 5, "a"),
+            element(20, 30, "b"),  # violates retroactive
+        ]
+        assert Retroactive().check_extension(elements) == PerPartition(
+            Retroactive()
+        ).check_extension(elements)
+
+    def test_custom_key(self):
+        elements = [
+            Stamped(tt_start=Timestamp(1), vt=Timestamp(9), attributes={"dept": "x"}),
+            Stamped(tt_start=Timestamp(2), vt=Timestamp(1), attributes={"dept": "y"}),
+        ]
+        spec = PerPartition(
+            GloballyNonDecreasing(), key=lambda e: e.attributes["dept"], label="dept"
+        )
+        assert spec.check_extension(elements)
+        assert spec.name == "per-dept globally non-decreasing"
+
+    def test_violations_carry_through(self):
+        elements = [element(1, 5, "a"), element(2, 4, "a")]
+        violations = PerPartition(GloballyNonDecreasing()).violations(elements)
+        assert len(violations) == 1
+
+
+class TestPartitionExtension:
+    def test_groups_by_surrogate(self):
+        elements = [element(1, 1, "a"), element(2, 2, "b"), element(3, 3, "a")]
+        groups = partition_extension(elements)
+        assert set(groups) == {"a", "b"}
+        assert len(groups["a"]) == 2
+
+    def test_per_surrogate_key(self):
+        assert per_surrogate(element(1, 1, "x")) == "x"
+
+
+class TestGlobalVsPartitionRelationships:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 1000),
+                st.integers(-50, 50),
+                st.sampled_from(["a", "b", "c"]),
+            ),
+            min_size=1,
+            max_size=12,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_global_implies_per_partition_for_orderings(self, rows):
+        """A global ordering restricts every pair, hence every partition."""
+        elements = [element(tt, tt + off, who) for tt, off, who in rows]
+        if GloballyNonDecreasing().check_extension(elements):
+            assert PerPartition(GloballyNonDecreasing()).check_extension(elements)
+        if GloballySequential().check_extension(elements):
+            assert PerPartition(GloballySequential()).check_extension(elements)
+
+    def test_per_partition_regularity_does_not_imply_global(self):
+        """Reproduction note (E3): Section 3.2 claims the per-partition
+        variant of non-strict regularity implies the global variant; for
+        a shared unit this fails when partitions are out of phase."""
+        unit = Duration(10)
+        elements = [
+            element(0, 0, "a"),
+            element(10, 0, "a"),  # partition a: tts 0, 10 -- regular
+            element(15, 0, "b"),  # partition b: tt 15 alone -- regular
+        ]
+        per_partition = PerPartition(TransactionTimeEventRegular(unit))
+        assert per_partition.check_extension(elements)
+        assert not TransactionTimeEventRegular(unit).check_extension(elements)

@@ -1,0 +1,115 @@
+"""Tests for per-partition (per-surrogate) specialization inference."""
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.inference import classify, fit_per_partition
+
+
+def element(tt: int, vt: int, who: str) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt), object_surrogate=who)
+
+
+def interval_element(tt: int, start: int, end: int, who: str) -> Stamped:
+    return Stamped(
+        tt_start=Timestamp(tt),
+        vt=Interval(Timestamp(start), Timestamp(end)),
+        object_surrogate=who,
+    )
+
+
+class TestEventPerPartition:
+    def test_interleaved_lifelines_found_sequential(self):
+        # Two sensors interleave in tt; each is sequential on its own,
+        # but globally the valid times zig-zag.
+        elements = [
+            element(10, 9, "a"),
+            element(11, 8, "b"),
+            element(20, 19, "a"),
+            element(21, 18, "b"),
+        ]
+        found = fit_per_partition(elements)
+        names = [spec.name for spec in found]
+        assert "per-surrogate globally sequential" in names
+
+    def test_sequential_suppresses_redundant_non_decreasing(self):
+        elements = [
+            element(10, 9, "a"),
+            element(11, 8, "b"),
+            element(20, 19, "a"),
+            element(21, 18, "b"),
+        ]
+        names = [spec.name for spec in fit_per_partition(elements)]
+        assert "per-surrogate globally non-decreasing" not in names
+
+    def test_globally_satisfied_properties_not_repeated(self):
+        # One object only: global and per-partition coincide; report none.
+        elements = [element(10, 9, "a"), element(20, 19, "a")]
+        assert fit_per_partition(elements) == []
+
+    def test_per_partition_non_increasing(self):
+        elements = [
+            element(10, -100, "a"),
+            element(11, -50, "b"),
+            element(20, -200, "a"),
+            element(21, -300, "b"),
+        ]
+        names = [spec.name for spec in fit_per_partition(elements)]
+        assert "per-surrogate globally non-increasing" in names
+
+    def test_no_structure_reports_nothing(self):
+        elements = [
+            element(10, 100, "a"),
+            element(20, 5, "a"),
+            element(30, 50, "a"),
+        ]
+        assert fit_per_partition(elements) == []
+
+    def test_classify_includes_per_partition(self):
+        elements = [
+            element(10, 9, "a"),
+            element(11, 8, "b"),
+            element(20, 19, "a"),
+            element(21, 18, "b"),
+        ]
+        report = classify(elements)
+        assert any("per-surrogate" in s.name for s in report.specializations())
+
+    def test_everything_reported_actually_holds(self):
+        elements = [
+            element(10, 9, "a"),
+            element(11, 8, "b"),
+            element(20, 19, "a"),
+            element(21, 18, "b"),
+        ]
+        for spec in fit_per_partition(elements):
+            assert spec.check_extension(elements)
+
+
+class TestIntervalPerPartition:
+    def test_interleaved_weekly_intervals(self):
+        elements = [
+            interval_element(8, 10, 15, "a"),
+            interval_element(9, 10, 15, "b"),
+            interval_element(18, 20, 25, "a"),
+            interval_element(19, 20, 25, "b"),
+        ]
+        names = [spec.name for spec in fit_per_partition(elements)]
+        assert "per-surrogate globally sequential (intervals)" in names
+
+    def test_assignments_workload(self):
+        from repro.workloads import generate_assignments
+
+        workload = generate_assignments(employees=3, weeks=10, record_on="weekend")
+        report = classify(workload.relation.all_elements())
+        names = [spec.name for spec in report.per_partition]
+        assert "per-surrogate globally sequential (intervals)" in names
+
+    def test_advisor_reports_per_partition_payoff(self):
+        from repro.design.advisor import Advisor
+        from repro.workloads import generate_assignments
+
+        workload = generate_assignments(employees=3, weeks=10, record_on="weekend")
+        recommendation = Advisor().recommend_for_relation(workload.relation)
+        assert any("per-surrogate" in name for name in recommendation.declared_names)
+        assert any("life-line" in payoff for payoff in recommendation.payoffs)

@@ -1,0 +1,92 @@
+"""Unit tests for the specialization name registry and parser."""
+
+import pytest
+
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.core.taxonomy.event_isolated import (
+    DelayedRetroactive,
+    RetroactivelyBounded,
+    StronglyBounded,
+)
+from repro.core.taxonomy.registry import REGISTRY, parse, parse_duration
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("30s", Duration(30, "second")),
+            ("5min", Duration(5, "minute")),
+            ("12h", Duration(12, "hour")),
+            ("1d", Duration(1, "day")),
+            ("2w", Duration(2, "week")),
+            ("250ms", Duration(250, "millisecond")),
+            ("7us", Duration(7, "microsecond")),
+            ("-3s", Duration(-3, "second")),
+        ],
+    )
+    def test_fixed(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_calendric(self):
+        assert parse_duration("1mo") == CalendricDuration(months=1)
+        assert parse_duration("2y") == CalendricDuration(years=2)
+
+    def test_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_duration("soon")
+        with pytest.raises(ValueError, match="unknown duration unit"):
+            parse_duration("3fortnights")
+
+
+class TestParse:
+    def test_nullary(self):
+        assert parse("retroactive").name == "retroactive"
+        assert parse("degenerate").name == "degenerate"
+
+    def test_unary_with_bound(self):
+        spec = parse("delayed retroactive(30s)")
+        assert isinstance(spec, DelayedRetroactive)
+        assert spec.delay == Duration(30)
+
+    def test_binary_with_bounds(self):
+        spec = parse("strongly bounded(1d, 12h)")
+        assert isinstance(spec, StronglyBounded)
+        assert spec.past_bound == Duration(1, "day")
+        assert spec.future_bound == Duration(12, "hour")
+
+    def test_calendric_bound(self):
+        spec = parse("retroactively bounded(1mo)")
+        assert isinstance(spec, RetroactivelyBounded)
+        assert spec.bound == CalendricDuration(months=1)
+
+    def test_case_insensitive(self):
+        assert parse("Retroactive").name == "retroactive"
+
+    def test_regularity_requires_fixed_unit(self):
+        with pytest.raises(ValueError, match="fixed duration"):
+            parse("transaction time event regular(1mo)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="exactly one bound"):
+            parse("delayed retroactive")
+        with pytest.raises(ValueError, match="no bounds"):
+            parse("retroactive(3s)")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown specialization"):
+            parse("hyperbolic")
+
+    def test_every_registry_entry_is_constructible(self):
+        samples = {0: [], 1: ["10s"], 2: ["5s", "10s"]}
+        for name in REGISTRY:
+            built = None
+            for arity in (0, 1, 2):
+                arguments = ", ".join(samples[arity])
+                text = f"{name}({arguments})" if arguments else name
+                try:
+                    built = parse(text)
+                    break
+                except ValueError:
+                    continue
+            assert built is not None, name

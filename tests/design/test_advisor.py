@@ -1,0 +1,105 @@
+"""Tests for the design advisor and report rendering (E11)."""
+
+import pytest
+
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy import EVENT_ISOLATED_LATTICE, INTER_INTERVAL_LATTICE
+from repro.core.taxonomy.base import Stamped
+from repro.design.advisor import Advisor
+from repro.design.report import (
+    lattice_levels,
+    render_lattice_ascii,
+    render_recommendation,
+)
+from repro.workloads import (
+    generate_assignments,
+    generate_excavation,
+    generate_monitoring,
+    generate_payroll,
+)
+from repro.workloads.payroll import generate_determined_deposits
+
+
+def element(tt: int, vt: int) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt))
+
+
+class TestAdvisorOnWorkloads:
+    def test_monitoring_recommendation(self):
+        workload = generate_monitoring(sensors=2, samples_per_sensor=40)
+        recommendation = Advisor(margin=0.5).recommend_for_relation(workload.relation)
+        assert recommendation.kind == "event"
+        names = recommendation.declared_names
+        assert any("retroactively bounded" in n for n in names)
+        assert any("bounded-tt-window" in p for p in recommendation.payoffs)
+
+    def test_payroll_recommendation(self):
+        workload = generate_payroll(employees=4, months=6)
+        recommendation = Advisor().recommend_for_relation(workload.relation)
+        assert any("predictively bounded" in n for n in recommendation.declared_names)
+
+    def test_determined_deposits_detected(self):
+        workload = generate_determined_deposits(deposits=50)
+        recommendation = Advisor().recommend_for_relation(workload.relation)
+        assert "determined" in recommendation.declared_names
+        assert any("need not be stored" in p for p in recommendation.payoffs)
+
+    def test_excavation_recommendation(self):
+        workload = generate_excavation(strata=20)
+        recommendation = Advisor().recommend_for_relation(workload.relation)
+        assert "globally non-increasing" in recommendation.declared_names
+        assert any("descending" in p for p in recommendation.payoffs)
+
+    def test_interval_recommendation(self):
+        workload = generate_assignments(employees=3, weeks=10, record_on="weekend")
+        recommendation = Advisor().recommend_for_relation(workload.relation)
+        assert recommendation.kind == "interval"
+        assert any("regular" in n for n in recommendation.declared_names)
+
+
+class TestWidening:
+    def test_margin_widens_bounds(self):
+        elements = [element(100, 70), element(200, 195)]  # offsets -30..-5
+        fitted = Advisor(margin=0.0).recommend(elements).declare[0]
+        widened = Advisor(margin=1.0).recommend(elements).declare[0]
+        assert fitted.max_delay.microseconds == 30_000_000
+        assert widened.max_delay.microseconds == 60_000_000
+        assert widened.min_delay.microseconds <= fitted.min_delay.microseconds
+
+    def test_widened_declaration_still_satisfied(self):
+        elements = [element(100, 95), element(200, 230), element(300, 300)]
+        for margin in (0.0, 0.25, 1.0):
+            recommendation = Advisor(margin=margin).recommend(elements)
+            for spec in recommendation.declare:
+                assert spec.check_extension(elements), (margin, spec.name)
+
+    def test_degenerate_not_widened(self):
+        elements = [element(5, 5), element(9, 9)]
+        recommendation = Advisor(margin=2.0).recommend(elements)
+        assert "degenerate" in recommendation.declared_names
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            Advisor(margin=-0.1)
+
+
+class TestReports:
+    def test_recommendation_rendering(self):
+        workload = generate_monitoring(sensors=2, samples_per_sensor=20)
+        recommendation = Advisor().recommend_for_relation(workload.relation)
+        text = render_recommendation(recommendation, "plant")
+        assert "Design analysis: plant" in text
+        assert "observed" in text and "recommended" in text
+
+    def test_lattice_levels_respect_edges(self):
+        levels = lattice_levels(EVENT_ISOLATED_LATTICE)
+        position = {
+            name: depth for depth, names in enumerate(levels) for name in names
+        }
+        for parent, child in EVENT_ISOLATED_LATTICE.edges:
+            assert position[parent] < position[child]
+
+    def test_ascii_rendering_contains_all_nodes(self):
+        text = render_lattice_ascii(INTER_INTERVAL_LATTICE)
+        for node in INTER_INTERVAL_LATTICE.node_names:
+            assert node in text

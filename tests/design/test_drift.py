@@ -1,0 +1,107 @@
+"""Tests for drift monitoring against declared offset regions."""
+
+import pytest
+
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+from repro.core.taxonomy.event_isolated import (
+    DelayedRetroactive,
+    PredictivelyBounded,
+    Retroactive,
+    StronglyBounded,
+)
+from repro.design.drift import DriftMonitor, _one_sided_closeness
+
+
+def element(tt: int, vt: int) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt))
+
+
+class TestTwoSidedUtilization:
+    def test_centered_traffic_is_low(self):
+        monitor = DriftMonitor(StronglyBounded(Duration(100), Duration(100)).region())
+        monitor.observe_all([element(1000, 1000 + d) for d in (-10, 0, 10)])
+        report = monitor.report()
+        assert report.violations == 0
+        assert report.worst_utilization < 0.6
+
+    def test_traffic_near_the_bound_alerts(self):
+        monitor = DriftMonitor(StronglyBounded(Duration(100), Duration(100)).region())
+        monitor.observe_all([element(1000, 1000 + d) for d in (0, 95)])
+        report = monitor.report()
+        assert report.violations == 0
+        assert report.upper_utilization > 0.9
+        assert report.alert(threshold=0.9)
+
+    def test_violations_counted(self):
+        monitor = DriftMonitor(StronglyBounded(Duration(10), Duration(10)).region())
+        monitor.observe_all([element(0, 50), element(0, 0)])
+        report = monitor.report()
+        assert report.violations == 1
+        assert report.alert()
+
+
+class TestOneSidedUtilization:
+    def test_delayed_retroactive_closeness(self):
+        monitor = DriftMonitor(DelayedRetroactive(Duration(10)).region())
+        monitor.observe_all([element(100, 60)])  # offset -40, bound -10
+        report = monitor.report()
+        assert report.upper_utilization == pytest.approx(0.25)
+        monitor.observe(element(100, 90))  # offset -10 = the bound
+        assert monitor.report().upper_utilization == pytest.approx(1.0)
+
+    def test_predictively_bounded_closeness(self):
+        monitor = DriftMonitor(PredictivelyBounded(Duration(30)).region())
+        monitor.observe(element(0, 15))
+        assert monitor.report().upper_utilization == pytest.approx(0.5)
+
+    def test_diagonal_bound_has_no_scale(self):
+        monitor = DriftMonitor(Retroactive().region())
+        monitor.observe(element(100, 50))
+        report = monitor.report()
+        assert report.upper_utilization is None
+        assert not report.alert()
+        monitor.observe(element(100, 200))  # violation
+        assert monitor.report().alert()
+
+
+class TestClosenessFunction:
+    @pytest.mark.parametrize(
+        "offset, bound, is_upper, expected",
+        [
+            (-40, -10, True, 0.25),
+            (-10, -10, True, 1.0),
+            (-5, -10, True, 2.0),
+            (15, 30, True, 0.5),
+            (45, 30, True, 1.5),
+            (-100, 30, True, 0.0),
+            (20, 10, False, 0.5),
+            (5, 10, False, 2.0),
+            (-15, -30, False, 0.5),
+            (-45, -30, False, 1.5),
+            (100, -30, False, 0.0),
+        ],
+    )
+    def test_table(self, offset, bound, is_upper, expected):
+        assert _one_sided_closeness(offset, bound, is_upper) == pytest.approx(expected)
+
+
+class TestWindowing:
+    def test_sliding_window_forgets_old_extremes(self):
+        monitor = DriftMonitor(
+            StronglyBounded(Duration(100), Duration(100)).region(), window=2
+        )
+        monitor.observe(element(0, 95))   # hot
+        monitor.observe(element(10, 10))  # mild
+        monitor.observe(element(20, 21))  # mild; the hot one falls out
+        assert monitor.report().worst_utilization < 0.2
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(Retroactive().region(), window=0)
+
+    def test_empty_report(self):
+        report = DriftMonitor(Retroactive().region()).report()
+        assert report.window == 0
+        assert report.worst_utilization == 0.0

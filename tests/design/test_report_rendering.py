@@ -1,0 +1,113 @@
+"""Tests for the Figure 1 panel renderer and figure text output."""
+
+from repro.chronos.duration import Duration
+from repro.core.taxonomy import (
+    EVENT_ISOLATED_LATTICE,
+    Degenerate,
+    Predictive,
+    Retroactive,
+    StronglyBounded,
+)
+from repro.design.report import render_figure1, render_region_panel
+
+
+class TestRegionPanel:
+    def test_retroactive_fills_lower_triangle(self):
+        panel = render_region_panel(Retroactive().region(), size=5, span=40)
+        rows = panel.splitlines()[1:-1]  # strip axis labels
+        # Bottom row (vt = 0): everything with tt >= 0 is allowed.
+        assert rows[-1] == "# # # # #"
+        # Top row (vt = span): only tt = span remains.
+        assert rows[0] == ". . . . #"
+
+    def test_predictive_fills_upper_triangle(self):
+        panel = render_region_panel(Predictive().region(), size=5, span=40)
+        rows = panel.splitlines()[1:-1]
+        assert rows[0] == "# # # # #"
+        assert rows[-1] == "# . . . ."
+
+    def test_degenerate_is_the_diagonal(self):
+        panel = render_region_panel(Degenerate().region(), size=5, span=40)
+        rows = panel.splitlines()[1:-1]
+        for row_index, row in enumerate(rows):
+            cells = row.split(" ")
+            for column_index, cell in enumerate(cells):
+                on_diagonal = column_index == len(rows) - 1 - row_index
+                assert (cell == "#") == on_diagonal
+
+    def test_band_is_symmetric_for_symmetric_bounds(self):
+        region = StronglyBounded(Duration(8), Duration(8)).region()
+        panel = render_region_panel(region, size=9, span=40)
+        rows = [row.split(" ") for row in panel.splitlines()[1:-1]]
+        size = len(rows)
+        for row in range(size):
+            for column in range(size):
+                mirrored = rows[size - 1 - column][size - 1 - row]
+                assert rows[row][column] == mirrored
+
+    def test_every_panel_cell_matches_region_membership(self):
+        second = 1_000_000
+        for name in EVENT_ISOLATED_LATTICE.node_names:
+            region = EVENT_ISOLATED_LATTICE.instance(name).region()
+            panel = render_region_panel(region, size=6, span=40)
+            rows = panel.splitlines()[1:-1]
+            step = 40 / 5
+            for row_position, row in enumerate(rows):
+                vt = round((5 - row_position) * step) * second
+                for column_position, cell in enumerate(row.split(" ")):
+                    tt = round(column_position * step) * second
+                    assert (cell == "#") == region.contains(vt - tt), (name, vt, tt)
+
+
+class TestFigure1Text:
+    def test_contains_every_type(self):
+        text = render_figure1(size=5)
+        for name in EVENT_ISOLATED_LATTICE.node_names:
+            assert name in text
+
+
+class TestOffsetHistogram:
+    @staticmethod
+    def elements(offsets):
+        from repro.chronos.timestamp import Timestamp
+        from repro.core.taxonomy.base import Stamped
+
+        return [
+            Stamped(tt_start=Timestamp(100 + i), vt=Timestamp(100 + i + off))
+            for i, off in enumerate(offsets)
+        ]
+
+    def test_empty(self):
+        from repro.design.report import offset_histogram
+
+        assert offset_histogram([]) == "(no elements)"
+
+    def test_constant_offsets(self):
+        from repro.design.report import offset_histogram
+
+        text = offset_histogram(self.elements([-30, -30, -30]))
+        assert "all 3 offsets = -30.000s" in text
+
+    def test_bucket_counts_sum_to_total(self):
+        import re
+
+        from repro.design.report import offset_histogram
+
+        offsets = [-40, -35, -33, -31, -31, -30]
+        text = offset_histogram(self.elements(offsets), buckets=5)
+        counted = sum(
+            int(re.search(r"\)\s+(\d+)", line).group(1))
+            for line in text.splitlines()
+        )
+        assert counted == len(offsets)
+
+    def test_monitoring_workload_clusters_in_declared_band(self):
+        from repro.design.report import offset_histogram
+        from repro.workloads import generate_monitoring
+
+        workload = generate_monitoring(sensors=2, samples_per_sensor=50)
+        text = offset_histogram(workload.relation.all_elements())
+        # All offsets are negative (retroactive): no positive bucket bounds.
+        for line in text.splitlines():
+            bounds = line.split(")")[0]
+            assert "+" not in bounds

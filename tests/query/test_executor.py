@@ -1,0 +1,167 @@
+"""Unit tests for the algebra and the reference executor."""
+
+import pytest
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.query import (
+    BitemporalSlice,
+    CurrentState,
+    NaiveExecutor,
+    Project,
+    Rollback,
+    Scan,
+    Select,
+    TemporalJoin,
+    ValidOverlap,
+    ValidTimeslice,
+)
+from repro.query.ast import valid_times_intersect
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+
+
+@pytest.fixture
+def relation():
+    schema = TemporalSchema(name="temps", time_varying=("celsius",))
+    clock = SimulatedWallClock(start=100)
+    rel = TemporalRelation(schema, clock=clock)
+    first = rel.insert("s1", Timestamp(95), {"celsius": 20.0})
+    clock.advance_to(Timestamp(110))
+    rel.insert("s2", Timestamp(95), {"celsius": 21.0})
+    clock.advance_to(Timestamp(120))
+    rel.modify(first.element_surrogate, attributes={"celsius": 19.0})
+    return rel
+
+
+class TestQueryClasses:
+    def test_scan_returns_everything(self, relation):
+        assert len(NaiveExecutor().run(Scan(relation))) == 3
+
+    def test_current_query(self, relation):
+        current = NaiveExecutor().run(CurrentState(Scan(relation)))
+        assert len(current) == 2
+        assert all(e.is_current for e in current)
+
+    def test_rollback_query(self, relation):
+        at_115 = NaiveExecutor().run(Rollback(Scan(relation), Timestamp(115)))
+        assert sorted(e.element_surrogate for e in at_115) == [1, 2]
+
+    def test_historical_query(self, relation):
+        valid = NaiveExecutor().run(ValidTimeslice(Scan(relation), Timestamp(95)))
+        assert len(valid) == 2  # the corrected element and s2
+        assert {e.attributes["celsius"] for e in valid} == {19.0, 21.0}
+
+    def test_bitemporal_query(self, relation):
+        believed = NaiveExecutor().run(
+            BitemporalSlice(Scan(relation), vt=Timestamp(95), tt=Timestamp(115))
+        )
+        assert {e.attributes["celsius"] for e in believed} == {20.0, 21.0}
+
+    def test_overlap_query(self, relation):
+        window = Interval(Timestamp(90), Timestamp(96))
+        hits = NaiveExecutor().run(ValidOverlap(Scan(relation), window))
+        assert len(hits) == 2
+
+
+class TestSelectProject:
+    def test_select(self, relation):
+        warm = NaiveExecutor().run(
+            Select(
+                CurrentState(Scan(relation)),
+                lambda e: e.attributes["celsius"] > 20,
+                label="celsius>20",
+            )
+        )
+        assert [e.attributes["celsius"] for e in warm] == [21.0]
+
+    def test_project_rows(self, relation):
+        rows = NaiveExecutor().run(
+            Project(CurrentState(Scan(relation)), ["celsius", "__object__", "__vt__"])
+        )
+        assert {row["__object__"] for row in rows} == {"s1", "s2"}
+        assert all(row["__vt__"] == Timestamp(95) for row in rows)
+
+    def test_project_is_terminal(self, relation):
+        nested = Select(
+            Project(Scan(relation), ["celsius"]), lambda e: True
+        )
+        with pytest.raises(TypeError, match="rows, not elements"):
+            NaiveExecutor().run(nested)
+
+    def test_describe_strings(self, relation):
+        query = Project(
+            Select(CurrentState(Scan(relation)), lambda e: True, label="p"),
+            ["celsius"],
+        )
+        text = query.describe()
+        assert "project[celsius]" in text and "select[p]" in text and "current" in text
+
+
+class TestTemporalJoin:
+    def test_event_event_join_on_equal_stamp(self):
+        schema = TemporalSchema(name="x", time_varying=("v",))
+        clock = SimulatedWallClock(start=0)
+        left = TemporalRelation(schema, clock=clock)
+        right = TemporalRelation(schema, clock=SimulatedWallClock(start=0))
+        left.insert("a", Timestamp(0), {"v": 1})
+        right.insert("b", Timestamp(0), {"v": 2})
+        right.insert("c", Timestamp(5), {"v": 3})
+        pairs = NaiveExecutor().run(TemporalJoin(Scan(left), Scan(right)))
+        assert len(pairs) == 1
+        assert pairs[0][0].object_surrogate == "a"
+        assert pairs[0][1].object_surrogate == "b"
+
+    def test_interval_event_join(self):
+        interval_schema = TemporalSchema(
+            name="asg", valid_time_kind=ValidTimeKind.INTERVAL, time_varying=("p",)
+        )
+        event_schema = TemporalSchema(name="ev", time_varying=("v",))
+        assignments = TemporalRelation(interval_schema, clock=SimulatedWallClock(start=0))
+        events = TemporalRelation(event_schema, clock=SimulatedWallClock(start=0))
+        assignments.insert("emp", Interval(Timestamp(0), Timestamp(10)), {"p": "x"})
+        events.insert("log", Timestamp(5), {"v": 1})
+        events.insert("log", Timestamp(15), {"v": 2})
+        pairs = NaiveExecutor().run(TemporalJoin(Scan(assignments), Scan(events)))
+        assert len(pairs) == 1
+        assert pairs[0][1].attributes["v"] == 1
+
+    def test_join_condition(self):
+        schema = TemporalSchema(name="x", time_varying=("k",))
+        left = TemporalRelation(schema, clock=SimulatedWallClock(start=0))
+        right = TemporalRelation(schema, clock=SimulatedWallClock(start=0))
+        left.insert("a", Timestamp(0), {"k": 1})
+        right.insert("b", Timestamp(0), {"k": 1})
+        right.insert("c", Timestamp(0), {"k": 2})
+        pairs = NaiveExecutor().run(
+            TemporalJoin(
+                Scan(left),
+                Scan(right),
+                condition=lambda l, r: l.attributes["k"] == r.attributes["k"],
+                label="k=k",
+            )
+        )
+        assert len(pairs) == 1
+
+    def test_valid_times_intersect_matrix(self):
+        from repro.relation.element import Element
+
+        def make(vt):
+            return Element(1, "o", Timestamp(0), vt)
+
+        event5 = make(Timestamp(5))
+        event6 = make(Timestamp(6))
+        span = make(Interval(Timestamp(0), Timestamp(6)))
+        assert valid_times_intersect(event5, event5)
+        assert not valid_times_intersect(event5, event6)
+        assert valid_times_intersect(span, event5)
+        assert not valid_times_intersect(span, event6)
+        assert valid_times_intersect(span, span)
+
+
+class TestExaminedCounter:
+    def test_scan_counts_elements(self, relation):
+        executor = NaiveExecutor()
+        executor.run(ValidTimeslice(Scan(relation), Timestamp(95)))
+        assert executor.examined == 3

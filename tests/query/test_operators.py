@@ -1,0 +1,185 @@
+"""Direct unit tests for the physical operators."""
+
+import pytest
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.query import operators
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.sqlite_backend import SQLiteEngine
+
+
+def build_events(offsets, engine=None, specializations=()):
+    schema = TemporalSchema(name="r", specializations=list(specializations))
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock, engine=engine, keep_backlog=False)
+    for i, offset in enumerate(offsets):
+        clock.advance_to(Timestamp(10 * i))
+        relation.insert("o", Timestamp(10 * i + offset), {})
+    return relation
+
+
+class TestFullScans:
+    def test_timeslice_full_scan_counts_everything(self):
+        relation = build_events([0] * 20)
+        results, examined = operators.timeslice_full_scan(relation, Timestamp(50))
+        assert examined == 20
+        assert len(results) == 1
+
+    def test_rollback_full_scan(self):
+        relation = build_events([0] * 20)
+        results, examined = operators.rollback_full_scan(relation, Timestamp(95))
+        assert examined == 20
+        assert len(results) == 10
+
+
+class TestRollbackPrefix:
+    def test_prefix_examines_only_prefix(self):
+        relation = build_events([0] * 100)
+        results, examined = operators.rollback_prefix(relation, Timestamp(95))
+        assert len(results) == 10
+        assert examined == 10
+
+    def test_falls_back_without_memory_index(self):
+        relation = build_events([0] * 10, engine=SQLiteEngine())
+        results, examined = operators.rollback_prefix(relation, Timestamp(95))
+        assert len(results) == 10
+
+
+class TestDegenerateOperator:
+    def test_point_lookup(self):
+        relation = build_events([0] * 50, specializations=["degenerate"])
+        results, examined = operators.timeslice_degenerate(relation, Timestamp(250))
+        assert len(results) == 1
+        assert examined == 1
+
+    def test_requires_memory_index(self):
+        relation = build_events([0] * 5, engine=SQLiteEngine(), specializations=["degenerate"])
+        with pytest.raises(ValueError, match="tt index"):
+            operators.timeslice_degenerate(relation, Timestamp(0))
+
+
+class TestBoundedWindowOperator:
+    def test_two_sided(self):
+        relation = build_events([3] * 200, specializations=["strongly bounded(5s, 5s)"])
+        results, examined = operators.timeslice_bounded_window(
+            relation, Timestamp(503), lower_offset=-5_000_000, upper_offset=5_000_000
+        )
+        assert len(results) == 1
+        assert examined <= 2
+
+    def test_one_sided_lower_none(self):
+        """Retroactive side only: scan the prefix below vt - lower."""
+        relation = build_events([-3] * 50)
+        results, examined = operators.timeslice_bounded_window(
+            relation, Timestamp(247), lower_offset=None, upper_offset=0
+        )
+        assert len(results) == 1
+        # Elements with tt >= vt: positions 25..49 (suffix scan).
+        assert examined == 25
+
+    def test_one_sided_upper_none(self):
+        relation = build_events([3] * 50)
+        results, examined = operators.timeslice_bounded_window(
+            relation, Timestamp(253), lower_offset=0, upper_offset=None
+        )
+        assert len(results) == 1
+        assert examined == 26  # prefix through vt
+
+    def test_unbounded_both_scans_all(self):
+        relation = build_events([0] * 10)
+        _results, examined = operators.timeslice_bounded_window(
+            relation, Timestamp(50), None, None
+        )
+        assert examined == 10
+
+
+class TestMonotoneOperators:
+    def test_ascending_run_collection(self):
+        # Duplicate valid times: the full run must be returned.
+        schema = TemporalSchema(name="m")
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        for i, vt in enumerate([0, 10, 10, 10, 20]):
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("o", Timestamp(vt), {})
+        results, _examined = operators.timeslice_monotone_events(relation, Timestamp(10))
+        assert len(results) == 3
+
+    def test_descending(self):
+        schema = TemporalSchema(name="m")
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        for i, vt in enumerate([30, 20, 20, 10]):
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("o", Timestamp(vt), {})
+        results, _examined = operators.timeslice_monotone_events(
+            relation, Timestamp(20), descending=True
+        )
+        assert len(results) == 2
+
+    def test_miss_returns_empty(self):
+        relation = build_events([0] * 10)
+        results, _examined = operators.timeslice_monotone_events(relation, Timestamp(55))
+        assert results == []
+
+    def test_skips_deleted_elements(self):
+        relation = build_events([0] * 10)
+        victim = relation.all_elements()[5]
+        relation.delete(victim.element_surrogate)
+        results, _ = operators.timeslice_monotone_events(relation, victim.vt)
+        assert results == []
+
+
+class TestSequentialIntervalOperator:
+    def build_intervals(self):
+        schema = TemporalSchema(name="weeks", valid_time_kind=ValidTimeKind.INTERVAL)
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        for week in range(10):
+            clock.advance_to(Timestamp(100 * week + 90))
+            relation.insert(
+                "o", Interval(Timestamp(100 * week), Timestamp(100 * week + 70)), {}
+            )
+        return relation
+
+    def test_hit(self):
+        relation = self.build_intervals()
+        results, examined = operators.timeslice_sequential_intervals(
+            relation, Timestamp(350)
+        )
+        assert len(results) == 1
+        assert results[0].vt.start == Timestamp(300)
+        assert examined <= 10
+
+    def test_gap_miss(self):
+        relation = self.build_intervals()
+        results, _ = operators.timeslice_sequential_intervals(relation, Timestamp(380))
+        assert results == []
+
+    def test_before_first(self):
+        relation = self.build_intervals()
+        results, _ = operators.timeslice_sequential_intervals(relation, Timestamp(-5))
+        assert results == []
+
+    def test_empty_relation(self):
+        schema = TemporalSchema(name="w", valid_time_kind=ValidTimeKind.INTERVAL)
+        relation = TemporalRelation(schema, clock=SimulatedWallClock(start=0))
+        results, examined = operators.timeslice_sequential_intervals(
+            relation, Timestamp(0)
+        )
+        assert results == [] and examined == 0
+
+
+class TestBitemporalOperator:
+    def test_prefix_and_filter(self):
+        relation = build_events([0] * 20)
+        victim = relation.all_elements()[3]
+        relation.delete(victim.element_surrogate)
+        results, examined = operators.bitemporal_prefix(
+            relation, vt=victim.vt, tt=Timestamp(100)
+        )
+        assert [e.element_surrogate for e in results] == [victim.element_surrogate]
+        assert examined <= 11

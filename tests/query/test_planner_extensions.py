@@ -1,0 +1,100 @@
+"""Tests for planner extensions: granularity-degenerate windows and
+index-free engine behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.event_isolated import Degenerate
+from repro.query import NaiveExecutor, Planner, Scan, ValidTimeslice
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
+
+
+def build_granular_degenerate(count=200):
+    """Samples stored within the same minute as their measurement."""
+    schema = TemporalSchema(name="g", specializations=[Degenerate(granularity="minute")])
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+    for i in range(count):
+        base = 60 * i
+        clock.advance_to(Timestamp(base + 30))
+        relation.insert("o", Timestamp(base + (i % 25)), {})
+    return relation
+
+
+class TestGranularDegenerate:
+    def test_strategy_selected(self):
+        relation = build_granular_degenerate()
+        probe = relation.all_elements()[100].vt
+        plan = Planner(relation).plan(ValidTimeslice(Scan(relation), probe))
+        assert plan.strategy == "degenerate-tick-window"
+        assert "minute" in plan.explanation
+
+    def test_window_examines_one_tick(self):
+        relation = build_granular_degenerate()
+        probe = relation.all_elements()[100].vt
+        plan = Planner(relation).plan(ValidTimeslice(Scan(relation), probe))
+        plan.execute()
+        assert plan.examined <= 1  # one store per minute in this workload
+
+    @settings(max_examples=30, deadline=None)
+    @given(position=st.integers(0, 199), offset=st.integers(-120, 120))
+    def test_equivalence_with_reference(self, position, offset):
+        relation = build_granular_degenerate()
+        anchor = relation.all_elements()[position].vt
+        probe = Timestamp(anchor.ticks + offset, "second")
+        query = ValidTimeslice(Scan(relation), probe)
+        plan = Planner(relation).plan(query)
+        fast = plan.execute()
+        slow = NaiveExecutor().run(query)
+        assert sorted(e.element_surrogate for e in fast) == sorted(
+            e.element_surrogate for e in slow
+        )
+
+
+class TestIndexFreeEngine:
+    def build(self):
+        schema = TemporalSchema(name="nf", time_varying=("v",))
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(
+            schema,
+            clock=clock,
+            engine=MemoryEngine(maintain_vt_index=False),
+            keep_backlog=False,
+        )
+        for i in range(50):
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("o", Timestamp(10 * i - (i % 7)), {"v": i})
+        return relation
+
+    def test_valid_at_falls_back_to_scan(self):
+        relation = self.build()
+        probe = relation.all_elements()[20].vt
+        matches = list(relation.engine.valid_at(probe))
+        assert len(matches) >= 1
+        assert all(e.valid_at(probe) for e in matches)
+
+    def test_valid_overlapping_falls_back(self):
+        from repro.chronos.interval import Interval
+
+        relation = self.build()
+        window = Interval(Timestamp(100), Timestamp(150))
+        fallback = sorted(
+            e.element_surrogate for e in relation.engine.valid_overlapping(window)
+        )
+        indexed_relation_engine = MemoryEngine()
+        for element in relation.engine.scan():
+            indexed_relation_engine.append(element)
+        indexed = sorted(
+            e.element_surrogate for e in indexed_relation_engine.valid_overlapping(window)
+        )
+        assert fallback == indexed
+
+    def test_index_statistics_reflect_configuration(self):
+        relation = self.build()
+        stats = relation.engine.index_statistics()
+        assert stats["elements"] == 50
+        assert "vt_appends_in_order" not in stats

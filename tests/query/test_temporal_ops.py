@@ -1,0 +1,173 @@
+"""Unit and property tests for coalescing and temporal aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.query.temporal_ops import (
+    aggregate_over_time,
+    coalesce,
+    count_over_time,
+    timeslice_series,
+    valid_extent,
+)
+from repro.relation.element import Element
+
+
+def interval_element(surrogate, start, end, who="o", tt=None, **varying):
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate=who,
+        tt_start=Timestamp(tt if tt is not None else surrogate),
+        vt=Interval(Timestamp(start), Timestamp(end)),
+        time_varying=varying,
+    )
+
+
+class TestCoalesce:
+    def test_merges_adjacent_equal_values(self):
+        elements = [
+            interval_element(1, 0, 5, project="x"),
+            interval_element(2, 5, 9, project="x"),
+        ]
+        facts = coalesce(elements)
+        assert len(facts) == 1
+        assert facts[0].intervals == (Interval(Timestamp(0), Timestamp(9)),)
+        assert facts[0].attributes == {"project": "x"}
+
+    def test_keeps_distinct_values_apart(self):
+        elements = [
+            interval_element(1, 0, 5, project="x"),
+            interval_element(2, 5, 9, project="y"),
+        ]
+        facts = coalesce(elements)
+        assert len(facts) == 2
+
+    def test_gap_produces_two_intervals_one_fact(self):
+        elements = [
+            interval_element(1, 0, 3, project="x"),
+            interval_element(2, 7, 9, project="x"),
+        ]
+        facts = coalesce(elements)
+        assert len(facts) == 1
+        assert len(facts[0].intervals) == 2
+
+    def test_objects_not_merged(self):
+        elements = [
+            interval_element(1, 0, 5, who="a", project="x"),
+            interval_element(2, 5, 9, who="b", project="x"),
+        ]
+        assert len(coalesce(elements)) == 2
+
+    def test_event_elements_coalesce_adjacent_ticks(self):
+        events = [
+            Element(1, "o", Timestamp(1), Timestamp(5), time_varying={"v": 1}),
+            Element(2, "o", Timestamp(2), Timestamp(6), time_varying={"v": 1}),
+        ]
+        facts = coalesce(events)
+        assert len(facts) == 1
+        assert facts[0].intervals == (Interval(Timestamp(5), Timestamp(7)),)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(1, 10), st.sampled_from("xy")),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_coalesced_periods_cover_exactly_the_inputs(self, rows):
+        elements = [
+            interval_element(i + 1, start, start + width, project=value)
+            for i, (start, width, value) in enumerate(rows)
+        ]
+        facts = coalesce(elements)
+        for probe in range(-1, 55):
+            point = Timestamp(probe)
+            covered = {
+                value
+                for fact in facts
+                for value in [fact.attributes["project"]]
+                if fact.period.contains_point(point)
+            }
+            expected = {
+                e.time_varying["project"] for e in elements if e.vt.contains_point(point)
+            }
+            assert covered == expected
+
+
+class TestCountOverTime:
+    def test_step_function(self):
+        elements = [
+            interval_element(1, 0, 10),
+            interval_element(2, 5, 15),
+        ]
+        segments = count_over_time(elements)
+        values = [(s.interval.start.ticks, s.interval.end.ticks, s.value) for s in segments]
+        micro = 1  # coordinates are in microseconds
+        assert [(a // 10**6, b // 10**6, v) for a, b, v in values] == [
+            (0, 5, 1),
+            (5, 10, 2),
+            (10, 15, 1),
+        ]
+
+    def test_deleted_elements_ignored(self):
+        kept = interval_element(1, 0, 10)
+        dropped = interval_element(2, 5, 15).closed(Timestamp(100))
+        segments = count_over_time([kept, dropped])
+        assert all(s.value == 1 for s in segments)
+
+    def test_empty(self):
+        assert count_over_time([]) == []
+
+    def test_adjacent_equal_segments_merge(self):
+        elements = [interval_element(1, 0, 5), interval_element(2, 5, 10)]
+        segments = count_over_time(elements)
+        assert len(segments) == 1
+        assert segments[0].value == 1
+
+
+class TestAggregates:
+    ELEMENTS = [
+        interval_element(1, 0, 10, amount=10),
+        interval_element(2, 5, 15, amount=30),
+    ]
+
+    def test_sum(self):
+        segments = aggregate_over_time(self.ELEMENTS, "sum", "amount")
+        assert [s.value for s in segments] == [10, 40, 30]
+
+    def test_min_max_avg(self):
+        # Adjacent equal-valued segments merge, so min yields [0,10)->10,
+        # [10,15)->30 and max yields [0,5)->10, [5,15)->30.
+        assert [s.value for s in aggregate_over_time(self.ELEMENTS, "min", "amount")] == [10, 30]
+        assert [s.value for s in aggregate_over_time(self.ELEMENTS, "max", "amount")] == [10, 30]
+        assert [s.value for s in aggregate_over_time(self.ELEMENTS, "avg", "amount")] == [10, 20, 30]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            aggregate_over_time(self.ELEMENTS, "median", "amount")
+        with pytest.raises(ValueError, match="requires an attribute"):
+            aggregate_over_time(self.ELEMENTS, "sum")
+
+    def test_non_numeric_values_yield_none(self):
+        elements = [interval_element(1, 0, 5, amount="lots")]
+        segments = aggregate_over_time(elements, "sum", "amount")
+        assert [s.value for s in segments] == [None]
+
+
+class TestSeriesAndExtent:
+    def test_timeslice_series(self):
+        elements = [interval_element(1, 0, 10), interval_element(2, 5, 15)]
+        series = timeslice_series(elements, [Timestamp(2), Timestamp(7), Timestamp(20)])
+        assert [len(found) for _, found in series] == [1, 2, 0]
+
+    def test_valid_extent(self):
+        elements = [
+            interval_element(1, 0, 5, who="a"),
+            interval_element(2, 7, 9, who="a"),
+            interval_element(3, 0, 9, who="b"),
+        ]
+        extents = valid_extent(elements)
+        assert len(extents["a"]) == 2
+        assert len(extents["b"]) == 1

@@ -1,0 +1,144 @@
+"""Regression tests: rejected updates leave NO trace anywhere.
+
+These pin the two-phase monitor protocol and the validate-before-mutate
+ordering in insert / delete / modify: after a ConstraintViolation the
+relation's storage, backlog, constraint-monitor state, and surrogate
+visibility must all behave as if the update had never been attempted.
+"""
+
+import pytest
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.constraints import ConstraintSet, ConstraintViolation
+from repro.core.taxonomy.base import Stamped, TimeReference
+from repro.core.taxonomy.event_inter import (
+    GloballyNonDecreasing,
+    GloballySequential,
+    TransactionTimeEventRegular,
+)
+from repro.core.taxonomy.event_isolated import Retroactive
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+
+
+def stamped(tt: int, vt: int) -> Stamped:
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(vt))
+
+
+class TestMonitorStateAfterRejection:
+    def test_rejected_element_does_not_move_sequential_peak(self):
+        """A rejected insert with a huge valid time must not raise the
+        sequential monitor's running maximum."""
+        constraints = ConstraintSet([GloballySequential()])
+        constraints.observe(stamped(10, 15))  # peak = 15
+        # Rejected: min(tt, vt) = 12 < 15, although vt is enormous.
+        with pytest.raises(ConstraintViolation):
+            constraints.observe(stamped(20, 12))
+        # Had the rejected element polluted the peak (to 20), this
+        # compliant element (min = 16 >= 15) would be wrongly rejected.
+        assert constraints.observe(stamped(21, 16)) == []
+
+    def test_rejected_element_does_not_set_regularity_anchor(self):
+        constraints = ConstraintSet(
+            [TransactionTimeEventRegular(Duration(10)), Retroactive()]
+        )
+        # Rejected by the retroactive constraint -- must not become the
+        # regularity anchor either.
+        with pytest.raises(ConstraintViolation):
+            constraints.observe(stamped(7, 99))
+        # Anchor should now be 10; 20 and 30 are compliant multiples.
+        constraints.observe(stamped(10, 5))
+        assert constraints.observe(stamped(20, 15)) == []
+        assert constraints.observe(stamped(30, 25)) == []
+
+    def test_rejected_element_does_not_enter_strict_vt_list(self):
+        from repro.core.taxonomy.event_inter import StrictValidTimeEventRegular
+
+        constraints = ConstraintSet(
+            [StrictValidTimeEventRegular(Duration(10)), Retroactive()]
+        )
+        constraints.observe(stamped(10, 0))
+        with pytest.raises(ConstraintViolation):
+            constraints.observe(stamped(20, 30))  # violates retroactive
+        # vt = 10 is the correct next step from 0; had the rejected
+        # vt = 30 been inserted, this would report a broken gap.
+        assert constraints.observe(stamped(40, 10)) == []
+
+
+class TestRelationStateAfterRejection:
+    def build(self, specs, **schema_kwargs):
+        schema = TemporalSchema(name="r", specializations=specs, **schema_kwargs)
+        clock = SimulatedWallClock(start=100)
+        return TemporalRelation(schema, clock=clock), clock
+
+    def test_rejected_insert_leaves_everything_unchanged(self):
+        relation, clock = self.build(["retroactive", "globally non-decreasing"])
+        relation.insert("o", Timestamp(50), {})
+        clock.advance(Duration(10))
+        with pytest.raises(ConstraintViolation):
+            relation.insert("o", Timestamp(10**9), {})
+        assert len(relation) == 1
+        assert len(relation.backlog()) == 1
+        # Monitors unpolluted: a compliant insert still passes.
+        clock.advance(Duration(10))
+        relation.insert("o", Timestamp(60), {})
+        assert len(relation) == 2
+
+    def test_rejected_deletion_keeps_element_current(self):
+        relation, clock = self.build(
+            [Retroactive(time_reference=TimeReference.DELETION)]
+        )
+        element = relation.insert("o", Timestamp(10**6), {})  # far future fact
+        clock.advance(Duration(10))
+        # Deleting now would make the element deletion-non-retroactive.
+        with pytest.raises(ConstraintViolation):
+            relation.delete(element.element_surrogate)
+        assert relation.engine.get(element.element_surrogate).is_current
+        assert len(relation.backlog()) == 1  # no delete recorded
+
+    def test_rejected_modification_is_fully_rolled_back(self):
+        relation, clock = self.build(["retroactive"])
+        element = relation.insert("o", Timestamp(50), {})
+        clock.advance(Duration(10))
+        with pytest.raises(ConstraintViolation):
+            relation.modify(element.element_surrogate, vt=Timestamp(10**9))
+        stored = relation.engine.get(element.element_surrogate)
+        assert stored.is_current  # the old element was NOT closed
+        assert len(relation) == 1  # no replacement appended
+        assert len(relation.backlog()) == 1
+        # And the element can still be modified compliantly.
+        replacement = relation.modify(element.element_surrogate, vt=Timestamp(60))
+        assert replacement.is_current
+
+    def test_rejected_modification_does_not_pollute_ordering_monitor(self):
+        relation, clock = self.build(["globally non-decreasing", "retroactive"])
+        first = relation.insert("o", Timestamp(50), {})
+        clock.advance(Duration(10))
+        with pytest.raises(ConstraintViolation):
+            relation.modify(first.element_surrogate, vt=Timestamp(10**9))
+        clock.advance(Duration(10))
+        # vt = 55 >= 50 is compliant; a polluted monitor (max = 10^9)
+        # would accept it anyway, but a polluted one from the failed
+        # modify would also have closed `first` -- covered above.  Here
+        # we check the inverse: vt = 40 must still be REJECTED against
+        # the true maximum of 50, proving the monitor still has 50.
+        with pytest.raises(ConstraintViolation):
+            relation.insert("o", Timestamp(40), {})
+        relation.insert("o", Timestamp(55), {})
+
+
+class TestObserveStillCommitsInPermissiveModes:
+    def test_record_mode_commits_violating_elements(self):
+        from repro.core.constraints import EnforcementMode
+
+        constraints = ConstraintSet(
+            [GloballyNonDecreasing()], mode=EnforcementMode.RECORD
+        )
+        constraints.observe(stamped(1, 100))
+        found = constraints.observe(stamped(2, 50))  # violation, recorded
+        assert len(found) == 1
+        # In RECORD mode the violating element IS stored, so it becomes
+        # part of the stream the monitor tracks: max stays 100.
+        assert constraints.observe(stamped(3, 99)) != []  # 99 < 100 violates

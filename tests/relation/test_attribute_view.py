@@ -1,0 +1,106 @@
+"""Tests for the attribute-value-stamped view [Gad88]."""
+
+import pytest
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.duration import Duration
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.relation.attribute_view import attribute_histories, snapshot_at
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+
+
+@pytest.fixture
+def employee_relation():
+    """The paper's example: an element may record both the title and the
+    salary of an employee."""
+    schema = TemporalSchema(
+        name="employees",
+        valid_time_kind=ValidTimeKind.INTERVAL,
+        time_varying=("title", "salary"),
+        enforce_key=False,
+    )
+    clock = SimulatedWallClock(start=1_000)
+    relation = TemporalRelation(schema, clock=clock)
+    relation.insert(
+        "alice", Interval(Timestamp(0), Timestamp(50)), {"title": "engineer", "salary": 10}
+    )
+    clock.advance(Duration(1))
+    relation.insert(
+        "alice", Interval(Timestamp(50), Timestamp(90)), {"title": "engineer", "salary": 12}
+    )
+    clock.advance(Duration(1))
+    relation.insert(
+        "alice", Interval(Timestamp(90), Timestamp(120)), {"title": "manager", "salary": 15}
+    )
+    return relation
+
+
+class TestAttributeHistories:
+    def test_equal_values_coalesce_across_tuples(self, employee_relation):
+        histories = {
+            h.attribute: h for h in attribute_histories(employee_relation)
+        }
+        title = histories["title"]
+        values = dict(title.values)
+        # "engineer" held over two adjacent tuples -> one merged interval.
+        assert values["engineer"].intervals == (
+            Interval(Timestamp(0), Timestamp(90)),
+        )
+        assert values["manager"].intervals == (
+            Interval(Timestamp(90), Timestamp(120)),
+        )
+
+    def test_salary_keeps_three_values(self, employee_relation):
+        histories = {h.attribute: h for h in attribute_histories(employee_relation)}
+        assert len(histories["salary"].values) == 3
+
+    def test_value_at(self, employee_relation):
+        histories = {h.attribute: h for h in attribute_histories(employee_relation)}
+        assert histories["title"].value_at(Timestamp(70)) == "engineer"
+        assert histories["title"].value_at(Timestamp(95)) == "manager"
+        assert histories["title"].value_at(Timestamp(500)) is None
+
+    def test_recorded_period(self, employee_relation):
+        histories = {h.attribute: h for h in attribute_histories(employee_relation)}
+        assert histories["title"].recorded_period().span() == Interval(
+            Timestamp(0), Timestamp(120)
+        )
+
+    def test_rollback_state_view(self, employee_relation):
+        # As of the first transaction only the first tuple existed.
+        first_tt = employee_relation.all_elements()[0].tt_start
+        histories = attribute_histories(employee_relation, as_of_tt=first_tt)
+        titles = {h.attribute: h for h in histories}["title"]
+        assert dict(titles.values)["engineer"].intervals == (
+            Interval(Timestamp(0), Timestamp(50)),
+        )
+
+    def test_objects_kept_apart(self, employee_relation):
+        clock = employee_relation.clock
+        clock.advance(Duration(1))
+        employee_relation.insert(
+            "bob", Interval(Timestamp(0), Timestamp(10)), {"title": "intern", "salary": 1}
+        )
+        histories = attribute_histories(employee_relation)
+        owners = {h.object_surrogate for h in histories}
+        assert owners == {"alice", "bob"}
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_matches_tuple_view(self, employee_relation):
+        snapshot = snapshot_at(employee_relation, Timestamp(95))
+        assert snapshot == {"alice": {"title": "manager", "salary": 15}}
+
+    def test_snapshot_empty_outside_history(self, employee_relation):
+        assert snapshot_at(employee_relation, Timestamp(10**6)) == {}
+
+    def test_event_relation_view(self):
+        schema = TemporalSchema(name="readings", time_varying=("v",))
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock)
+        relation.insert("s", Timestamp(10), {"v": 1})
+        histories = attribute_histories(relation)
+        assert histories[0].value_at(Timestamp(10)) == 1
+        assert histories[0].value_at(Timestamp(11)) is None

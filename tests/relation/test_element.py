@@ -1,0 +1,93 @@
+"""Unit tests for elements (Section 2 semantics)."""
+
+import pytest
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.relation.element import Element
+
+
+def make_element(**overrides):
+    defaults = dict(
+        element_surrogate=1,
+        object_surrogate="alice",
+        tt_start=Timestamp(10),
+        vt=Timestamp(5),
+    )
+    defaults.update(overrides)
+    return Element(**defaults)
+
+
+class TestBasics:
+    def test_current_by_default(self):
+        element = make_element()
+        assert element.is_current
+        assert element.tt_stop is FOREVER
+
+    def test_event_vs_interval(self):
+        assert make_element().is_event
+        interval_element = make_element(vt=Interval(Timestamp(0), Timestamp(5)))
+        assert not interval_element.is_event
+
+    def test_existence_interval(self):
+        element = make_element(tt_stop=Timestamp(20))
+        assert element.existence_interval == Interval(Timestamp(10), Timestamp(20))
+
+    def test_attribute_roles_merge(self):
+        element = make_element(
+            time_invariant={"ssn": "123"},
+            time_varying={"salary": 10},
+            user_times={"signed": Timestamp(3)},
+        )
+        assert element.attributes["ssn"] == "123"
+        assert element.attributes["salary"] == 10
+        assert element.attributes["signed"] == Timestamp(3)
+
+    def test_attributes_view_is_read_only(self):
+        element = make_element(time_varying={"x": 1})
+        with pytest.raises(TypeError):
+            element.attributes["x"] = 2
+
+
+class TestTemporalPredicates:
+    def test_stored_during(self):
+        element = make_element(tt_stop=Timestamp(20))
+        assert element.stored_during(Timestamp(10))
+        assert element.stored_during(Timestamp(19))
+        assert not element.stored_during(Timestamp(20))
+        assert not element.stored_during(Timestamp(9))
+
+    def test_stored_during_current(self):
+        assert make_element().stored_during(Timestamp(10**9))
+
+    def test_valid_at_event(self):
+        element = make_element(vt=Timestamp(5))
+        assert element.valid_at(Timestamp(5))
+        assert not element.valid_at(Timestamp(6))
+
+    def test_valid_at_interval(self):
+        element = make_element(vt=Interval(Timestamp(5), Timestamp(9)))
+        assert element.valid_at(Timestamp(5))
+        assert element.valid_at(Timestamp(8))
+        assert not element.valid_at(Timestamp(9))
+
+
+class TestClosing:
+    def test_closed_produces_new_record(self):
+        element = make_element()
+        closed = element.closed(Timestamp(30))
+        assert closed.tt_stop == Timestamp(30)
+        assert element.is_current  # original untouched (frozen)
+
+    def test_double_close_rejected(self):
+        closed = make_element().closed(Timestamp(30))
+        with pytest.raises(ValueError, match="already deleted"):
+            closed.closed(Timestamp(40))
+
+    def test_close_before_insert_rejected(self):
+        with pytest.raises(ValueError, match="must follow"):
+            make_element().closed(Timestamp(10))
+
+    def test_repr_shows_state(self):
+        assert "current" in repr(make_element())
+        assert "until" in repr(make_element().closed(Timestamp(99)))

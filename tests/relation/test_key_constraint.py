@@ -1,0 +1,126 @@
+"""Tests for the sequenced time-invariant key constraint [NA89]."""
+
+import pytest
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.duration import Duration
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.relation.errors import KeyViolation
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+
+
+@pytest.fixture
+def clock():
+    return SimulatedWallClock(start=100)
+
+
+def event_relation(clock, enforce_key=True):
+    schema = TemporalSchema(
+        name="salaries",
+        key=("ssn",),
+        time_invariant=("ssn",),
+        time_varying=("salary",),
+        enforce_key=enforce_key,
+    )
+    return TemporalRelation(schema, clock=clock)
+
+
+def interval_relation(clock):
+    schema = TemporalSchema(
+        name="titles",
+        valid_time_kind=ValidTimeKind.INTERVAL,
+        key=("ssn",),
+        time_invariant=("ssn",),
+        time_varying=("title",),
+    )
+    return TemporalRelation(schema, clock=clock)
+
+
+class TestEventKey:
+    def test_same_key_same_instant_rejected(self, clock):
+        relation = event_relation(clock)
+        relation.insert("alice", Timestamp(50), {"ssn": "123", "salary": 10})
+        clock.advance(Duration(1))
+        with pytest.raises(KeyViolation, match="123"):
+            relation.insert("alice2", Timestamp(50), {"ssn": "123", "salary": 20})
+        assert len(relation) == 1  # nothing stored
+
+    def test_same_key_different_instant_allowed(self, clock):
+        relation = event_relation(clock)
+        relation.insert("alice", Timestamp(50), {"ssn": "123", "salary": 10})
+        clock.advance(Duration(1))
+        relation.insert("alice", Timestamp(60), {"ssn": "123", "salary": 11})
+        assert len(relation) == 2
+
+    def test_different_keys_same_instant_allowed(self, clock):
+        relation = event_relation(clock)
+        relation.insert("alice", Timestamp(50), {"ssn": "123", "salary": 10})
+        clock.advance(Duration(1))
+        relation.insert("bob", Timestamp(50), {"ssn": "456", "salary": 10})
+        assert len(relation) == 2
+
+    def test_deleted_element_frees_the_key(self, clock):
+        relation = event_relation(clock)
+        element = relation.insert("alice", Timestamp(50), {"ssn": "123", "salary": 10})
+        clock.advance(Duration(1))
+        relation.delete(element.element_surrogate)
+        clock.advance(Duration(1))
+        relation.insert("alice", Timestamp(50), {"ssn": "123", "salary": 12})
+        assert len(relation.current()) == 1
+
+    def test_enforcement_can_be_disabled(self, clock):
+        relation = event_relation(clock, enforce_key=False)
+        relation.insert("a", Timestamp(50), {"ssn": "123"})
+        clock.advance(Duration(1))
+        relation.insert("b", Timestamp(50), {"ssn": "123"})
+        assert len(relation) == 2
+
+
+class TestIntervalKey:
+    def test_overlapping_intervals_rejected(self, clock):
+        relation = interval_relation(clock)
+        relation.insert(
+            "alice", Interval(Timestamp(0), Timestamp(50)), {"ssn": "123", "title": "dr"}
+        )
+        clock.advance(Duration(1))
+        with pytest.raises(KeyViolation):
+            relation.insert(
+                "alice",
+                Interval(Timestamp(40), Timestamp(90)),
+                {"ssn": "123", "title": "prof"},
+            )
+
+    def test_meeting_intervals_allowed(self, clock):
+        relation = interval_relation(clock)
+        relation.insert(
+            "alice", Interval(Timestamp(0), Timestamp(50)), {"ssn": "123", "title": "dr"}
+        )
+        clock.advance(Duration(1))
+        relation.insert(
+            "alice",
+            Interval(Timestamp(50), Timestamp(90)),
+            {"ssn": "123", "title": "prof"},
+        )
+        assert len(relation) == 2
+
+
+class TestModifyInteraction:
+    def test_modify_does_not_conflict_with_itself(self, clock):
+        relation = event_relation(clock)
+        element = relation.insert("alice", Timestamp(50), {"ssn": "123", "salary": 10})
+        clock.advance(Duration(1))
+        replacement = relation.modify(element.element_surrogate, attributes={"salary": 11})
+        assert replacement.attributes["salary"] == 11
+
+    def test_modify_into_conflict_rejected(self, clock):
+        relation = event_relation(clock)
+        relation.insert("alice", Timestamp(50), {"ssn": "123", "salary": 10})
+        clock.advance(Duration(1))
+        other = relation.insert("alice", Timestamp(60), {"ssn": "123", "salary": 11})
+        clock.advance(Duration(1))
+        with pytest.raises(KeyViolation):
+            relation.modify(other.element_surrogate, vt=Timestamp(50))
+        # The failed modification must leave both elements current.
+        assert len(relation.current()) == 2

@@ -1,0 +1,78 @@
+"""Unit tests for life-lines and surrogate generation."""
+
+import pytest
+
+from repro.chronos.timestamp import Timestamp
+from repro.relation.element import Element
+from repro.relation.lifeline import Lifeline
+from repro.relation.surrogate import SurrogateGenerator
+
+
+def element(surrogate, tt, vt, who="alice", tt_stop=None):
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate=who,
+        tt_start=Timestamp(tt),
+        vt=Timestamp(vt),
+        tt_stop=Timestamp(tt_stop) if tt_stop else __import__("repro.chronos.timestamp", fromlist=["FOREVER"]).FOREVER,
+    )
+
+
+class TestLifeline:
+    def test_sorted_by_transaction_time(self):
+        lifeline = Lifeline("alice", [element(2, 20, 1), element(1, 10, 2)])
+        assert [e.element_surrogate for e in lifeline] == [1, 2]
+
+    def test_rejects_foreign_elements(self):
+        with pytest.raises(ValueError, match="belongs to"):
+            Lifeline("alice", [element(1, 10, 1, who="bob")])
+
+    def test_current_and_as_of(self):
+        closed = element(1, 10, 1, tt_stop=30)
+        open_element = element(2, 20, 2)
+        lifeline = Lifeline("alice", [closed, open_element])
+        assert [e.element_surrogate for e in lifeline.current()] == [2]
+        assert [e.element_surrogate for e in lifeline.as_of(Timestamp(25))] == [1, 2]
+        assert [e.element_surrogate for e in lifeline.as_of(Timestamp(5))] == []
+
+    def test_valid_at(self):
+        lifeline = Lifeline("alice", [element(1, 10, 7), element(2, 20, 9)])
+        assert [e.element_surrogate for e in lifeline.valid_at(Timestamp(9))] == [2]
+
+    def test_latest_and_len(self):
+        lifeline = Lifeline("alice", [element(1, 10, 1), element(2, 20, 2)])
+        assert lifeline.latest().element_surrogate == 2
+        assert len(lifeline) == 2
+        assert Lifeline("alice", []).latest() is None
+
+    def test_elements_tuple_is_immutable_view(self):
+        lifeline = Lifeline("alice", [element(1, 10, 1)])
+        assert isinstance(lifeline.elements, tuple)
+
+
+class TestSurrogateGenerator:
+    def test_strictly_increasing_never_reused(self):
+        generator = SurrogateGenerator()
+        issued = [generator.fresh() for _ in range(100)]
+        assert len(set(issued)) == 100
+        assert issued == sorted(issued)
+
+    def test_start(self):
+        assert SurrogateGenerator(start=42).fresh() == 42
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SurrogateGenerator(start=-1)
+
+    def test_reserve_through(self):
+        generator = SurrogateGenerator()
+        generator.reserve_through(10)
+        assert generator.fresh() == 11
+        generator.reserve_through(5)  # no going backwards
+        assert generator.fresh() == 12
+
+    def test_high_water_mark(self):
+        generator = SurrogateGenerator()
+        assert generator.high_water_mark == 0
+        generator.fresh()
+        assert generator.high_water_mark == 1

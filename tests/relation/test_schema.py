@@ -1,0 +1,98 @@
+"""Unit tests for temporal schemas."""
+
+import pytest
+
+from repro.chronos.granularity import Granularity
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.event_isolated import Retroactive
+from repro.relation.errors import SchemaError
+from repro.relation.schema import AttributeRole, TemporalSchema, ValidTimeKind
+
+
+class TestConstruction:
+    def test_minimal(self):
+        schema = TemporalSchema(name="log")
+        assert schema.is_event
+        assert schema.granularity is Granularity.SECOND
+        assert schema.specializations == ()
+
+    def test_specializations_parsed_from_strings(self):
+        schema = TemporalSchema(
+            name="samples", specializations=["retroactive", "delayed retroactive(30s)"]
+        )
+        assert [spec.name for spec in schema.specializations] == [
+            "retroactive",
+            "delayed retroactive",
+        ]
+
+    def test_specialization_instances_accepted(self):
+        schema = TemporalSchema(name="samples", specializations=[Retroactive()])
+        assert schema.specialization_names() == ["retroactive"]
+
+    def test_granularity_by_name(self):
+        schema = TemporalSchema(name="x", granularity="minute")
+        assert schema.granularity is Granularity.MINUTE
+
+    def test_duplicate_attribute_roles_rejected(self):
+        with pytest.raises(SchemaError, match="declared both"):
+            TemporalSchema(name="x", time_invariant=("a",), time_varying=("a",))
+
+    def test_key_must_be_time_invariant(self):
+        with pytest.raises(SchemaError, match="time-invariant"):
+            TemporalSchema(name="x", key=("salary",), time_varying=("salary",))
+        schema = TemporalSchema(name="x", key=("ssn",), time_invariant=("ssn",))
+        assert schema.key == ("ssn",)
+
+
+class TestValueChecking:
+    def test_check_valid_time_event(self):
+        schema = TemporalSchema(name="x", valid_time_kind=ValidTimeKind.EVENT)
+        schema.check_valid_time(Timestamp(5))
+        with pytest.raises(SchemaError, match="event-stamped"):
+            schema.check_valid_time(Interval(Timestamp(0), Timestamp(5)))
+
+    def test_check_valid_time_interval(self):
+        schema = TemporalSchema(name="x", valid_time_kind=ValidTimeKind.INTERVAL)
+        schema.check_valid_time(Interval(Timestamp(0), Timestamp(5)))
+        with pytest.raises(SchemaError, match="interval-stamped"):
+            schema.check_valid_time(Timestamp(5))
+
+    def test_split_attributes(self):
+        schema = TemporalSchema(
+            name="x",
+            time_invariant=("ssn",),
+            time_varying=("salary",),
+            user_times=("signed",),
+        )
+        invariant, varying, user = schema.split_attributes(
+            {"ssn": "1", "salary": 9, "signed": Timestamp(4)}
+        )
+        assert invariant == {"ssn": "1"}
+        assert varying == {"salary": 9}
+        assert user == {"signed": Timestamp(4)}
+
+    def test_undeclared_attribute_rejected(self):
+        schema = TemporalSchema(name="x", time_varying=("salary",))
+        with pytest.raises(SchemaError, match="not declared"):
+            schema.split_attributes({"title": "dr"})
+
+    def test_user_time_must_be_timestamp(self):
+        schema = TemporalSchema(name="x", user_times=("signed",))
+        with pytest.raises(SchemaError, match="must be a Timestamp"):
+            schema.split_attributes({"signed": 12})
+
+    def test_role_of(self):
+        schema = TemporalSchema(
+            name="x", time_invariant=("a",), time_varying=("b",), user_times=("c",)
+        )
+        assert schema.role_of("a") is AttributeRole.TIME_INVARIANT
+        assert schema.role_of("b") is AttributeRole.TIME_VARYING
+        assert schema.role_of("c") is AttributeRole.USER_TIME
+        assert schema.role_of("zzz") is None
+
+    def test_key_of(self):
+        schema = TemporalSchema(name="x", key=("ssn",), time_invariant=("ssn", "race"))
+        assert schema.key_of({"ssn": "123", "race": "?"}) == ("123",)
+        with pytest.raises(SchemaError, match="missing key"):
+            schema.key_of({"race": "?"})

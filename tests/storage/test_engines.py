@@ -1,0 +1,199 @@
+"""Cross-engine tests: memory and SQLite must behave identically."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.relation.element import Element
+from repro.relation.errors import ElementNotFound
+from repro.storage.memory import MemoryEngine
+from repro.storage.sqlite_backend import SQLiteEngine
+
+ENGINES = [MemoryEngine, SQLiteEngine]
+
+
+def event_element(surrogate: int, tt: int, vt: int, who="obj") -> Element:
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate=who,
+        tt_start=Timestamp(tt),
+        vt=Timestamp(vt),
+    )
+
+
+def interval_element(surrogate: int, tt: int, start: int, end: int) -> Element:
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate="obj",
+        tt_start=Timestamp(tt),
+        vt=Interval(Timestamp(start), Timestamp(end)),
+    )
+
+
+@pytest.mark.parametrize("engine_class", ENGINES)
+class TestEngineContract:
+    def test_append_and_get(self, engine_class):
+        engine = engine_class()
+        element = event_element(1, 10, 5)
+        engine.append(element)
+        assert engine.get(1) == element
+        assert len(engine) == 1
+
+    def test_duplicate_surrogate_rejected(self, engine_class):
+        engine = engine_class()
+        engine.append(event_element(1, 10, 5))
+        with pytest.raises(ValueError):
+            engine.append(event_element(1, 20, 5))
+
+    def test_get_missing(self, engine_class):
+        with pytest.raises(ElementNotFound):
+            engine_class().get(42)
+
+    def test_close_element(self, engine_class):
+        engine = engine_class()
+        engine.append(event_element(1, 10, 5))
+        closed = engine.close_element(1, Timestamp(20))
+        assert closed.tt_stop == Timestamp(20)
+        assert engine.get(1).tt_stop == Timestamp(20)
+        assert list(engine.current()) == []
+
+    def test_double_close_rejected(self, engine_class):
+        engine = engine_class()
+        engine.append(event_element(1, 10, 5))
+        engine.close_element(1, Timestamp(20))
+        with pytest.raises(ValueError):
+            engine.close_element(1, Timestamp(30))
+
+    def test_as_of(self, engine_class):
+        engine = engine_class()
+        engine.append(event_element(1, 10, 5))
+        engine.append(event_element(2, 20, 15))
+        engine.close_element(1, Timestamp(30))
+        assert [e.element_surrogate for e in engine.as_of(Timestamp(9))] == []
+        assert [e.element_surrogate for e in engine.as_of(Timestamp(10))] == [1]
+        assert sorted(e.element_surrogate for e in engine.as_of(Timestamp(25))) == [1, 2]
+        assert [e.element_surrogate for e in engine.as_of(Timestamp(30))] == [2]
+        assert [e.element_surrogate for e in engine.as_of(FOREVER)] == [2]
+
+    def test_valid_at_events(self, engine_class):
+        engine = engine_class()
+        engine.append(event_element(1, 10, 5))
+        engine.append(event_element(2, 20, 5))
+        engine.append(event_element(3, 30, 7))
+        assert sorted(e.element_surrogate for e in engine.valid_at(Timestamp(5))) == [1, 2]
+
+    def test_valid_at_intervals(self, engine_class):
+        engine = engine_class()
+        engine.append(interval_element(1, 10, 0, 10))
+        engine.append(interval_element(2, 20, 5, 15))
+        assert sorted(e.element_surrogate for e in engine.valid_at(Timestamp(7))) == [1, 2]
+        assert [e.element_surrogate for e in engine.valid_at(Timestamp(12))] == [2]
+        assert [e.element_surrogate for e in engine.valid_at(Timestamp(15))] == []
+
+    def test_valid_at_sees_only_current(self, engine_class):
+        engine = engine_class()
+        engine.append(event_element(1, 10, 5))
+        engine.close_element(1, Timestamp(20))
+        assert list(engine.valid_at(Timestamp(5))) == []
+        assert [
+            e.element_surrogate for e in engine.valid_at(Timestamp(5), as_of_tt=Timestamp(15))
+        ] == [1]
+
+    def test_valid_overlapping(self, engine_class):
+        engine = engine_class()
+        engine.append(interval_element(1, 10, 0, 10))
+        engine.append(interval_element(2, 20, 20, 30))
+        engine.append(event_element(3, 30, 25))
+        window = Interval(Timestamp(8), Timestamp(26))
+        assert sorted(e.element_surrogate for e in engine.valid_overlapping(window)) == [
+            1,
+            2,
+            3,
+        ]
+        narrow = Interval(Timestamp(10), Timestamp(20))
+        assert list(engine.valid_overlapping(narrow)) == []
+
+    def test_scan_in_transaction_order(self, engine_class):
+        engine = engine_class()
+        for surrogate, tt in ((1, 10), (2, 20), (3, 30)):
+            engine.append(event_element(surrogate, tt, 0))
+        assert [e.element_surrogate for e in engine.scan()] == [1, 2, 3]
+
+
+class TestEngineEquivalence:
+    """Both engines produce identical answers on a random update stream."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.booleans()),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_random_streams(self, script):
+        memory = MemoryEngine()
+        sqlite = SQLiteEngine()
+        tt = 0
+        surrogate = 0
+        live = []
+        for vt_offset, is_delete in script:
+            tt += 1
+            if is_delete and live:
+                victim = live.pop(0)
+                memory.close_element(victim, Timestamp(tt))
+                sqlite.close_element(victim, Timestamp(tt))
+            else:
+                surrogate += 1
+                element = event_element(surrogate, tt, tt - vt_offset)
+                memory.append(element)
+                sqlite.append(element)
+                live.append(surrogate)
+        for probe in range(0, tt + 2):
+            stamp = Timestamp(probe)
+            assert sorted(e.element_surrogate for e in memory.as_of(stamp)) == sorted(
+                e.element_surrogate for e in sqlite.as_of(stamp)
+            )
+            assert sorted(e.element_surrogate for e in memory.valid_at(stamp)) == sorted(
+                e.element_surrogate for e in sqlite.valid_at(stamp)
+            )
+
+
+class TestSQLitePersistence:
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "engine.db")
+        with SQLiteEngine(path) as engine:
+            engine.append(
+                Element(
+                    element_surrogate=7,
+                    object_surrogate="alice",
+                    tt_start=Timestamp(10),
+                    vt=Timestamp(5),
+                    time_invariant={"ssn": "123"},
+                    time_varying={"salary": 99},
+                    user_times={"signed": Timestamp(3)},
+                )
+            )
+        with SQLiteEngine(path) as engine:
+            element = engine.get(7)
+            assert element.object_surrogate == "alice"
+            assert element.time_invariant == {"ssn": "123"}
+            assert element.time_varying == {"salary": 99}
+            assert element.user_times == {"signed": Timestamp(3)}
+            assert element.vt == Timestamp(5)
+            assert engine.max_surrogate() == 7
+
+    def test_unbounded_interval_roundtrip(self):
+        engine = SQLiteEngine()
+        engine.append(
+            Element(
+                element_surrogate=1,
+                object_surrogate=None,
+                tt_start=Timestamp(10),
+                vt=Interval(Timestamp(5), FOREVER),
+            )
+        )
+        element = engine.get(1)
+        assert element.vt.end is FOREVER
+        assert element.valid_at(Timestamp(10**9))

@@ -1,0 +1,205 @@
+"""Unit and property tests for indexes and the interval tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.duration import CalendricDuration, Duration
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, Timestamp
+from repro.relation.element import Element
+from repro.storage.indexes import BoundedWindow, TransactionTimeIndex, ValidTimeEventIndex
+from repro.storage.interval_tree import IntervalTree
+
+
+def event_element(surrogate: int, tt: int, vt: int) -> Element:
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate="obj",
+        tt_start=Timestamp(tt),
+        vt=Timestamp(vt),
+    )
+
+
+class TestTransactionTimeIndex:
+    def test_prefix_binary_search(self):
+        index = TransactionTimeIndex()
+        for surrogate, tt in ((1, 10), (2, 20), (3, 30)):
+            index.append(event_element(surrogate, tt, 0))
+        assert [e.element_surrogate for e in index.prefix_through(Timestamp(20))] == [1, 2]
+        assert [e.element_surrogate for e in index.prefix_through(Timestamp(9))] == []
+        assert len(list(index.prefix_through(FOREVER))) == 3
+        assert list(index.prefix_through(NEGATIVE_INFINITY)) == []
+
+    def test_window(self):
+        index = TransactionTimeIndex()
+        for surrogate, tt in enumerate(range(0, 100, 10), start=1):
+            index.append(event_element(surrogate, tt, 0))
+        window = [e.tt_start.ticks for e in index.window(Timestamp(25), Timestamp(55))]
+        assert window == [30, 40, 50]
+
+    def test_rejects_non_increasing(self):
+        index = TransactionTimeIndex()
+        index.append(event_element(1, 10, 0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            index.append(event_element(2, 10, 0))
+
+    def test_replace(self):
+        index = TransactionTimeIndex()
+        index.append(event_element(1, 10, 0))
+        closed = index.element_at(0).closed(Timestamp(99))
+        index.replace(0, closed)
+        assert not index.element_at(0).is_current
+
+
+class TestValidTimeEventIndex:
+    def test_in_order_appends_counted(self):
+        index = ValidTimeEventIndex()
+        for surrogate, vt in ((1, 5), (2, 5), (3, 9)):
+            index.add(event_element(surrogate, surrogate, vt))
+        assert index.appended_in_order == 3
+        assert index.inserted_out_of_order == 0
+
+    def test_out_of_order_inserts_counted(self):
+        index = ValidTimeEventIndex()
+        index.add(event_element(1, 1, 10))
+        index.add(event_element(2, 2, 5))
+        assert index.inserted_out_of_order == 1
+
+    def test_at_and_between(self):
+        index = ValidTimeEventIndex()
+        for surrogate, vt in ((1, 5), (2, 7), (3, 5), (4, 12)):
+            index.add(event_element(surrogate, surrogate, vt))
+        assert sorted(e.element_surrogate for e in index.at(Timestamp(5))) == [1, 3]
+        assert [e.element_surrogate for e in index.between(Timestamp(5), Timestamp(12))] in (
+            [1, 3, 2],
+            [3, 1, 2],
+        )
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    def test_between_matches_filter(self, valid_times):
+        index = ValidTimeEventIndex()
+        for position, vt in enumerate(valid_times, start=1):
+            index.add(event_element(position, position, vt))
+        low, high = Timestamp(-20), Timestamp(20)
+        expected = sorted(i + 1 for i, vt in enumerate(valid_times) if -20 <= vt < 20)
+        assert sorted(e.element_surrogate for e in index.between(low, high)) == expected
+
+
+class TestBoundedWindow:
+    def test_two_sided(self):
+        window = BoundedWindow(Duration(5), Duration(10))
+        low, high = window.tt_window_for(Timestamp(100))
+        assert low == Timestamp(90) and high == Timestamp(105)
+        assert window.is_two_sided
+
+    def test_one_sided(self):
+        retroactive_only = BoundedWindow(Duration(5), None)
+        low, high = retroactive_only.tt_window_for(Timestamp(100))
+        assert low is None and high == Timestamp(105)
+
+    def test_calendric_widened_conservatively(self):
+        window = BoundedWindow(CalendricDuration(months=1), Duration(0))
+        low, high = window.tt_window_for(Timestamp(0, "day"))
+        assert high == Timestamp(31, "day")
+
+    def test_scan_restricts_candidates(self):
+        index = TransactionTimeIndex()
+        for surrogate, tt in enumerate(range(0, 1000, 10), start=1):
+            index.append(event_element(surrogate, tt, tt - 3))
+        window = BoundedWindow(Duration(5), Duration(0))
+        candidates = list(window.scan(index, Timestamp(497)))
+        # Only elements with 497 <= tt <= 502 qualify.
+        assert [e.tt_start.ticks for e in candidates] == [500]
+
+    @given(st.integers(0, 980))
+    def test_scan_never_misses_matches(self, probe):
+        """Soundness: every element valid at v is inside the window."""
+        index = TransactionTimeIndex()
+        elements = []
+        for surrogate, tt in enumerate(range(0, 1000, 7), start=1):
+            element = event_element(surrogate, tt, tt - (surrogate % 6))
+            index.append(element)
+            elements.append(element)
+        window = BoundedWindow(Duration(5), Duration(0))
+        vt = Timestamp(probe)
+        expected = {e.element_surrogate for e in elements if e.vt == vt}
+        got = {e.element_surrogate for e in window.scan(index, vt) if e.vt == vt}
+        assert got == expected
+
+
+class TestIntervalTree:
+    def iv(self, start, end):
+        return Interval(Timestamp(start), Timestamp(end))
+
+    def test_stab(self):
+        tree = IntervalTree()
+        tree.add(self.iv(0, 10), "a")
+        tree.add(self.iv(5, 15), "b")
+        tree.add(self.iv(20, 30), "c")
+        assert sorted(tree.stab(Timestamp(7))) == ["a", "b"]
+        assert list(tree.stab(Timestamp(10))) == ["b"]  # half-open
+        assert sorted(tree.stab(Timestamp(25))) == ["c"]
+        assert list(tree.stab(Timestamp(16))) == []
+
+    def test_overlapping(self):
+        tree = IntervalTree()
+        tree.add(self.iv(0, 10), "a")
+        tree.add(self.iv(20, 30), "b")
+        assert sorted(tree.overlapping(self.iv(5, 25))) == ["a", "b"]
+        assert list(tree.overlapping(self.iv(10, 20))) == []
+
+    def test_unbounded_intervals(self):
+        tree = IntervalTree()
+        tree.add(Interval(Timestamp(5), FOREVER), "open")
+        assert list(tree.stab(Timestamp(10**9))) == ["open"]
+        assert list(tree.stab(Timestamp(4))) == []
+
+    def test_incremental_rebuild(self):
+        tree = IntervalTree()
+        tree.add(self.iv(0, 10), 1)
+        assert list(tree.stab(Timestamp(5))) == [1]
+        tree.add(self.iv(3, 7), 2)
+        assert sorted(tree.stab(Timestamp(5))) == [1, 2]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(1, 40)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(-60, 100),
+    )
+    def test_stab_matches_filter(self, spans, probe):
+        tree = IntervalTree()
+        intervals = []
+        for identifier, (start, length) in enumerate(spans):
+            interval = self.iv(start, start + length)
+            tree.add(interval, identifier)
+            intervals.append(interval)
+        point = Timestamp(probe)
+        expected = sorted(
+            i for i, interval in enumerate(intervals) if interval.contains_point(point)
+        )
+        assert sorted(tree.stab(point)) == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(1, 40)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(-60, 100),
+        st.integers(1, 50),
+    )
+    def test_overlap_matches_filter(self, spans, window_start, window_length):
+        tree = IntervalTree()
+        intervals = []
+        for identifier, (start, length) in enumerate(spans):
+            interval = self.iv(start, start + length)
+            tree.add(interval, identifier)
+            intervals.append(interval)
+        window = self.iv(window_start, window_start + window_length)
+        expected = sorted(
+            i for i, interval in enumerate(intervals) if interval.overlaps(window)
+        )
+        assert sorted(tree.overlapping(window)) == expected

@@ -1,0 +1,111 @@
+"""Tests for JSON-lines backlog persistence."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.relation.element import Element
+from repro.storage.backlog import Backlog
+from repro.storage.logfile import (
+    dump_backlog,
+    dump_operations,
+    load_backlog,
+    load_operations,
+)
+
+
+def event_element(surrogate, tt, vt, **varying):
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate=f"obj-{surrogate}",
+        tt_start=Timestamp(tt),
+        vt=Timestamp(vt),
+        time_varying=varying,
+        user_times={"signed": Timestamp(vt - 1)},
+    )
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        backlog = Backlog()
+        backlog.record_insert(event_element(1, 10, 5, v=1))
+        backlog.record_insert(event_element(2, 20, 15, v="two"))
+        backlog.record_delete(1, Timestamp(30))
+        path = str(tmp_path / "ops.jsonl")
+        assert dump_backlog(backlog, path) == 3
+
+        loaded = load_backlog(path)
+        assert len(loaded) == 3
+        for tt in (10, 20, 25, 30, 100):
+            assert loaded.state_at(Timestamp(tt)) == backlog.state_at(Timestamp(tt))
+        reloaded = loaded.current_state()[2]
+        assert reloaded.time_varying == {"v": "two"}
+        assert reloaded.user_times == {"signed": Timestamp(14)}
+
+    def test_interval_and_unbounded_endpoints(self, tmp_path):
+        backlog = Backlog()
+        backlog.record_insert(
+            Element(
+                element_surrogate=1,
+                object_surrogate=None,
+                tt_start=Timestamp(10),
+                vt=Interval(Timestamp(0), FOREVER),
+            )
+        )
+        path = str(tmp_path / "ops.jsonl")
+        dump_backlog(backlog, path)
+        loaded = load_backlog(path)
+        element = loaded.current_state()[1]
+        assert element.vt.end is FOREVER
+        assert element.object_surrogate is None
+
+    def test_modification_pairs_survive(self, tmp_path):
+        backlog = Backlog()
+        backlog.record_insert(event_element(1, 10, 5))
+        backlog.record_modification(1, event_element(2, 20, 5))
+        path = str(tmp_path / "ops.jsonl")
+        dump_backlog(backlog, path)
+        loaded = load_backlog(path)
+        assert sorted(loaded.state_at(Timestamp(20))) == [2]
+        assert sorted(loaded.state_at(Timestamp(19))) == [1]
+
+    def test_blank_lines_ignored(self):
+        stream = io.StringIO("\n\n")
+        assert list(load_operations(stream)) == []
+
+    def test_malformed_line_reports_number(self):
+        stream = io.StringIO('{"op": "insert"\n')
+        with pytest.raises(ValueError, match="line 1"):
+            list(load_operations(stream))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    def test_property_roundtrip(self, script):
+        backlog = Backlog()
+        tt = 0
+        surrogate = 0
+        live = []
+        for is_delete in script:
+            tt += 1
+            if is_delete and live:
+                backlog.record_delete(live.pop(0), Timestamp(tt))
+            else:
+                surrogate += 1
+                backlog.record_insert(event_element(surrogate, tt, tt - 1))
+                live.append(surrogate)
+        buffer = io.StringIO()
+        dump_operations(backlog.operations, buffer)
+        buffer.seek(0)
+        replayed = Backlog()
+        for operation in load_operations(buffer):
+            if operation.element is not None:
+                replayed.record_insert(operation.element)
+            else:
+                replayed.record_delete(operation.element_surrogate, operation.tt)
+        for probe in range(0, tt + 2):
+            assert replayed.state_at(Timestamp(probe)) == backlog.state_at(
+                Timestamp(probe)
+            )

@@ -1,0 +1,133 @@
+"""Tests for the single-stamp (degenerate) storage engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.relation.element import Element
+from repro.relation.errors import ElementNotFound
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
+from repro.storage.single_stamp import SingleStampEngine
+
+
+def degenerate_element(surrogate: int, tt: int, **varying) -> Element:
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate="o",
+        tt_start=Timestamp(tt),
+        vt=Timestamp(tt),
+        time_varying=varying,
+        user_times={"noted": Timestamp(tt - 1)},
+    )
+
+
+class TestInvariants:
+    def test_rejects_non_degenerate(self):
+        engine = SingleStampEngine()
+        bad = Element(1, "o", Timestamp(10), Timestamp(9))
+        with pytest.raises(ValueError, match="vt = tt"):
+            engine.append(bad)
+
+    def test_rejects_intervals(self):
+        engine = SingleStampEngine()
+        bad = Element(1, "o", Timestamp(10), Interval(Timestamp(10), Timestamp(20)))
+        with pytest.raises(ValueError, match="event relations only"):
+            engine.append(bad)
+
+    def test_rejects_duplicates_and_disorder(self):
+        engine = SingleStampEngine()
+        engine.append(degenerate_element(1, 10))
+        with pytest.raises(ValueError, match="already stored"):
+            engine.append(degenerate_element(1, 20))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            engine.append(degenerate_element(2, 10))
+
+
+class TestRoundTrip:
+    def test_materialization_preserves_everything(self):
+        engine = SingleStampEngine()
+        engine.append(degenerate_element(1, 10, v=5))
+        element = engine.get(1)
+        assert element.vt == element.tt_start == Timestamp(10)
+        assert element.time_varying == {"v": 5}
+        assert element.user_times == {"noted": Timestamp(9)}
+        assert element.tt_stop is FOREVER
+
+    def test_close_and_reopen_semantics(self):
+        engine = SingleStampEngine()
+        engine.append(degenerate_element(1, 10))
+        closed = engine.close_element(1, Timestamp(20))
+        assert closed.tt_stop == Timestamp(20)
+        with pytest.raises(ValueError, match="already deleted"):
+            engine.close_element(1, Timestamp(30))
+        with pytest.raises(ElementNotFound):
+            engine.get(99)
+
+    def test_timeslice_is_point_lookup(self):
+        engine = SingleStampEngine()
+        for i in range(100):
+            engine.append(degenerate_element(i + 1, 10 * i))
+        hits = list(engine.valid_at(Timestamp(500)))
+        assert [e.element_surrogate for e in hits] == [51]
+        assert list(engine.valid_at(Timestamp(505))) == []
+
+    def test_bitemporal_slice(self):
+        engine = SingleStampEngine()
+        engine.append(degenerate_element(1, 10))
+        engine.close_element(1, Timestamp(20))
+        assert list(engine.valid_at(Timestamp(10))) == []
+        revived = list(engine.valid_at(Timestamp(10), as_of_tt=Timestamp(15)))
+        assert [e.element_surrogate for e in revived] == [1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_equivalent_to_memory_engine(self, script):
+        single = SingleStampEngine()
+        memory = MemoryEngine()
+        tt = 0
+        surrogate = 0
+        live = []
+        for is_delete in script:
+            tt += 1
+            if is_delete and live:
+                victim = live.pop(0)
+                single.close_element(victim, Timestamp(tt))
+                memory.close_element(victim, Timestamp(tt))
+            else:
+                surrogate += 1
+                element = degenerate_element(surrogate, tt)
+                single.append(element)
+                memory.append(element)
+                live.append(surrogate)
+        for probe in range(0, tt + 2):
+            stamp = Timestamp(probe)
+            assert sorted(e.element_surrogate for e in single.as_of(stamp)) == sorted(
+                e.element_surrogate for e in memory.as_of(stamp)
+            )
+            assert sorted(e.element_surrogate for e in single.valid_at(stamp)) == sorted(
+                e.element_surrogate for e in memory.valid_at(stamp)
+            )
+
+
+class TestWithRelation:
+    def test_drop_in_for_degenerate_relation(self):
+        schema = TemporalSchema(name="feed", specializations=["degenerate"])
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(
+            schema, clock=clock, engine=SingleStampEngine(), keep_backlog=False
+        )
+        for i in range(20):
+            clock.advance_to(Timestamp(5 * i))
+            relation.insert("s", Timestamp(5 * i), {})
+        assert len(relation.valid_at(Timestamp(50))) == 1
+        assert len(relation.as_of(Timestamp(50))) == 11
+
+    def test_stamp_bytes_saved_reported(self):
+        engine = SingleStampEngine()
+        for i in range(10):
+            engine.append(degenerate_element(i + 1, i))
+        assert engine.stamp_bytes_saved() > 0

@@ -1,0 +1,121 @@
+"""Tests for specialization-aware vacuuming."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.timestamp import Timestamp
+from repro.query import NaiveExecutor, Scan, ValidTimeslice
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.vacuum import (
+    tt_horizon_for_valid_floor,
+    vacuum_engine,
+    vacuum_relation,
+)
+from repro.workloads import generate_general
+
+
+class TestVacuumEngine:
+    def build(self, deletions=True):
+        schema = TemporalSchema(name="x", time_varying=("v",))
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        elements = []
+        for i in range(20):
+            clock.advance_to(Timestamp(10 * i))
+            elements.append(relation.insert("o", Timestamp(10 * i), {"v": i}))
+        if deletions:
+            for element in elements[:10:2]:
+                relation.delete(element.element_surrogate)
+        return relation
+
+    def test_purges_only_pre_horizon_closures(self):
+        relation = self.build()
+        total = len(relation)
+        current = {e.element_surrogate for e in relation.current()}
+        report = vacuum_relation(relation, Timestamp(10**6))
+        assert report.purged == total - len(current)
+        assert {e.element_surrogate for e in relation.current()} == current
+
+    def test_preserves_rollback_at_or_after_horizon(self):
+        relation = self.build()
+        horizon = Timestamp(150)
+        before = {
+            tt: sorted(e.element_surrogate for e in relation.as_of(Timestamp(tt)))
+            for tt in range(150, 260, 10)
+        }
+        vacuum_relation(relation, horizon)
+        for tt, expected in before.items():
+            assert sorted(
+                e.element_surrogate for e in relation.as_of(Timestamp(tt))
+            ) == expected
+
+    def test_report_fractions(self):
+        relation = self.build()
+        report = vacuum_relation(relation, Timestamp(10**6))
+        assert 0 < report.space_saved_fraction < 1
+        assert report.total == 20
+
+    def test_nothing_to_purge(self):
+        relation = self.build(deletions=False)
+        report = vacuum_relation(relation, Timestamp(10**6))
+        assert report.purged == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(horizon=st.integers(0, 800_000))
+    def test_current_state_always_preserved(self, horizon):
+        workload = generate_general(inserts=120, delete_rate=0.3, seed=3)
+        relation = workload.relation
+        current = sorted(e.element_surrogate for e in relation.current())
+        compacted, _report = vacuum_engine(relation.engine, Timestamp(horizon))
+        assert sorted(e.element_surrogate for e in compacted.current()) == current
+
+
+class TestHorizonFromValidFloor:
+    def test_bounded_relation_gives_horizon(self):
+        schema = TemporalSchema(
+            name="b", specializations=["strongly bounded(10s, 30s)"]
+        )
+        relation = TemporalRelation(schema, clock=SimulatedWallClock(start=0))
+        horizon = tt_horizon_for_valid_floor(relation, Timestamp(1_000))
+        # upper offset is +30s, so tt >= 1000 - 30.
+        assert horizon == Timestamp(970)
+
+    def test_unbounded_above_gives_none(self):
+        schema = TemporalSchema(name="p", specializations=["predictive"])
+        relation = TemporalRelation(schema, clock=SimulatedWallClock(start=0))
+        assert tt_horizon_for_valid_floor(relation, Timestamp(1_000)) is None
+
+    def test_vacuum_to_derived_horizon_preserves_timeslices(self):
+        schema = TemporalSchema(
+            name="b", specializations=["strongly bounded(5s, 5s)"]
+        )
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        elements = []
+        for i in range(100):
+            clock.advance_to(Timestamp(10 * i))
+            elements.append(relation.insert("o", Timestamp(10 * i + (i % 3) - 1), {}))
+        for element in elements[:40:3]:
+            relation.delete(element.element_surrogate)
+        floor = Timestamp(500)
+        horizon = tt_horizon_for_valid_floor(relation, floor)
+        expected = {
+            vt: sorted(
+                e.element_surrogate
+                for e in NaiveExecutor().run(
+                    ValidTimeslice(Scan(relation), Timestamp(vt))
+                )
+            )
+            for vt in range(500, 1_000, 7)
+        }
+        vacuum_relation(relation, horizon)
+        for vt, surrogates in expected.items():
+            observed = sorted(
+                e.element_surrogate
+                for e in NaiveExecutor().run(
+                    ValidTimeslice(Scan(relation), Timestamp(vt))
+                )
+            )
+            assert observed == surrogates, vt

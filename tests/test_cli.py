@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRegions:
+    def test_prints_table_and_count(self, capsys):
+        assert main(["regions"]) == 0
+        output = capsys.readouterr().out
+        assert "degenerate" in output and "point region" in output
+        assert "6 one-line + 5 two-line + general = 12 shapes" in output
+
+
+class TestLattice:
+    @pytest.mark.parametrize("figure", ["fig2", "fig3", "fig4", "fig5"])
+    def test_ascii(self, capsys, figure):
+        assert main(["lattice", figure]) == 0
+        assert "general" in capsys.readouterr().out
+
+    def test_dot(self, capsys):
+        assert main(["lattice", "fig2", "--dot"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("digraph")
+        assert '"retroactive" -> "delayed retroactive";' in output
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lattice", "fig9"])
+
+
+class TestClassify:
+    def test_csv_file(self, tmp_path, capsys):
+        path = tmp_path / "sample.csv"
+        path.write_text("tt,vt\n100,95\n200,180\n300,299\n")
+        assert main(["classify", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "delayed strongly retroactively bounded" in output
+
+    def test_comments_and_headers_skipped(self, tmp_path, capsys):
+        path = tmp_path / "sample.csv"
+        path.write_text("# comment\ntt,vt,object\n10,10,a\n20,20,a\n")
+        assert main(["classify", str(path)]) == 0
+        assert "degenerate" in capsys.readouterr().out
+
+    def test_empty_file_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("tt,vt\n")
+        assert main(["classify", str(path)]) == 1
+        assert "no (tt, vt) rows" in capsys.readouterr().err
+
+    def test_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("100,95\n200,195\n"))
+        assert main(["classify", "-"]) == 0
+        assert "observed" in capsys.readouterr().out
+
+
+class TestWorkload:
+    def test_generation(self, capsys):
+        assert main(["workload", "archeology"]) == 0
+        output = capsys.readouterr().out
+        assert "strata" in output
+        assert "globally non-increasing" in output
+
+    def test_with_tql(self, capsys):
+        assert main(
+            ["workload", "ledger", "--tql", "SELECT amount FROM ledger WHERE amount > 4900"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "result(s)" in output
+
+    def test_long_results_truncated(self, capsys):
+        assert main(["workload", "general", "--tql", "SELECT payload FROM general_traffic"]) == 0
+        output = capsys.readouterr().out
+        assert "more" in output
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "rejected" in output
+        assert "inferred" in output

@@ -1,0 +1,161 @@
+"""Tests for inter-relation flows (the paper's deferred third shortcoming)."""
+
+import pytest
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.duration import Duration
+from repro.chronos.timestamp import Timestamp
+from repro.core.constraints import ConstraintViolation
+from repro.flow import FlowLagBounded, FlowProcessor, identity_transform
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+
+
+def build_pair(lag_bound=None, clock=None):
+    clock = clock or SimulatedWallClock(start=0)
+    source_schema = TemporalSchema(name="raw", time_varying=("v",))
+    target_specs = [FlowLagBounded(lag_bound)] if lag_bound else []
+    target_schema = TemporalSchema(
+        name="derived",
+        time_varying=("v",),
+        user_times=("source_tt",),
+        specializations=target_specs,
+    )
+    source = TemporalRelation(source_schema, clock=clock)
+    target = TemporalRelation(target_schema, clock=clock)
+    return clock, source, target
+
+
+class TestFlowProcessor:
+    def test_propagates_with_source_stamp(self):
+        clock, source, target = build_pair()
+        for i in range(3):
+            clock.advance_to(Timestamp(10 * i))
+            source.insert("o", Timestamp(10 * i - 1), {"v": i})
+        processor = FlowProcessor(source, target)
+        derived = processor.propagate()
+        assert len(derived) == 3
+        for original, copy in zip(source.all_elements(), derived):
+            assert copy.user_times["source_tt"] == original.tt_start
+            assert copy.attributes["v"] == original.attributes["v"]
+            assert copy.vt == original.vt
+
+    def test_incremental_high_water_mark(self):
+        clock, source, target = build_pair()
+        clock.advance_to(Timestamp(0))
+        source.insert("o", Timestamp(0), {"v": 1})
+        processor = FlowProcessor(source, target)
+        assert len(processor.propagate()) == 1
+        assert processor.propagate() == []  # nothing new
+        clock.advance_to(Timestamp(100))
+        source.insert("o", Timestamp(100), {"v": 2})
+        fresh = processor.propagate()
+        assert [e.attributes["v"] for e in fresh] == [2]
+        assert processor.high_water_mark == Timestamp(100)
+
+    def test_transform_can_filter_and_reshape(self):
+        clock, source, target = build_pair()
+        for i in range(4):
+            clock.advance_to(Timestamp(10 * i))
+            source.insert("o", Timestamp(10 * i), {"v": i})
+
+        def only_even_doubled(element):
+            if element.attributes["v"] % 2:
+                return None
+            return element.object_surrogate, element.vt, {"v": element.attributes["v"] * 2}
+
+        processor = FlowProcessor(source, target, transform=only_even_doubled)
+        derived = processor.propagate()
+        assert [e.attributes["v"] for e in derived] == [0, 4]
+
+    def test_target_must_declare_the_stamp(self):
+        clock = SimulatedWallClock(start=0)
+        source = TemporalRelation(TemporalSchema(name="raw"), clock=clock)
+        bare_target = TemporalRelation(TemporalSchema(name="t"), clock=clock)
+        with pytest.raises(ValueError, match="user_times"):
+            FlowProcessor(source, bare_target)
+
+
+class TestFlowLagBounded:
+    def test_fresh_flow_passes(self):
+        clock, source, target = build_pair(lag_bound=Duration(50))
+        clock.advance_to(Timestamp(0))
+        source.insert("o", Timestamp(0), {"v": 1})
+        clock.advance_to(Timestamp(30))
+        derived = FlowProcessor(source, target).propagate()
+        assert len(derived) == 1
+
+    def test_stale_flow_rejected(self):
+        clock, source, target = build_pair(lag_bound=Duration(50))
+        clock.advance_to(Timestamp(0))
+        source.insert("o", Timestamp(0), {"v": 1})
+        clock.advance_to(Timestamp(1_000))  # far past the freshness bound
+        with pytest.raises(ConstraintViolation, match="flow lag"):
+            FlowProcessor(source, target).propagate()
+
+    def test_direct_inserts_are_vacuously_compliant(self):
+        clock, _source, target = build_pair(lag_bound=Duration(50))
+        clock.advance_to(Timestamp(10**6))
+        element = target.insert("direct", Timestamp(10**6), {"v": 9})
+        assert element.is_current
+
+    def test_failure_message_names_the_lag(self):
+        spec = FlowLagBounded(Duration(5))
+        from repro.core.taxonomy.base import Stamped
+
+        stale = Stamped(
+            tt_start=Timestamp(100),
+            vt=Timestamp(100),
+            attributes={"source_tt": Timestamp(10)},
+        )
+        message = spec.element_failure(stale)
+        assert "flow lag" in message and "bound" in message
+
+    def test_custom_stamp_name(self):
+        spec = FlowLagBounded(Duration(5), source_stamp="upstream_tt")
+        assert "upstream_tt" in spec.name
+
+
+class TestChainedFlows:
+    def test_two_hop_pipeline_accumulates_dimensions(self):
+        """raw -> staged -> published: each hop adds a time dimension."""
+        clock = SimulatedWallClock(start=0)
+        raw = TemporalRelation(TemporalSchema(name="raw", time_varying=("v",)), clock=clock)
+        staged = TemporalRelation(
+            TemporalSchema(name="staged", time_varying=("v",), user_times=("source_tt",)),
+            clock=clock,
+        )
+        published = TemporalRelation(
+            TemporalSchema(
+                name="published",
+                time_varying=("v",),
+                user_times=("source_tt", "staged_tt"),
+            ),
+            clock=clock,
+        )
+        clock.advance_to(Timestamp(0))
+        raw.insert("o", Timestamp(0), {"v": 7})
+        clock.advance_to(Timestamp(10))
+        first_hop = FlowProcessor(raw, staged)
+        first_hop.propagate()
+        clock.advance_to(Timestamp(20))
+
+        def carry_both(element):
+            return (
+                element.object_surrogate,
+                element.vt,
+                {
+                    "v": element.attributes["v"],
+                    "source_tt": element.user_times["source_tt"],
+                },
+            )
+
+        second_hop = FlowProcessor(staged, published, transform=carry_both, source_stamp="staged_tt")
+        final = second_hop.propagate()
+        assert len(final) == 1
+        fact = final[0]
+        # Three time dimensions now travel with the fact: its validity,
+        # the raw storage time, and the staging storage time.
+        assert fact.user_times["source_tt"] == Timestamp(0)
+        assert fact.user_times["staged_tt"] > fact.user_times["source_tt"]
+        assert fact.tt_start > fact.user_times["staged_tt"]

@@ -1,0 +1,163 @@
+"""Tests for the workload generators: determinism and guaranteed geometry.
+
+Each generator models one of the paper's running examples; the test
+checks (a) determinism under a fixed seed, (b) that the generated
+stream satisfies the specializations the paper promises for that
+application -- verified through fresh checker instances, independent of
+the enforcement that already ran during generation.
+"""
+
+import pytest
+
+from repro.chronos.duration import Duration
+from repro.core.taxonomy import (
+    Degenerate,
+    DelayedRetroactive,
+    EarlyPredictive,
+    GloballyNonIncreasing,
+    IntervalGloballyNonDecreasing,
+    IntervalGloballySequential,
+    PerPartition,
+    Predictive,
+    PredictivelyBounded,
+    Retroactive,
+    StronglyBounded,
+    fit_determined,
+)
+from repro.workloads import (
+    generate_assignments,
+    generate_excavation,
+    generate_general,
+    generate_ledger,
+    generate_monitoring,
+    generate_orders,
+    generate_payroll,
+    generate_warnings,
+)
+from repro.workloads.payroll import generate_determined_deposits
+
+DAY = 86_400
+HOUR = 3_600
+
+
+def signatures(workload):
+    return [
+        (e.tt_start.microseconds, e.vt, e.object_surrogate)
+        for e in workload.relation.all_elements()
+    ]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            generate_monitoring,
+            generate_payroll,
+            generate_assignments,
+            generate_ledger,
+            generate_orders,
+            generate_excavation,
+            generate_warnings,
+            generate_general,
+        ],
+    )
+    def test_same_seed_same_stream(self, generator):
+        assert signatures(generator(seed=7)) == signatures(generator(seed=7))
+
+    def test_different_seeds_differ(self):
+        assert signatures(generate_monitoring(seed=1)) != signatures(
+            generate_monitoring(seed=2)
+        )
+
+
+class TestMonitoring:
+    def test_retroactive_with_minimum_delay(self):
+        workload = generate_monitoring(
+            sensors=3, samples_per_sensor=40, min_delay_seconds=30, max_delay_seconds=55
+        )
+        elements = workload.relation.all_elements()
+        assert Retroactive().check_extension(elements)
+        assert DelayedRetroactive(Duration(30)).check_extension(elements)
+        # The 30s bound is tight: 29s would also pass, 56s would not.
+        assert not DelayedRetroactive(Duration(56)).check_extension(elements)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            generate_monitoring(min_delay_seconds=50, max_delay_seconds=30)
+        with pytest.raises(ValueError):
+            generate_monitoring(period_seconds=10, max_delay_seconds=20)
+
+
+class TestPayroll:
+    def test_early_predictive(self):
+        workload = generate_payroll(employees=5, months=6)
+        elements = workload.relation.all_elements()
+        assert Predictive().check_extension(elements)
+        assert EarlyPredictive(Duration(3, "day")).check_extension(elements)
+
+    def test_determined_deposits_recoverable(self):
+        workload = generate_determined_deposits(deposits=80)
+        elements = workload.relation.all_elements()
+        assert Predictive().check_extension(elements)
+        fitted = fit_determined(elements)
+        assert fitted is not None
+        assert "ceil" in fitted.mapping.name
+
+
+class TestAssignments:
+    def test_weekend_recording_is_per_surrogate_sequential(self):
+        workload = generate_assignments(employees=4, weeks=12, record_on="weekend")
+        elements = workload.relation.all_elements()
+        assert PerPartition(IntervalGloballySequential()).check_extension(elements)
+
+    def test_thursday_recording_is_non_decreasing_not_sequential(self):
+        workload = generate_assignments(employees=4, weeks=12, record_on="thursday")
+        elements = workload.relation.all_elements()
+        assert PerPartition(IntervalGloballyNonDecreasing()).check_extension(elements)
+        assert not PerPartition(IntervalGloballySequential()).check_extension(elements)
+
+    def test_record_on_validated(self):
+        with pytest.raises(ValueError):
+            generate_assignments(record_on="friday")
+
+
+class TestLedgerOrdersExcavationWarnings:
+    def test_ledger_strongly_bounded(self):
+        workload = generate_ledger(entries=120, past_bound_days=5, future_bound_days=3)
+        spec = StronglyBounded(Duration(5, "day"), Duration(3, "day"))
+        assert spec.check_extension(workload.relation.all_elements())
+
+    def test_orders_predictively_bounded(self):
+        workload = generate_orders(orders=150, horizon_days=30)
+        spec = PredictivelyBounded(Duration(30, "day"))
+        elements = workload.relation.all_elements()
+        assert spec.check_extension(elements)
+        # Not retroactive: pending orders do look into the future.
+        assert not Retroactive().check_extension(elements)
+
+    def test_excavation_non_increasing(self):
+        workload = generate_excavation(strata=25)
+        elements = workload.relation.all_elements()
+        assert GloballyNonIncreasing().check_extension(elements)
+        assert Retroactive().check_extension(elements)
+
+    def test_warnings_early_predictive(self):
+        workload = generate_warnings(warnings=60, min_notice_hours=6)
+        assert EarlyPredictive(Duration(6, "hour")).check_extension(
+            workload.relation.all_elements()
+        )
+
+    def test_warning_bounds_validated(self):
+        with pytest.raises(ValueError):
+            generate_warnings(min_notice_hours=0)
+
+
+class TestGeneral:
+    def test_unrestricted_and_includes_deletions(self):
+        workload = generate_general(inserts=200, delete_rate=0.3)
+        elements = workload.relation.all_elements()
+        assert any(not e.is_current for e in elements)
+        # Not degenerate, not one-sided.
+        assert not Degenerate().check_extension(elements)
+        assert not Retroactive().check_extension(elements)
+        assert not Predictive().check_extension(elements)
