@@ -21,6 +21,7 @@ in transaction order, so enforcement costs O(#constraints) per update
 
 from __future__ import annotations
 
+import copy
 import enum
 import warnings
 from typing import Iterable, List, Sequence, Tuple
@@ -81,6 +82,48 @@ class ConstraintSet:
             raise ConstraintViolation(found)
         for _spec, monitor in self._monitors:
             monitor.commit(element)
+        if not found:
+            return []
+        self.recorded.extend(found)
+        if self.mode is EnforcementMode.WARN:
+            for violation in found:
+                warnings.warn(str(violation), stacklevel=3)
+        return found
+
+    def observe_batch(self, elements: Sequence[StampedElement]) -> List[Violation]:
+        """Feed a whole batch through the monitors in one amortized pass.
+
+        Semantics match calling :meth:`observe` element by element, but
+        the cost structure differs: instead of the two-phase
+        inspect-then-commit round trip per element, the batch runs
+        through *shadow copies* of the live monitors in a single
+        inspect+commit pass.  Only when the whole batch is accepted (no
+        violations, or a non-REJECT mode) do the shadows replace the
+        live monitors -- so a rejected batch leaves the enforcement
+        state exactly as it was, with no per-element rollback
+        bookkeeping.
+
+        Elements must arrive in non-decreasing ``tt_start`` order (the
+        transaction clock guarantees this for a staged batch).
+        """
+        elements = list(elements)
+        if not elements:
+            return []
+        if not self._monitors:
+            return []
+        found: List[Violation] = []
+        shadows: List[Tuple[Specialization, Monitor]] = []
+        for spec, monitor in self._monitors:
+            # The memo pins the (immutable) specialization so the shadow
+            # keeps reporting violations against the declared instance.
+            shadow = copy.deepcopy(monitor, {id(spec): spec})
+            for element in elements:
+                found.extend(shadow.inspect(element))
+                shadow.commit(element)
+            shadows.append((spec, shadow))
+        if found and self.mode is EnforcementMode.REJECT:
+            raise ConstraintViolation(found)
+        self._monitors = shadows
         if not found:
             return []
         self.recorded.extend(found)

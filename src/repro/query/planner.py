@@ -68,6 +68,14 @@ class Planner:
     def __init__(self, relation: TemporalRelation) -> None:
         self.relation = relation
         self._specs = list(relation.schema.specializations)
+        # Declared-semantics metadata is schema-static; the relation
+        # statistics refresh at most once per relation version (a whole
+        # append_many batch bumps the version once, so batched ingestion
+        # costs one refresh per batch, not per element).
+        self._region_cache: Optional[OffsetRegion] = None
+        self._region_computed = False
+        self._stats_cache: Optional[dict] = None
+        self._stats_version: Optional[int] = None
 
     # -- declared-semantics predicates --------------------------------------------
 
@@ -101,7 +109,29 @@ class Planner:
         Calendric-specific bounds have no fixed region; such
         specializations simply contribute nothing (sound: the window
         only ever shrinks from other declarations).
+
+        Specializations are immutable after schema construction, so the
+        intersection is computed once per planner and cached.
         """
+        if self._region_computed:
+            return self._region_cache
+        self._region_cache = self._compute_offset_region()
+        self._region_computed = True
+        return self._region_cache
+
+    def relation_statistics(self) -> dict:
+        """The relation's planner-visible metadata, cached per version.
+
+        Repeated planning between mutations reuses the cached snapshot;
+        a mutation (one bump per batch) invalidates it.
+        """
+        version = self.relation.version
+        if self._stats_cache is None or self._stats_version != version:
+            self._stats_cache = self.relation.statistics()
+            self._stats_version = version
+        return self._stats_cache
+
+    def _compute_offset_region(self) -> Optional[OffsetRegion]:
         region: Optional[OffsetRegion] = None
         for spec in self._insertion_specs():
             if not isinstance(spec, EventSpecialization):

@@ -25,9 +25,10 @@ from repro.relation.errors import (
 from repro.relation.lifeline import Lifeline
 from repro.relation.schema import AttributeRole, TemporalSchema, ValidTimeKind
 from repro.relation.surrogate import SurrogateGenerator
-from repro.relation.temporal_relation import TemporalRelation
+from repro.relation.temporal_relation import BulkBatch, TemporalRelation
 
 __all__ = [
+    "BulkBatch",
     "Element",
     "ElementNotFound",
     "ReadOnlyRelation",

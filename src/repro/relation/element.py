@@ -118,3 +118,38 @@ class Element:
             f"Element(#{self.element_surrogate} obj={self.object_surrogate!r} "
             f"tt={self.tt_start!r} ({state}) vt={self.vt!r})"
         )
+
+
+def build_trusted(
+    element_surrogate: int,
+    object_surrogate: Hashable,
+    tt_start: Timestamp,
+    vt: ValidTime,
+    time_invariant: dict,
+    time_varying: dict,
+    user_times: dict,
+) -> Element:
+    """Construct an element without re-copying the attribute dicts.
+
+    The bulk-ingestion fast path: the caller transfers ownership of the
+    three dicts and must not mutate them afterwards.  The result is
+    indistinguishable from one built by the regular constructor.
+    """
+    element = object.__new__(Element)
+    # Direct __dict__ assignment: one store instead of eight frozen-field
+    # object.__setattr__ calls plus the __post_init__ copies.
+    object.__setattr__(
+        element,
+        "__dict__",
+        {
+            "element_surrogate": element_surrogate,
+            "object_surrogate": object_surrogate,
+            "tt_start": tt_start,
+            "vt": vt,
+            "tt_stop": FOREVER,
+            "time_invariant": time_invariant,
+            "time_varying": time_varying,
+            "user_times": user_times,
+        },
+    )
+    return element

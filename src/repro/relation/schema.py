@@ -75,6 +75,17 @@ class TemporalSchema:
         for spec in self.specializations:
             resolved.append(parse(spec) if isinstance(spec, str) else spec)
         self.specializations = tuple(resolved)
+        # Attribute-name -> role, resolved once; the per-update hot path
+        # (split_attributes) does a single dict probe per attribute
+        # instead of three tuple scans.
+        self._role_map: Dict[str, AttributeRole] = {}
+        for names, role in (
+            (self.time_invariant, AttributeRole.TIME_INVARIANT),
+            (self.time_varying, AttributeRole.TIME_VARYING),
+            (self.user_times, AttributeRole.USER_TIME),
+        ):
+            for attr in names:
+                self._role_map[attr] = role
 
     def _validate_attribute_names(self) -> None:
         roles: Dict[str, AttributeRole] = {}
@@ -104,13 +115,7 @@ class TemporalSchema:
         return self.valid_time_kind is ValidTimeKind.EVENT
 
     def role_of(self, attribute: str) -> Optional[AttributeRole]:
-        if attribute in self.time_invariant:
-            return AttributeRole.TIME_INVARIANT
-        if attribute in self.time_varying:
-            return AttributeRole.TIME_VARYING
-        if attribute in self.user_times:
-            return AttributeRole.USER_TIME
-        return None
+        return self._role_map.get(attribute)
 
     def check_valid_time(self, vt: Any) -> None:
         """Reject valid time-stamps of the wrong kind."""

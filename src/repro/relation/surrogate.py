@@ -29,6 +29,14 @@ class SurrogateGenerator:
         self._next += 1
         return value
 
+    def draw(self, count: int) -> range:
+        """*count* fresh surrogates in one reservation (batched inserts)."""
+        if count < 0:
+            raise ValueError("cannot draw a negative number of surrogates")
+        first = self._next
+        self._next += count
+        return range(first, first + count)
+
     def reserve_through(self, used: int) -> None:
         """Ensure future surrogates exceed *used* (e.g. after loading a
         persisted relation)."""

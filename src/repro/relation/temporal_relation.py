@@ -25,14 +25,28 @@ Reading:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterator, List, Mapping, Optional
+import gc
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.chronos.clock import LogicalClock, TransactionClock
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import FOREVER, TimePoint, Timestamp
 from repro.core.constraints import ConstraintSet
 from repro.core.taxonomy.base import TimeReference
-from repro.relation.element import Element, ValidTime
+from repro.relation.element import Element, ValidTime, build_trusted
+from repro.relation.schema import AttributeRole
 from repro.relation.errors import ElementNotFound, KeyViolation, SchemaError
 from repro.relation.lifeline import Lifeline
 from repro.relation.schema import TemporalSchema
@@ -40,6 +54,13 @@ from repro.relation.surrogate import SurrogateGenerator
 from repro.storage.backlog import Backlog
 from repro.storage.base import StorageEngine
 from repro.storage.memory import MemoryEngine
+
+#: One staged insertion: ``(object_surrogate, vt)`` or
+#: ``(object_surrogate, vt, attributes)``.
+InsertRow = Union[
+    Tuple[Hashable, ValidTime],
+    Tuple[Hashable, ValidTime, Optional[Mapping[str, Any]]],
+]
 
 
 class TemporalRelation:
@@ -58,6 +79,8 @@ class TemporalRelation:
         self.constraints = ConstraintSet(schema.specializations, mode=schema.enforcement)
         self._surrogates = SurrogateGenerator()
         self._backlog = Backlog() if keep_backlog else None
+        self._version = 0
+        self._statistics: Optional[Dict[str, int]] = None
         if engine is not None and len(engine):
             self._adopt_existing()
 
@@ -100,7 +123,106 @@ class TemporalRelation:
         self.engine.append(element)
         if self._backlog is not None:
             self._backlog.record_insert(element)
+        self._bump_version()
         return element
+
+    def append_many(self, rows: Iterable[InsertRow]) -> List[Element]:
+        """Store a batch of facts atomically; returns the stored elements.
+
+        Each row is ``(object_surrogate, vt)`` or
+        ``(object_surrogate, vt, attributes)``.  The whole batch is
+        staged and validated first -- schema checks, the sequenced key
+        constraint (against stored elements *and* the batch itself), and
+        every declared specialization in one amortized pass over the
+        batch (:meth:`repro.core.constraints.ConstraintSet.observe_batch`)
+        -- then committed with one bulk engine write, one backlog
+        extension, and one metadata refresh.
+
+        On any violation the batch is rejected whole: relation, engine
+        indexes, backlog, and constraint-monitor state are untouched
+        (transaction stamps and surrogates may have been consumed, as
+        with a rejected single :meth:`insert`).
+        """
+        staged = list(rows)
+        if not staged:
+            return []
+        # Everything a batch allocates (stamps, elements, operations) is
+        # acyclic and strongly referenced, but the cyclic collector would
+        # still rescan the growing batch on every threshold crossing --
+        # for large batches that costs as much as the ingestion itself.
+        # Suspend it for the duration; the backlog of allocations is
+        # examined once, at the caller's next collection.
+        suspend_gc = gc.isenabled()
+        if suspend_gc:
+            gc.disable()
+        try:
+            return self._append_many(staged)
+        finally:
+            if suspend_gc:
+                gc.enable()
+
+    def _append_many(self, staged: List[InsertRow]) -> List[Element]:
+        # The schema checks of a single insert, with the per-row dispatch
+        # (role resolution, stamp-kind test) hoisted out of the loop; on
+        # a bad row the schema's own checkers raise the canonical error.
+        schema = self.schema
+        stamp_kind = Timestamp if schema.is_event else Interval
+        role_map = schema._role_map
+        invariant_role = AttributeRole.TIME_INVARIANT
+        varying_role = AttributeRole.TIME_VARYING
+        split: List[Tuple[Hashable, ValidTime, Dict, Dict, Dict]] = []
+        for row in staged:
+            if len(row) == 2:
+                object_surrogate, vt = row  # type: ignore[misc]
+                attributes: Optional[Mapping[str, Any]] = None
+            else:
+                object_surrogate, vt, attributes = row  # type: ignore[misc]
+            if not isinstance(vt, stamp_kind):
+                schema.check_valid_time(vt)
+            invariant: Dict[str, Any] = {}
+            varying: Dict[str, Any] = {}
+            user: Dict[str, Timestamp] = {}
+            if attributes:
+                for attr, value in attributes.items():
+                    role = role_map.get(attr)
+                    if role is varying_role:
+                        varying[attr] = value
+                    elif role is invariant_role:
+                        invariant[attr] = value
+                    elif role is None or not isinstance(value, Timestamp):
+                        schema.split_attributes(attributes)
+                    else:
+                        user[attr] = value
+            split.append((object_surrogate, vt, invariant, varying, user))
+        self._check_sequenced_key_batch(split)
+        stamps = self.clock.draw(len(split))
+        elements = [
+            build_trusted(surrogate, object_surrogate, tt, vt, invariant, varying, user)
+            for surrogate, tt, (object_surrogate, vt, invariant, varying, user) in zip(
+                self._surrogates.draw(len(split)), stamps, split
+            )
+        ]
+        self.constraints.observe_batch(elements)  # may raise; nothing stored then
+        self.engine.extend(elements)
+        if self._backlog is not None:
+            self._backlog.record_insert_many(elements)
+        self._bump_version()
+        return elements
+
+    def bulk(self) -> "BulkBatch":
+        """A context manager that stages inserts and commits them as one
+        :meth:`append_many` batch on exit::
+
+            with relation.bulk() as batch:
+                batch.insert("s1", Timestamp(10), {"celsius": 20.0})
+                batch.insert("s2", Timestamp(11), {"celsius": 21.5})
+            batch.elements  # the stored elements
+
+        Nothing touches the relation until the ``with`` block exits
+        cleanly; an exception inside the block (or a constraint
+        violation at commit) stores nothing.
+        """
+        return BulkBatch(self)
 
     def delete(self, element_surrogate: int) -> Element:
         """Logically delete an element; returns the closed record.
@@ -119,6 +241,7 @@ class TemporalRelation:
         closed = self.engine.close_element(element_surrogate, tt)
         if self._backlog is not None:
             self._backlog.record_delete(element_surrogate, tt)
+        self._bump_version()
         return closed
 
     def modify(
@@ -167,6 +290,7 @@ class TemporalRelation:
         self.engine.append(replacement)
         if self._backlog is not None:
             self._backlog.record_modification(element_surrogate, replacement)
+        self._bump_version()
         return replacement
 
     def _check_sequenced_key(
@@ -198,6 +322,27 @@ class TemporalRelation:
                     f"key {key!r} is already valid during {vt!r} "
                     f"(element {other.element_surrogate})"
                 )
+
+    def _check_sequenced_key_batch(
+        self, split: Sequence[Tuple[Hashable, ValidTime, Dict, Dict, Dict]]
+    ) -> None:
+        """Sequenced-key validation for a staged batch: each row is
+        checked against the stored current state *and* against the rows
+        staged before it, so an internally conflicting batch is rejected
+        even though none of it is stored yet."""
+        if not self.schema.key or not self.schema.enforce_key:
+            return
+        staged: Dict[Tuple[Any, ...], List[ValidTime]] = {}
+        for _object_surrogate, vt, invariant, _varying, _user in split:
+            key = self.schema.key_of(invariant)
+            self._check_sequenced_key(vt, invariant)
+            for other_vt in staged.get(key, ()):
+                if _valid_times_clash(vt, other_vt):
+                    raise KeyViolation(
+                        f"key {key!r} appears twice in one batch with "
+                        f"intersecting valid times ({vt!r} and {other_vt!r})"
+                    )
+            staged.setdefault(key, []).append(vt)
 
     def _enforce_deletion_constraints(self, closed_preview: Element) -> None:
         """Check deletion-relative specializations (Section 3.1) against
@@ -261,6 +406,35 @@ class TemporalRelation:
             )
         return self._backlog
 
+    # -- planner-visible metadata ---------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumped once per update operation
+        -- a whole :meth:`append_many` batch counts as ONE bump, which
+        is what lets per-batch (rather than per-element) cache
+        invalidation work."""
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._statistics = None
+
+    def statistics(self) -> Dict[str, int]:
+        """Planner-visible metadata, recomputed at most once per version.
+
+        Includes the element count, the relation version, and whatever
+        counters the engine exposes (e.g. the memory engine's in-order
+        append ratio).  Batched ingestion refreshes this once per batch.
+        """
+        if self._statistics is None:
+            stats: Dict[str, int] = {"version": self._version, "elements": len(self.engine)}
+            engine_stats = getattr(self.engine, "index_statistics", None)
+            if callable(engine_stats):
+                stats.update(engine_stats())
+            self._statistics = stats
+        return dict(self._statistics)
+
     def __len__(self) -> int:
         return len(self.engine)
 
@@ -270,3 +444,60 @@ class TemporalRelation:
             f"TemporalRelation({self.schema.name!r}, {len(self)} elements, "
             f"specializations: {names})"
         )
+
+
+def _valid_times_clash(one: ValidTime, other: ValidTime) -> bool:
+    """Do two valid time-stamps share an instant (sequenced-key sense)?"""
+    if isinstance(one, Interval):
+        if isinstance(other, Interval):
+            return one.overlaps(other)
+        return one.contains_point(other)
+    if isinstance(other, Interval):
+        return other.contains_point(one)
+    return one == other
+
+
+class BulkBatch:
+    """Staging area produced by :meth:`TemporalRelation.bulk`.
+
+    Rows accumulate in memory; nothing reaches the relation until the
+    context exits cleanly, at which point the batch commits through
+    :meth:`TemporalRelation.append_many` (atomically).  After commit,
+    :attr:`elements` holds the stored elements.
+    """
+
+    def __init__(self, relation: TemporalRelation) -> None:
+        self._relation = relation
+        self._rows: List[InsertRow] = []
+        self._committed = False
+        self.elements: List[Element] = []
+
+    def insert(
+        self,
+        object_surrogate: Hashable,
+        vt: ValidTime,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Stage one insertion (validated and stored at commit)."""
+        if self._committed:
+            raise SchemaError("bulk batch already committed")
+        self._rows.append((object_surrogate, vt, attributes))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def commit(self) -> List[Element]:
+        """Validate and store the staged rows as one atomic batch."""
+        if self._committed:
+            raise SchemaError("bulk batch already committed")
+        self.elements = self._relation.append_many(self._rows)
+        self._committed = True
+        return self.elements
+
+    def __enter__(self) -> "BulkBatch":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.commit()
+        # On exception: discard the staged rows, store nothing.

@@ -26,6 +26,7 @@ from repro.storage.backlog import Backlog, Operation, OperationKind
 from repro.storage.base import StorageEngine
 from repro.storage.indexes import BoundedWindow, TransactionTimeIndex, ValidTimeEventIndex
 from repro.storage.interval_tree import IntervalTree
+from repro.storage.logfile import LogFileEngine
 from repro.storage.memory import MemoryEngine
 from repro.storage.snapshot import SnapshotCache
 from repro.storage.sqlite_backend import SQLiteEngine
@@ -39,6 +40,7 @@ __all__ = [
     "TransactionTimeIndex",
     "ValidTimeEventIndex",
     "IntervalTree",
+    "LogFileEngine",
     "MemoryEngine",
     "SnapshotCache",
     "SQLiteEngine",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.chronos.timestamp import TimePoint, Timestamp
 from repro.relation.element import Element
@@ -67,6 +67,56 @@ class Backlog:
             Operation(OperationKind.INSERT, element.tt_start, element.element_surrogate, element)
         )
         self._live[element.element_surrogate] = element
+
+    def record_insert_many(self, elements: Iterable[Element]) -> None:
+        """Record a batch of insertions with one amortized order check.
+
+        The batch is validated in full (ordering against the existing
+        log, internal ordering, surrogate freshness) before any entry is
+        appended, so a bad batch leaves the backlog untouched.
+        """
+        batch = list(elements)
+        if not batch:
+            return
+        last = self._operations[-1].tt.microseconds if self._operations else None
+        tts = [element.tt_start.microseconds for element in batch]
+        for tt in tts:
+            if last is not None and tt <= last:
+                raise ValueError(
+                    f"operations must carry strictly increasing transaction times; "
+                    f"got {tt} after {last}"
+                )
+            last = tt
+        surrogates = [element.element_surrogate for element in batch]
+        fresh = set(surrogates)
+        if len(fresh) != len(surrogates) or self._live.keys() & fresh:
+            staged: set = set()
+            for surrogate in surrogates:
+                if surrogate in self._live or surrogate in staged:
+                    raise ValueError(f"element surrogate {surrogate} already current")
+                staged.add(surrogate)
+        insert = OperationKind.INSERT
+        new = Operation.__new__
+        set_dict = object.__setattr__
+        operations: List[Operation] = []
+        append = operations.append
+        for element in batch:
+            # Trusted construction: the INSERT/DELETE payload checks of
+            # __post_init__ hold by construction here.
+            operation = new(Operation)
+            set_dict(
+                operation,
+                "__dict__",
+                {
+                    "kind": insert,
+                    "tt": element.tt_start,
+                    "element_surrogate": element.element_surrogate,
+                    "element": element,
+                },
+            )
+            append(operation)
+        self._operations.extend(operations)
+        self._live.update(zip(surrogates, batch))
 
     def record_delete(self, element_surrogate: int, tt: Timestamp) -> None:
         self._check_order(tt)

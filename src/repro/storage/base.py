@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import TimePoint, Timestamp
@@ -30,6 +30,59 @@ class StorageEngine(abc.ABC):
     @abc.abstractmethod
     def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
         """Logically delete an element; returns the closed record."""
+
+    def extend(self, elements: Iterable[Element]) -> int:
+        """Store a batch of new elements; returns the number stored.
+
+        The batch must be in strictly increasing ``tt_start`` order and
+        its transaction times must exceed all stored ones.  The call is
+        all-or-nothing: if any element is unstorable, no element of the
+        batch is stored.  Engines override this with genuinely amortized
+        implementations (bulk index maintenance, one transaction, one
+        fsync); this default validates the batch against a throwaway
+        probe so the all-or-nothing contract holds even for engines that
+        only implement :meth:`append`.
+        """
+        batch = list(elements)
+        self._validate_batch(batch)
+        if batch:
+            last_stored: Optional[Element] = None
+            for last_stored in self.scan():  # noqa: B007 -- want the final element
+                pass
+            if (
+                last_stored is not None
+                and batch[0].tt_start.microseconds <= last_stored.tt_start.microseconds
+            ):
+                raise ValueError(
+                    "batch transaction times must exceed all stored ones; "
+                    f"got {batch[0].tt_start!r} after {last_stored.tt_start!r}"
+                )
+        for element in batch:
+            self.append(element)
+        return len(batch)
+
+    def _validate_batch(self, batch: List[Element]) -> None:
+        """Shared batch sanity checks: internal ordering and surrogate
+        freshness.  Raises ``ValueError`` before any mutation."""
+        last_tt: Optional[int] = None
+        seen: set = set()
+        for element in batch:
+            tt = element.tt_start.microseconds
+            if last_tt is not None and tt <= last_tt:
+                raise ValueError(
+                    "batch transaction times must be strictly increasing; "
+                    f"got {element.tt_start!r} out of order"
+                )
+            last_tt = tt
+            surrogate = element.element_surrogate
+            if surrogate in seen:
+                raise ValueError(f"element surrogate {surrogate} duplicated in batch")
+            seen.add(surrogate)
+            try:
+                self.get(surrogate)
+            except ElementNotFound:
+                continue
+            raise ValueError(f"element surrogate {surrogate} already stored")
 
     # -- lookup ---------------------------------------------------------------------
 

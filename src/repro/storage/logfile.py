@@ -10,17 +10,27 @@ Format: each line is a JSON object
 insert lines carrying the full element payload.  Timestamps are
 microsecond integers on the shared exact time-line; attribute values
 must be JSON-serializable (the same contract as the SQLite engine).
+
+:class:`LogFileEngine` turns the format into a live storage engine: a
+write-ahead JSON-lines log on disk, mirrored by a
+:class:`~repro.storage.memory.MemoryEngine` that serves every read.
+Single appends flush and fsync per operation (each acknowledged update
+is durable); :meth:`LogFileEngine.extend` buffers the whole batch and
+fsyncs once -- the batched-ingestion durability amortization.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from typing import IO, Any, Dict, Iterable, Iterator, Optional
 
 from repro.chronos.interval import Interval
-from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, Timestamp
+from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
 from repro.relation.element import Element
 from repro.storage.backlog import Backlog, Operation, OperationKind
+from repro.storage.base import StorageEngine
+from repro.storage.memory import MemoryEngine
 
 _POS = 2**62
 _NEG = -(2**62)
@@ -143,3 +153,134 @@ def load_backlog(path: str) -> Backlog:
 def _flush(backlog: Backlog, pending: Optional[Operation]) -> None:
     if pending is not None:
         backlog.record_delete(pending.element_surrogate, pending.tt)
+
+
+class LogFileEngine(StorageEngine):
+    """A durable storage engine: JSON-lines write-ahead log + memory mirror.
+
+    Every mutation is written to the log *before* it is applied to the
+    in-memory mirror, and the mirror validates first -- so a rejected
+    mutation writes nothing and an acknowledged one is on disk.  Reads
+    are served entirely by the mirror (and therefore enjoy its
+    transaction-time / valid-time indexes).
+
+    Durability granularity is the point of the class:
+
+    * :meth:`append` / :meth:`close_element` flush+fsync per operation;
+    * :meth:`extend` encodes the whole batch, writes it in one call,
+      and fsyncs once -- the per-batch amortization batched ingestion
+      relies on.
+
+    Re-opening an existing log replays it into the mirror.
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self._path = path
+        self._fsync = fsync
+        self._mirror = MemoryEngine()
+        if os.path.exists(path):
+            self._replay()
+        self._handle: IO[str] = open(path, "a", encoding="utf-8")
+
+    def _replay(self) -> None:
+        with open(self._path, encoding="utf-8") as handle:
+            for operation in load_operations(handle):
+                if operation.kind is OperationKind.INSERT:
+                    self._mirror.append(operation.element)  # type: ignore[arg-type]
+                else:
+                    self._mirror.close_element(operation.element_surrogate, operation.tt)
+
+    # -- log writing --------------------------------------------------------------
+
+    @staticmethod
+    def _insert_line(element: Element) -> str:
+        record = {
+            "op": OperationKind.INSERT.value,
+            "tt": element.tt_start.microseconds,
+            "surrogate": element.element_surrogate,
+            "element": _encode_element(element),
+        }
+        return json.dumps(record, sort_keys=True) + "\n"
+
+    def _sync(self) -> None:
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append(self, element: Element) -> None:
+        self._mirror.append(element)  # validates; raises before any I/O
+        self._handle.write(self._insert_line(element))
+        self._sync()
+
+    def extend(self, elements: Iterable[Element]) -> int:
+        """Store a batch with one buffered write and one fsync."""
+        batch = list(elements)
+        if not batch:
+            return 0
+        lines = [self._insert_line(element) for element in batch]  # encode first
+        self._mirror.extend(batch)  # all-or-nothing; raises before any I/O
+        self._handle.write("".join(lines))
+        self._sync()
+        return len(batch)
+
+    def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
+        closed = self._mirror.close_element(element_surrogate, tt_stop)
+        record = {
+            "op": OperationKind.DELETE.value,
+            "tt": tt_stop.microseconds,
+            "surrogate": element_surrogate,
+        }
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._sync()
+        return closed
+
+    # -- lookup: delegate to the mirror -------------------------------------------
+
+    def get(self, element_surrogate: int) -> Element:
+        return self._mirror.get(element_surrogate)
+
+    def scan(self) -> Iterator[Element]:
+        return self._mirror.scan()
+
+    def __len__(self) -> int:
+        return len(self._mirror)
+
+    def current(self) -> Iterator[Element]:
+        return self._mirror.current()
+
+    def as_of(self, tt: TimePoint) -> Iterator[Element]:
+        return self._mirror.as_of(tt)
+
+    def valid_at(
+        self, vt: Timestamp, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        return self._mirror.valid_at(vt, as_of_tt)
+
+    def valid_overlapping(
+        self, window: Interval, as_of_tt: Optional[TimePoint] = None
+    ) -> Iterator[Element]:
+        return self._mirror.valid_overlapping(window, as_of_tt)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._sync()
+            self._handle.close()
+
+    def __enter__(self) -> "LogFileEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def log_bytes(self) -> int:
+        """Current size of the on-disk log (after a flush)."""
+        self._handle.flush()
+        return os.stat(self._path).st_size

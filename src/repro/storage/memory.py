@@ -8,7 +8,7 @@ operators the planner chooses among.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import TimePoint, Timestamp
@@ -47,6 +47,49 @@ class MemoryEngine(StorageEngine):
             if self._vt_events is None:
                 self._vt_events = ValidTimeEventIndex()
             self._vt_events.add(element)
+
+    def extend(self, elements: Iterable[Element]) -> int:
+        """Bulk append: one validation pass, then bulk index maintenance.
+
+        The transaction-time index is extended with two list extends,
+        event valid times are merged into the sorted index in one pass,
+        and interval entries are bulk-loaded into the (lazily rebuilt)
+        interval tree -- instead of per-element dict/bisect work.  A
+        batch that fails validation leaves the engine untouched.
+        """
+        batch = list(elements)
+        if not batch:
+            return 0
+        base = len(self._tt_index)
+        surrogates = [element.element_surrogate for element in batch]
+        fresh = set(surrogates)
+        if len(fresh) != len(surrogates) or self._positions.keys() & fresh:
+            seen: set = set()
+            for surrogate in surrogates:
+                if surrogate in self._positions or surrogate in seen:
+                    raise ValueError(f"element surrogate {surrogate} already stored")
+                seen.add(surrogate)
+        # The tt index validates ordering itself, before mutating anything.
+        self._tt_index.extend(batch)
+        self._positions.update(zip(surrogates, range(base, base + len(batch))))
+        if not self._maintain_vt_index:
+            return len(batch)
+        events: List[Element] = []
+        interval_items = []
+        for element in batch:
+            if isinstance(element.vt, Interval):
+                interval_items.append((element.vt, element.element_surrogate))
+            else:
+                events.append(element)
+        if interval_items:
+            if self._vt_intervals is None:
+                self._vt_intervals = IntervalTree()
+            self._vt_intervals.bulk_load(interval_items)
+        if events:
+            if self._vt_events is None:
+                self._vt_events = ValidTimeEventIndex()
+            self._vt_events.extend(events)
+        return len(batch)
 
     def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
         position = self._positions.get(element_surrogate)

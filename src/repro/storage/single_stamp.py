@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import sys
-from typing import Any, Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.chronos.timestamp import FOREVER, TimePoint, Timestamp
 from repro.relation.element import Element
@@ -71,6 +71,49 @@ class SingleStampEngine(StorageEngine):
                 {k: v.microseconds for k, v in element.user_times.items()},
             )
         )
+
+    def extend(self, elements: "Iterable[Element]") -> int:
+        """Bulk append of degenerate rows: validate the whole batch,
+        then three list extends.  A bad batch stores nothing."""
+        batch = list(elements)
+        if not batch:
+            return 0
+        seen: set = set()
+        last_tt = self._tts[-1] if self._tts else None
+        encoded: List[_Row] = []
+        for element in batch:
+            if not element.is_event:
+                raise ValueError("single-stamp storage holds event relations only")
+            if element.vt != element.tt_start:
+                raise ValueError(
+                    f"single-stamp storage requires vt = tt (degenerate); got "
+                    f"vt={element.vt!r}, tt={element.tt_start!r}"
+                )
+            surrogate = element.element_surrogate
+            if surrogate in self._positions or surrogate in seen:
+                raise ValueError(f"element surrogate {surrogate} already stored")
+            seen.add(surrogate)
+            tt_micro = element.tt_start.microseconds
+            if last_tt is not None and tt_micro <= last_tt:
+                raise ValueError("transaction times must be strictly increasing")
+            last_tt = tt_micro
+            encoded.append(
+                (
+                    surrogate,
+                    element.object_surrogate,
+                    tt_micro,
+                    None,
+                    dict(element.time_invariant),
+                    dict(element.time_varying),
+                    {k: v.microseconds for k, v in element.user_times.items()},
+                )
+            )
+        base = len(self._rows)
+        for offset, row in enumerate(encoded):
+            self._positions[row[0]] = base + offset
+        self._tts.extend(row[2] for row in encoded)
+        self._rows.extend(encoded)
+        return len(encoded)
 
     def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
         position = self._positions.get(element_surrogate)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
@@ -77,33 +77,57 @@ class SQLiteEngine(StorageEngine):
 
     # -- mutation -----------------------------------------------------------------
 
-    def append(self, element: Element) -> None:
+    @staticmethod
+    def _encode(element: Element) -> Tuple[Any, ...]:
         vt = element.vt
         if isinstance(vt, Interval):
             kind, vt_start, vt_end = "interval", _encode_point(vt.start), _encode_point(vt.end)
         else:
             kind, vt_start, vt_end = "event", vt.microseconds, None
+        return (
+            element.element_surrogate,
+            json.dumps(element.object_surrogate),
+            element.tt_start.microseconds,
+            None if element.tt_stop is FOREVER else _encode_point(element.tt_stop),
+            kind,
+            vt_start,
+            vt_end,
+            json.dumps(dict(element.time_invariant)),
+            json.dumps(dict(element.time_varying)),
+            json.dumps({k: v.microseconds for k, v in element.user_times.items()}),
+        )
+
+    def append(self, element: Element) -> None:
         try:
             self._connection.execute(
                 "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    element.element_surrogate,
-                    json.dumps(element.object_surrogate),
-                    element.tt_start.microseconds,
-                    None if element.tt_stop is FOREVER else _encode_point(element.tt_stop),
-                    kind,
-                    vt_start,
-                    vt_end,
-                    json.dumps(dict(element.time_invariant)),
-                    json.dumps(dict(element.time_varying)),
-                    json.dumps({k: v.microseconds for k, v in element.user_times.items()}),
-                ),
+                self._encode(element),
             )
         except sqlite3.IntegrityError as error:
             raise ValueError(
                 f"element surrogate {element.element_surrogate} already stored"
             ) from error
         self._connection.commit()
+
+    def extend(self, elements: Iterable[Element]) -> int:
+        """Bulk insert: the whole batch in one transaction, one
+        ``executemany``, one commit.  SQLite's transaction rollback
+        makes the batch atomic -- an integrity failure anywhere leaves
+        the table byte-identical to its pre-batch state."""
+        rows = [self._encode(element) for element in elements]
+        if not rows:
+            return 0
+        try:
+            self._connection.executemany(
+                "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)", rows
+            )
+        except sqlite3.IntegrityError as error:
+            self._connection.rollback()
+            raise ValueError(
+                "a batch element surrogate is already stored; batch rolled back"
+            ) from error
+        self._connection.commit()
+        return len(rows)
 
     def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
         element = self.get(element_surrogate)  # raises if absent

@@ -1,82 +1,41 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, hypothesis profiles, and strategy re-exports.
+
+The strategies themselves live in :mod:`tests.strategies`; the names
+are re-exported here because the older suites import them from
+``tests.conftest``.
+
+Two hypothesis profiles:
+
+* ``dev`` (default) -- a small example budget, so the tier-1 suite
+  stays fast for local loops;
+* ``ci`` -- at least 200 examples per property, no deadline, used by
+  the CI workflow via ``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
 
-from hypothesis import strategies as st
+import os
 
-from repro.chronos.interval import Interval
-from repro.chronos.timestamp import Timestamp
-from repro.core.taxonomy.base import Stamped
+from hypothesis import HealthCheck, settings
 
-# Keep coordinates small enough that all arithmetic stays fast but large
-# enough to exercise every ordering of endpoints.
-TICKS = st.integers(min_value=-1_000, max_value=1_000)
-SMALL_TICKS = st.integers(min_value=0, max_value=60)
+from tests.strategies import (  # noqa: F401  (re-exported for the suites)
+    SMALL_TICKS,
+    TICKS,
+    event_elements,
+    event_extensions,
+    insert_rows,
+    interval_extensions,
+    intervals,
+    json_safe_attributes,
+    specialization_declarations,
+    timestamps,
+)
 
-
-@st.composite
-def timestamps(draw, ticks=TICKS):
-    return Timestamp(draw(ticks))
-
-
-@st.composite
-def intervals(draw, ticks=TICKS):
-    start = draw(ticks)
-    length = draw(st.integers(min_value=1, max_value=100))
-    return Interval(Timestamp(start), Timestamp(start + length))
-
-
-@st.composite
-def event_elements(draw, max_offset: int = 50):
-    """A single event-stamped element with bounded |vt - tt|."""
-    tt = draw(st.integers(min_value=0, max_value=10_000))
-    offset = draw(st.integers(min_value=-max_offset, max_value=max_offset))
-    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(tt + offset))
-
-
-@st.composite
-def event_extensions(draw, min_size: int = 1, max_size: int = 12, max_offset: int = 50):
-    """An extension with unique, increasing transaction times."""
-    count = draw(st.integers(min_value=min_size, max_value=max_size))
-    tts = sorted(
-        draw(
-            st.lists(
-                st.integers(min_value=0, max_value=10_000),
-                min_size=count,
-                max_size=count,
-                unique=True,
-            )
-        )
-    )
-    elements = []
-    for tt in tts:
-        offset = draw(st.integers(min_value=-max_offset, max_value=max_offset))
-        elements.append(Stamped(tt_start=Timestamp(tt), vt=Timestamp(tt + offset)))
-    return elements
-
-
-@st.composite
-def interval_extensions(draw, min_size: int = 1, max_size: int = 10):
-    """An interval-stamped extension with unique transaction times."""
-    count = draw(st.integers(min_value=min_size, max_value=max_size))
-    tts = sorted(
-        draw(
-            st.lists(
-                st.integers(min_value=0, max_value=10_000),
-                min_size=count,
-                max_size=count,
-                unique=True,
-            )
-        )
-    )
-    elements = []
-    for tt in tts:
-        start = draw(st.integers(min_value=-100, max_value=10_100))
-        length = draw(st.integers(min_value=1, max_value=60))
-        elements.append(
-            Stamped(
-                tt_start=Timestamp(tt),
-                vt=Interval(Timestamp(start), Timestamp(start + length)),
-            )
-        )
-    return elements
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

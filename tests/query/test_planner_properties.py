@@ -1,0 +1,184 @@
+"""Differential properties: every planner strategy equals the naive executor.
+
+For each access path the planner can choose (degenerate rollback,
+monotone binary search, sequential interval search, bounded tt-window,
+engine index, rollback prefix, bitemporal prefix, current state), a
+random *compliant* workload is generated -- built with ``append_many``
+batches and single inserts mixed, plus deletions -- and random
+timeslice / rollback / overlap / bitemporal queries are answered both
+by the planned operator and by :class:`NaiveExecutor`.  The answers
+must be identical element sets, and the planner must actually have
+chosen the strategy the declaration licenses.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.query import (
+    BitemporalSlice,
+    CurrentState,
+    NaiveExecutor,
+    Planner,
+    Rollback,
+    Scan,
+    ValidOverlap,
+    ValidTimeslice,
+)
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+from tests.strategies import EVENT_DECLARATIONS, compliant_vt_ticks
+
+pytestmark = pytest.mark.slow
+
+#: Which timeslice strategy each declaration must produce (memory engine).
+EXPECTED_TIMESLICE_STRATEGY = {
+    (): "engine-index",
+    ("degenerate",): "degenerate-rollback",
+    ("retroactive",): "bounded-tt-window",
+    ("predictive",): "bounded-tt-window",
+    ("globally non-decreasing",): "monotone-binary-search",
+    ("globally non-increasing",): "monotone-binary-search-descending",
+    ("globally sequential",): "monotone-binary-search",
+    ("strongly bounded(5s, 5s)",): "bounded-tt-window",
+    ("retroactively bounded(30s)",): "bounded-tt-window",
+}
+
+
+def surrogates(elements) -> list:
+    return sorted(e.element_surrogate for e in elements)
+
+
+def assert_plan_agrees(relation, query, expect_strategy=None) -> None:
+    plan = Planner(relation).plan(query)
+    if expect_strategy is not None:
+        assert plan.strategy == expect_strategy, plan.explanation
+    assert surrogates(plan.execute()) == surrogates(NaiveExecutor().run(query))
+
+
+@st.composite
+def event_workloads(draw):
+    """A compliant event relation plus interesting probe coordinates.
+
+    Element i is stored at ``tt = i`` exactly -- the dense stamp
+    sequence both unit-spaced single inserts and ``append_many``
+    batches produce -- with valid times built compliant to the drawn
+    declaration by :func:`tests.strategies.compliant_vt_ticks`.  The
+    arrival sequence is split into a random mix of single inserts and
+    batches; a random subset of elements is then deleted.
+    """
+    names = draw(st.sampled_from(EVENT_DECLARATIONS))
+    count = draw(st.integers(min_value=1, max_value=24))
+    vts = draw(compliant_vt_ticks(names, count))
+
+    schema = TemporalSchema(name="r", time_varying=("v",), specializations=list(names))
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock)
+    rows = [("obj", Timestamp(vt), {"v": i}) for i, vt in enumerate(vts)]
+
+    position = 0
+    while position < count:
+        size = draw(st.integers(min_value=1, max_value=count - position))
+        clock.advance_to(Timestamp(position))
+        chunk = rows[position : position + size]
+        if size == 1 and draw(st.booleans()):
+            relation.insert(*chunk[0])
+        else:
+            relation.append_many(chunk)
+        position += size
+
+    stored = relation.current()
+    to_delete = draw(
+        st.lists(
+            st.sampled_from([e.element_surrogate for e in stored]),
+            max_size=min(4, len(stored)),
+            unique=True,
+        )
+    )
+    clock.advance_to(Timestamp(count + 100))
+    for surrogate in to_delete:
+        relation.delete(surrogate)
+
+    lo, hi = min(vts), max(vts)
+    probe_vt = draw(st.integers(min_value=lo - 10, max_value=hi + 10))
+    probe_tt = draw(st.integers(min_value=-5, max_value=count + 200))
+    width = draw(st.integers(min_value=1, max_value=40))
+    return names, relation, Timestamp(probe_vt), Timestamp(probe_tt), width
+
+
+@given(event_workloads())
+def test_timeslice_matches_naive_and_uses_declared_path(workload):
+    names, relation, vt, _tt, _width = workload
+    query = ValidTimeslice(Scan(relation), vt)
+    assert_plan_agrees(relation, query, EXPECTED_TIMESLICE_STRATEGY[names])
+    # Probe an exactly-stored valid time too, not just a random one.
+    elements = relation.all_elements()
+    assert_plan_agrees(
+        relation,
+        ValidTimeslice(Scan(relation), elements[len(elements) // 2].vt),
+        EXPECTED_TIMESLICE_STRATEGY[names],
+    )
+
+
+@given(event_workloads())
+def test_rollback_and_bitemporal_match_naive(workload):
+    _names, relation, vt, tt, _width = workload
+    assert_plan_agrees(relation, Rollback(Scan(relation), tt), "rollback-prefix")
+    assert_plan_agrees(
+        relation, BitemporalSlice(Scan(relation), vt, tt), "bitemporal-prefix"
+    )
+
+
+@given(event_workloads())
+def test_overlap_and_current_match_naive(workload):
+    _names, relation, vt, _tt, width = workload
+    window = Interval(vt, Timestamp(vt.ticks + width))
+    assert_plan_agrees(relation, ValidOverlap(Scan(relation), window))
+    assert_plan_agrees(relation, CurrentState(Scan(relation)), "current")
+
+
+@st.composite
+def sequential_interval_workloads(draw):
+    """Disjoint, ordered intervals stored in order (interval sequential)."""
+    from repro.core.taxonomy import IntervalGloballySequential
+
+    count = draw(st.integers(min_value=1, max_value=15))
+    schema = TemporalSchema(
+        name="weeks", valid_time_kind=ValidTimeKind.INTERVAL, time_varying=("v",)
+    )
+    schema.specializations = (IntervalGloballySequential(),)
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock)
+    if draw(st.booleans()):
+        # Spaced intervals, stored one at a time with the clock advanced
+        # past each interval's end (the classic payroll-weeks shape).
+        for i in range(count):
+            length = draw(st.integers(min_value=1, max_value=8))
+            clock.advance_to(Timestamp(10 * i + 9))
+            relation.insert(
+                "emp", Interval(Timestamp(10 * i), Timestamp(10 * i + length)), {"v": i}
+            )
+    else:
+        # One batch of consecutive transaction stamps is only sequential
+        # for densely packed unit intervals: stamp i and interval
+        # [i, i+1) keep min(tt, vt_start) = max(tt', vt_end') exactly.
+        relation.append_many(
+            [
+                ("emp", Interval(Timestamp(i), Timestamp(i + 1)), {"v": i})
+                for i in range(count)
+            ]
+        )
+    probe = draw(st.integers(min_value=-5, max_value=10 * count + 5))
+    return relation, Timestamp(probe)
+
+
+@given(sequential_interval_workloads())
+def test_sequential_interval_timeslice_matches_naive(workload):
+    relation, vt = workload
+    assert_plan_agrees(
+        relation, ValidTimeslice(Scan(relation), vt), "sequential-interval-search"
+    )

@@ -1,0 +1,202 @@
+"""Reusable Hypothesis strategies for the property and differential suites.
+
+Historically these lived in ``tests/conftest.py``; they are now a
+standalone module so property suites can import them explicitly, while
+``conftest`` keeps re-exporting the original names.
+
+Three groups:
+
+* stamp-level strategies (``timestamps``, ``intervals``) and the
+  taxonomy-level ``Stamped`` strategies the constraint suites use;
+* relation-level strategies (``insert_rows``, ``json_safe_attributes``)
+  producing the ``(object_surrogate, vt, attributes)`` rows that
+  :meth:`TemporalRelation.append_many` ingests -- attribute values are
+  JSON-safe so the same workload replays through the SQLite and
+  log-file engines;
+* ``specialization_declarations`` -- declared-specialization lists in
+  the textual form :func:`repro.core.taxonomy.registry.parse` accepts,
+  paired with an offset strategy that generates *compliant* ``vt - tt``
+  offsets for them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.base import Stamped
+
+# Keep coordinates small enough that all arithmetic stays fast but large
+# enough to exercise every ordering of endpoints.
+TICKS = st.integers(min_value=-1_000, max_value=1_000)
+SMALL_TICKS = st.integers(min_value=0, max_value=60)
+
+#: A small pool of object surrogates, so workloads revisit objects.
+OBJECTS = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+#: Attribute values that survive a JSON round-trip unchanged (the
+#: SQLite and log-file engines serialize attributes as JSON).
+JSON_SAFE_VALUES = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def timestamps(draw, ticks=TICKS):
+    return Timestamp(draw(ticks))
+
+
+@st.composite
+def intervals(draw, ticks=TICKS):
+    start = draw(ticks)
+    length = draw(st.integers(min_value=1, max_value=100))
+    return Interval(Timestamp(start), Timestamp(start + length))
+
+
+@st.composite
+def event_elements(draw, max_offset: int = 50):
+    """A single event-stamped element with bounded |vt - tt|."""
+    tt = draw(st.integers(min_value=0, max_value=10_000))
+    offset = draw(st.integers(min_value=-max_offset, max_value=max_offset))
+    return Stamped(tt_start=Timestamp(tt), vt=Timestamp(tt + offset))
+
+
+@st.composite
+def event_extensions(draw, min_size: int = 1, max_size: int = 12, max_offset: int = 50):
+    """An extension with unique, increasing transaction times."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    tts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10_000),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    elements = []
+    for tt in tts:
+        offset = draw(st.integers(min_value=-max_offset, max_value=max_offset))
+        elements.append(Stamped(tt_start=Timestamp(tt), vt=Timestamp(tt + offset)))
+    return elements
+
+
+@st.composite
+def interval_extensions(draw, min_size: int = 1, max_size: int = 10):
+    """An interval-stamped extension with unique transaction times."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    tts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10_000),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    elements = []
+    for tt in tts:
+        start = draw(st.integers(min_value=-100, max_value=10_100))
+        length = draw(st.integers(min_value=1, max_value=60))
+        elements.append(
+            Stamped(
+                tt_start=Timestamp(tt),
+                vt=Interval(Timestamp(start), Timestamp(start + length)),
+            )
+        )
+    return elements
+
+
+# -- relation-level strategies ---------------------------------------------------
+
+
+@st.composite
+def json_safe_attributes(draw, varying=("reading",)):
+    """Attribute dicts for the declared time-varying attributes."""
+    return {name: draw(JSON_SAFE_VALUES) for name in varying}
+
+
+@st.composite
+def insert_rows(draw, min_size=0, max_size=20, vt_ticks=SMALL_TICKS, varying=("reading",)):
+    """Rows for ``append_many``: ``(object, vt, attributes)`` triples."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    return [
+        (
+            draw(OBJECTS),
+            Timestamp(draw(vt_ticks)),
+            draw(json_safe_attributes(varying=varying)),
+        )
+        for _ in range(count)
+    ]
+
+
+# -- declared specializations with compliant workloads ----------------------------
+
+#: Per-offset-range declarations: ``vt = tt + offset`` with offset drawn
+#: from the given inclusive range is always compliant.
+_OFFSET_RANGES = {
+    (): (-50, 50),
+    ("retroactive",): (-50, 0),
+    ("predictive",): (0, 50),
+    ("strongly bounded(5s, 5s)",): (-5, 5),
+    ("retroactively bounded(30s)",): (-30, 50),
+}
+
+#: Every event declaration tuple :func:`compliant_vt_ticks` can build
+#: data for.  The planner property suite iterates these.
+EVENT_DECLARATIONS = tuple(
+    sorted(
+        list(_OFFSET_RANGES)
+        + [
+            ("degenerate",),
+            ("globally non-decreasing",),
+            ("globally non-increasing",),
+            ("globally sequential",),
+        ]
+    )
+)
+
+
+@st.composite
+def compliant_vt_ticks(draw, names, count):
+    """Valid-time ticks compliant with *names* for dense stamping.
+
+    Compliance is guaranteed when element i is stored at ``tt = i`` --
+    the stamp sequence a single ``append_many`` batch (or unit-spaced
+    single inserts) produces.
+    """
+    if names == ("degenerate",):
+        return list(range(count))
+    if names == ("globally sequential",):
+        # max(tt_i, vt_i) = i + b_i <= i + 1 = min(tt_{i+1}, vt_{i+1}).
+        return [i + draw(st.integers(min_value=0, max_value=1)) for i in range(count)]
+    if names == ("globally non-decreasing",):
+        value = draw(st.integers(min_value=-20, max_value=20))
+        ticks = []
+        for _ in range(count):
+            ticks.append(value)
+            value += draw(st.integers(min_value=0, max_value=3))
+        return ticks
+    if names == ("globally non-increasing",):
+        value = draw(st.integers(min_value=-20, max_value=20))
+        ticks = []
+        for _ in range(count):
+            ticks.append(value)
+            value -= draw(st.integers(min_value=0, max_value=3))
+        return ticks
+    low, high = _OFFSET_RANGES[names]
+    return [
+        i + draw(st.integers(min_value=low, max_value=high)) for i in range(count)
+    ]
+
+
+@st.composite
+def specialization_declarations(draw):
+    """One of the event declaration tuples the planner exploits."""
+    return draw(st.sampled_from(EVENT_DECLARATIONS))
