@@ -21,17 +21,17 @@ regression gate.
 from __future__ import annotations
 
 import argparse
-import gc
 import os
 import random
 import sys
 import tempfile
-import time
-from typing import Callable, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.chronos.timestamp import Timestamp
+from repro.observability import metrics
+from repro.observability.timing import timed
 from repro.relation.schema import TemporalSchema
 from repro.relation.temporal_relation import InsertRow, TemporalRelation
 from repro.storage.logfile import LogFileEngine
@@ -62,17 +62,6 @@ def event_schema(specializations: Tuple[str, ...] = ()) -> TemporalSchema:
         time_varying=("reading",),
         specializations=list(specializations),
     )
-
-
-def timed(label: str, action: Callable[[], object]) -> float:
-    # Each measurement starts from a collected heap so one scenario's
-    # surviving objects do not tax the next one's allocations.
-    gc.collect()
-    start = time.perf_counter()
-    action()
-    elapsed = time.perf_counter() - start
-    print(f"  {label:<44s} {elapsed * 1000:10.1f} ms")
-    return elapsed
 
 
 def bench_memory(count: int) -> Tuple[float, float]:
@@ -164,9 +153,21 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="override the element count (default: 100000, or 10000 with --quick)",
     )
+    parser.add_argument(
+        "--emit-json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="run with metrics enabled, write BENCH_bulk_ingest.json, and "
+        "gate the results against benchmarks/thresholds.json",
+    )
     args = parser.parse_args(argv)
     count = args.count if args.count is not None else (10_000 if args.quick else 100_000)
 
+    if args.emit_json is not None:
+        metrics.enable()
+        metrics.reset()
     speedup, batched = bench_memory(count)
     ratio = bench_checked(count, batched)
     if not args.quick:
@@ -182,6 +183,28 @@ def main(argv: List[str] | None = None) -> int:
     if ratio > 2.0:
         print(f"FAIL: checked/unchecked ratio {ratio:.2f}x above the 2x target")
         failed = True
+
+    if args.emit_json is not None:
+        from report import check_thresholds, write_bench_json
+
+        results: Dict[str, Any] = {
+            "count": count,
+            "batch_speedup": speedup,
+            "batched_seconds": batched,
+            "checked_ratio": ratio,
+        }
+        write_bench_json(
+            "bulk_ingest",
+            results,
+            parameters={"quick": args.quick, "count": count},
+            directory=args.emit_json,
+        )
+        metrics.disable()
+        benchmark = "bulk_ingest_quick" if args.quick else "bulk_ingest"
+        for line in check_thresholds(results, benchmark):
+            print(f"FAIL: {line}")
+            failed = True
+
     if not failed:
         print("all ingestion targets met")
     return 1 if failed else 0

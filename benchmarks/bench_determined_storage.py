@@ -9,7 +9,6 @@ m2 ("most recent hour") mapping.
 
 import sys
 
-import pytest
 
 from repro.chronos.timestamp import Timestamp
 from repro.core.taxonomy.base import Stamped

@@ -11,7 +11,6 @@ full scan and measure the sequential-interval variant too.
 import pytest
 
 from repro.chronos.clock import SimulatedWallClock
-from repro.chronos.interval import Interval
 from repro.chronos.timestamp import Timestamp
 from repro.core.taxonomy.interval_inter import IntervalGloballySequential
 from repro.query import NaiveExecutor, Planner, Scan, ValidTimeslice

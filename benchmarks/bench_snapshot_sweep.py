@@ -3,7 +3,6 @@ rollback over a backlog (the caching half of [JMRS90])."""
 
 import pytest
 
-from repro.chronos.timestamp import Timestamp
 from repro.storage.snapshot import SnapshotCache
 
 INTERVALS = (16, 64, 256, 1024)

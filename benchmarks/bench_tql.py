@@ -7,7 +7,6 @@ survive the language layer (asserted via examined-element counts).
 
 import pytest
 
-from repro.chronos.timestamp import Timestamp
 from repro.query import NaiveExecutor, Planner, Scan, ValidTimeslice, tql
 
 

@@ -12,7 +12,6 @@ Two extension measurements:
 
 import pytest
 
-from repro.chronos.clock import SimulatedWallClock
 from repro.chronos.timestamp import Timestamp
 from repro.relation.element import Element
 from repro.storage.indexes import ValidTimeEventIndex

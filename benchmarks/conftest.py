@@ -5,16 +5,28 @@ per-experiment index; EXPERIMENTS.md records the measured outcomes.
 Benchmarks use moderate sizes so the whole suite runs in seconds; the
 *ratios* between strategies are the reproduced result, not absolute
 wall-clock numbers.
+
+All ad-hoc stopwatch timing in this suite goes through
+:mod:`repro.observability.timing` (``best_of`` / ``timed``) -- the
+``stopwatch`` fixture below hands it out so individual benchmarks do
+not grow their own ``time.perf_counter`` loops again.
 """
 
 import pytest
 
+from repro.observability import timing
 from repro.workloads import (
     generate_assignments,
     generate_general,
     generate_ledger,
     generate_monitoring,
 )
+
+
+@pytest.fixture(scope="session")
+def stopwatch():
+    """The canonical benchmark stopwatch module (``best_of``/``timed``)."""
+    return timing
 
 
 @pytest.fixture(scope="session")

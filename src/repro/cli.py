@@ -8,6 +8,10 @@ Commands:
   rows and print the design recommendation;
 * ``workload NAME [--tql STATEMENT]`` -- generate one of the paper's
   example workloads and optionally query it;
+* ``explain NAME STATEMENT`` -- run a TQL statement against a workload
+  under the observability layer: chosen strategy, the planner's pruning
+  decisions, timed spans, and (with ``--metrics``) the registry
+  snapshot;
 * ``demo`` -- a one-screen tour (insert, enforce, query, infer).
 """
 
@@ -78,6 +82,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     workload.add_argument("--seed", type=int, default=1992)
 
+    explain = commands.add_parser(
+        "explain", help="plan, run, and trace a TQL statement against a workload"
+    )
+    explain.add_argument("name", choices=sorted(_WORKLOADS))
+    explain.add_argument("statement", help="the TQL statement to explain")
+    explain.add_argument("--seed", type=int, default=1992)
+    explain.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="plan only; skip execution (no operator spans)",
+    )
+    explain.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the metrics-registry snapshot for the run",
+    )
+
     commands.add_parser("demo", help="a one-screen tour")
     return parser
 
@@ -89,6 +110,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lattice": _cmd_lattice,
         "classify": _cmd_classify,
         "workload": _cmd_workload,
+        "explain": _cmd_explain,
         "demo": _cmd_demo,
     }[arguments.command]
     return handler(arguments)
@@ -161,6 +183,25 @@ def _cmd_workload(arguments: argparse.Namespace) -> int:
         if len(results) > 20:
             print(f"  ... {len(results) - 20} more")
         print(f"{len(results)} result(s)")
+    return 0
+
+
+def _cmd_explain(arguments: argparse.Namespace) -> int:
+    import repro.workloads as workloads
+    from repro.observability import metrics
+
+    generator = getattr(workloads, _WORKLOADS[arguments.name])
+    workload = generator(seed=arguments.seed)
+    relation = workload.relation
+    print(f"workload  : {workload}")
+    declared = ", ".join(relation.schema.specialization_names()) or "none"
+    print(f"declared  : {declared}")
+    with metrics.enabled_scope(fresh=True) as registry:
+        report = relation.explain(arguments.statement, execute=not arguments.no_execute)
+        print(report.render())
+        if arguments.metrics:
+            print("metrics   :")
+            print(registry.snapshot_json(indent=2))
     return 0
 
 

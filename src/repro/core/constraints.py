@@ -27,6 +27,7 @@ import warnings
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.taxonomy.base import Monitor, Specialization, StampedElement, Violation
+from repro.observability import metrics as _metrics
 
 
 class EnforcementMode(enum.Enum):
@@ -78,6 +79,11 @@ class ConstraintSet:
         found: List[Violation] = []
         for _spec, monitor in self._monitors:
             found.extend(monitor.inspect(element))
+        if _metrics.enabled():
+            registry = _metrics.registry()
+            registry.counter("constraints.checks").inc(len(self._monitors))
+            if found:
+                registry.counter("constraints.violations").inc(len(found))
         if found and self.mode is EnforcementMode.REJECT:
             raise ConstraintViolation(found)
         for _spec, monitor in self._monitors:
@@ -121,9 +127,16 @@ class ConstraintSet:
                 found.extend(shadow.inspect(element))
                 shadow.commit(element)
             shadows.append((spec, shadow))
+        if _metrics.enabled():
+            registry = _metrics.registry()
+            registry.counter("constraints.checks").inc(len(self._monitors) * len(elements))
+            if found:
+                registry.counter("constraints.violations").inc(len(found))
         if found and self.mode is EnforcementMode.REJECT:
             raise ConstraintViolation(found)
         self._monitors = shadows
+        if _metrics.enabled():
+            _metrics.registry().counter("constraints.shadow_swaps").inc()
         if not found:
             return []
         self.recorded.extend(found)

@@ -18,7 +18,7 @@ families of restrictions apply to isolated elements:
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import Optional
 
 from repro.chronos.duration import Duration
 from repro.chronos.timestamp import Timestamp

@@ -31,7 +31,7 @@ extensions, and for Figure 2 also by region inclusion).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.chronos.allen import AllenRelation

@@ -1,0 +1,51 @@
+"""Observability: metrics, query tracing, and EXPLAIN.
+
+Zero-dependency instrumentation for the whole system:
+
+* :mod:`repro.observability.metrics` -- a thread-safe, snapshot-to-dict
+  :class:`MetricsRegistry` (counters, gauges, histogram timers) that
+  the storage engines, planner, and constraint monitors report into
+  when enabled (off by default; ``REPRO_METRICS=1`` or
+  :func:`enable`);
+* :mod:`repro.observability.tracing` -- :class:`QueryTrace` span trees
+  over a deterministic :class:`~repro.chronos.clock.TimerSource`;
+* :mod:`repro.observability.explain` -- ``explain_query`` /
+  ``TemporalRelation.explain`` (imported lazily to keep the storage
+  layer's import graph acyclic; reach it via its full module path);
+* :mod:`repro.observability.timing` -- the canonical benchmark
+  stopwatch helpers (``best_of``, ``timed``).
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    disable,
+    enable,
+    enabled,
+    enabled_scope,
+    registry,
+    reset,
+)
+from repro.observability.timing import best_of, timed
+from repro.observability.tracing import QueryTrace, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "Timer",
+    "best_of",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "registry",
+    "reset",
+    "timed",
+]

@@ -1,0 +1,63 @@
+"""The one way wall-clock numbers are measured.
+
+Before this module existed, ``benchmarks/report.py`` and
+``benchmarks/bench_bulk_ingest.py`` each carried their own stopwatch
+helper; consolidating them here means every benchmark measures the same
+way (same timer source, same best-of discipline) and a deterministic
+:class:`~repro.chronos.clock.ManualTimer` can stand in for
+``perf_counter`` in tests.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Callable, Optional
+
+from repro.chronos.clock import PerfCounterTimer, TimerSource
+
+__all__ = ["best_of", "timed"]
+
+_DEFAULT_TIMER = PerfCounterTimer()
+
+
+def best_of(
+    thunk: Callable[[], object],
+    repeats: int = 5,
+    timer: Optional[TimerSource] = None,
+) -> float:
+    """Best-of-*repeats* duration of *thunk*, in **milliseconds**.
+
+    Best-of (not mean) because scheduler noise only ever adds time; the
+    minimum is the closest observable to the work's true cost.
+    """
+    if repeats < 1:
+        raise ValueError("best_of needs at least one repeat")
+    source = timer if timer is not None else _DEFAULT_TIMER
+    best = float("inf")
+    for _ in range(repeats):
+        started = source.seconds()
+        thunk()
+        best = min(best, source.seconds() - started)
+    return best * 1_000
+
+
+def timed(
+    label: str,
+    action: Callable[[], object],
+    timer: Optional[TimerSource] = None,
+    collect: bool = True,
+) -> float:
+    """Run *action* once, print ``label  <ms>``, return **seconds**.
+
+    ``collect`` starts from a collected heap so one scenario's surviving
+    objects do not tax the next one's allocations (the discipline the
+    ingestion benchmark established).
+    """
+    if collect:
+        gc.collect()
+    source = timer if timer is not None else _DEFAULT_TIMER
+    started = source.seconds()
+    action()
+    elapsed = source.seconds() - started
+    print(f"  {label:<44s} {elapsed * 1000:10.1f} ms")
+    return elapsed

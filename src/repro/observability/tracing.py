@@ -1,0 +1,140 @@
+"""Query tracing: a tree of timed spans per planner execution.
+
+A :class:`QueryTrace` records nested :class:`Span` objects -- parse,
+plan, execute, per-operator -- so a query run can be replayed after the
+fact: which rule fired, what it pruned, how long each stage took.
+Durations come from a :class:`~repro.chronos.clock.TimerSource`, so a
+trace taken under a deterministic timer (``ManualTimer``, or
+``ClockTimer`` over a ``SimulatedWallClock``) is reproducible
+byte-for-byte.
+
+The trace is the substrate of ``TemporalRelation.explain`` and the
+``repro explain`` CLI command.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.chronos.clock import PerfCounterTimer, TimerSource
+
+__all__ = ["QueryTrace", "Span"]
+
+
+class Span:
+    """One timed stage of a query, with attributes and child spans."""
+
+    __slots__ = ("name", "attributes", "started", "ended", "children")
+
+    def __init__(self, name: str, started: float, attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.started = started
+        self.ended: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration_seconds(self) -> float:
+        if self.ended is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.ended - self.started
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes discovered while the span runs (e.g. the
+        strategy the planner chose, elements examined)."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "started": self.started,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = "open" if self.ended is None else f"{self.duration_seconds * 1000:.3f} ms"
+        return f"Span({self.name!r}, {state})"
+
+
+class _SpanContext:
+    """Context manager opening/closing one span on a trace."""
+
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: "QueryTrace", span: Span) -> None:
+        self._trace = trace
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._trace._close(self._span)
+
+
+class QueryTrace:
+    """A tree of timed spans for one query execution."""
+
+    def __init__(self, timer: Optional[TimerSource] = None) -> None:
+        self._timer = timer if timer is not None else PerfCounterTimer()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a child span of the innermost open span (or a root)::
+
+            with trace.span("plan") as span:
+                ...
+                span.annotate(strategy=plan.strategy)
+        """
+        span = Span(name, self._timer.seconds(), dict(attributes))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ValueError(f"span {span.name!r} closed out of order")
+        span.ended = self._timer.seconds()
+        self._stack.pop()
+
+    # -- reading ------------------------------------------------------------------
+
+    def all_spans(self) -> Iterator[Span]:
+        """Every span, depth-first."""
+        pending = list(reversed(self.roots))
+        while pending:
+            span = pending.pop()
+            yield span
+            pending.extend(reversed(span.children))
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.all_spans())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [span.to_dict() for span in self.roots]}
+
+    def render(self) -> str:
+        """The span tree as indented text, one line per span."""
+        lines: List[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            label = span.name
+            extras = " ".join(f"{key}={value}" for key, value in span.attributes.items())
+            if extras:
+                label = f"{label} [{extras}]"
+            lines.append(f"{'  ' * depth}- {label}: {span.duration_seconds * 1000:.3f} ms")
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"QueryTrace({self.span_count()} spans)"

@@ -12,7 +12,7 @@ independent of wall-clock noise.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.relation.element import Element
 from repro.query import ast

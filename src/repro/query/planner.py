@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.chronos.timestamp import Timestamp
 from repro.core.taxonomy.base import Specialization, TimeReference
+from repro.observability import metrics as _metrics
 from repro.core.taxonomy.event_inter import (
     GloballyNonDecreasing,
     GloballyNonIncreasing,
@@ -39,7 +40,6 @@ from repro.core.taxonomy.event_inter import (
 )
 from repro.core.taxonomy.event_isolated import Degenerate, EventSpecialization
 from repro.core.taxonomy.interval_inter import IntervalGloballySequential
-from repro.core.taxonomy.partition import PerPartition
 from repro.core.taxonomy.regions import OffsetRegion
 from repro.query import ast, operators
 from repro.query.executor import NaiveExecutor
@@ -49,16 +49,31 @@ from repro.storage.memory import MemoryEngine
 
 @dataclass
 class PlannedQuery:
-    """An executable plan with its explanation."""
+    """An executable plan with its explanation and decision log.
+
+    ``decisions`` records the planning walk: every rule the planner
+    considered, why the pruned ones did not apply, and which one fired
+    -- the audit trail ``explain`` renders.
+    """
 
     strategy: str
     explanation: str
     _thunk: Callable[[], Tuple[list, int]]
+    decisions: List[str] = field(default_factory=list)
     examined: int = field(default=0, init=False)
 
     def execute(self) -> list:
-        results, examined = self._thunk()
+        if not _metrics.enabled():
+            results, examined = self._thunk()
+            self.examined = examined
+            return results
+        registry = _metrics.registry()
+        with registry.timer(f"query.execute_seconds.{self.strategy}"):
+            results, examined = self._thunk()
         self.examined = examined
+        registry.counter(f"query.plans.{self.strategy}").inc()
+        registry.counter("query.elements_examined").inc(examined)
+        registry.counter("query.elements_returned").inc(len(results))
         return results
 
 
@@ -153,36 +168,51 @@ class Planner:
     # -- planning -----------------------------------------------------------------------
 
     def plan(self, query: ast.QueryNode) -> PlannedQuery:
-        plan = self._try_plan(query)
-        if plan is not None:
-            return plan
-        return PlannedQuery(
-            strategy="naive",
-            explanation="no applicable rule; reference executor",
-            _thunk=lambda: _run_naive(query),
-        )
+        decisions: List[str] = []
+        plan = self._try_plan(query, decisions)
+        if plan is None:
+            decisions.append("no specialized rule covers this tree shape")
+            plan = PlannedQuery(
+                strategy="naive",
+                explanation="no applicable rule; reference executor",
+                _thunk=lambda: _run_naive(query),
+            )
+        decisions.append(f"chosen: {plan.strategy} -- {plan.explanation}")
+        plan.decisions = decisions
+        if _metrics.enabled():
+            _metrics.registry().counter(f"query.planned.{plan.strategy}").inc()
+        return plan
 
-    def _try_plan(self, query: ast.QueryNode) -> Optional[PlannedQuery]:
+    def _try_plan(
+        self, query: ast.QueryNode, decisions: List[str]
+    ) -> Optional[PlannedQuery]:
         if isinstance(query, ast.Rollback) and self._is_scan(query.child):
+            decisions.append(
+                "rollback query: transaction-time monotonicity needs no declaration"
+            )
             return PlannedQuery(
                 strategy="rollback-prefix",
                 explanation="transaction times are append-ordered; binary search + prefix",
                 _thunk=lambda: operators.rollback_prefix(self.relation, query.tt),
             )
         if isinstance(query, ast.BitemporalSlice) and self._is_scan(query.child):
+            decisions.append("bitemporal slice: tt prefix is free, vt filters the prefix")
             return PlannedQuery(
                 strategy="bitemporal-prefix",
                 explanation="tt-prefix by binary search, vt filter on the prefix",
                 _thunk=lambda: operators.bitemporal_prefix(self.relation, query.vt, query.tt),
             )
         if isinstance(query, ast.ValidTimeslice) and self._is_scan(query.child):
-            return self._plan_timeslice(query.vt)
+            return self._plan_timeslice(query.vt, decisions)
         if isinstance(query, ast.ValidOverlap) and self._is_scan(query.child):
             if self._has_memory_index and self.relation.schema.is_event:
                 region = self.declared_offset_region()
                 if region is not None and region.line_count > 0:
                     lower = None if region.lower is None else region.lower.offset
                     upper = None if region.upper is None else region.upper.offset
+                    decisions.append(
+                        "bounded-tt-window-overlap: declared offset region prunes the scan"
+                    )
                     return PlannedQuery(
                         strategy="bounded-tt-window-overlap",
                         explanation=(
@@ -193,22 +223,33 @@ class Planner:
                             self.relation, query.window, lower, upper
                         ),
                     )
+                decisions.append(
+                    "bounded-tt-window-overlap: pruned -- no bounded region declared"
+                )
+            else:
+                decisions.append(
+                    "bounded-tt-window-overlap: pruned -- needs the in-memory tt index "
+                    "and an event relation"
+                )
             return PlannedQuery(
                 strategy="engine-overlap",
                 explanation="engine valid-time index (sorted index / interval tree / SQL)",
                 _thunk=lambda: operators.overlap_engine_index(self.relation, query.window),
             )
         if isinstance(query, ast.CurrentState) and self._is_scan(query.child):
+            decisions.append("current query: the engine's current-state path")
             return PlannedQuery(
                 strategy="current",
                 explanation="current-state filter",
                 _thunk=lambda: _count_all(list(self.relation.engine.current())),
             )
         if isinstance(query, ast.TemporalJoin):
-            return self._plan_join(query)
+            return self._plan_join(query, decisions)
         return None
 
-    def _plan_join(self, query: ast.TemporalJoin) -> Optional[PlannedQuery]:
+    def _plan_join(
+        self, query: ast.TemporalJoin, decisions: List[str]
+    ) -> Optional[PlannedQuery]:
         """Sort-merge join when both inputs are ordered event relations.
 
         Applies to ``TemporalJoin(CurrentState(Scan), CurrentState(Scan))``
@@ -226,6 +267,9 @@ class Planner:
         left_relation = scanned_current(query.left)
         right_relation = scanned_current(query.right)
         if left_relation is None or right_relation is None:
+            decisions.append(
+                "merge-join: pruned -- inputs are not CurrentState(Scan) on both sides"
+            )
             return None
 
         def declared_ordered(relation: TemporalRelation) -> bool:
@@ -248,8 +292,12 @@ class Planner:
             )
 
         if not (declared_ordered(left_relation) and declared_ordered(right_relation)):
+            decisions.append(
+                "merge-join: pruned -- both inputs must declare a global ordering"
+            )
             return None
         if left_relation.schema.is_event and right_relation.schema.is_event:
+            decisions.append("merge-join: both event inputs declared ordered")
             return PlannedQuery(
                 strategy="merge-join",
                 explanation=(
@@ -261,6 +309,7 @@ class Planner:
                 ),
             )
         if not left_relation.schema.is_event and not right_relation.schema.is_event:
+            decisions.append("interval-merge-join: both interval inputs declared ordered")
             return PlannedQuery(
                 strategy="interval-merge-join",
                 explanation=(
@@ -271,20 +320,26 @@ class Planner:
                     left_relation, right_relation, query.condition
                 ),
             )
+        decisions.append("merge-join: pruned -- mixed event/interval inputs")
         return None
 
-    def _plan_timeslice(self, vt: Timestamp) -> PlannedQuery:
+    def _plan_timeslice(self, vt: Timestamp, decisions: List[str]) -> PlannedQuery:
         is_event = self.relation.schema.is_event
         if self._has_memory_index:
             degenerate = self._declared_degenerate()
             if degenerate is not None and is_event:
                 if degenerate.granularity is None:
+                    decisions.append("degenerate: declared -- timeslice is a tt point lookup")
                     return PlannedQuery(
                         strategy="degenerate-rollback",
                         explanation="vt = tt declared; timeslice is a tt-index point lookup",
                         _thunk=lambda: operators.timeslice_degenerate(self.relation, vt),
                     )
                 granularity = degenerate.granularity
+                decisions.append(
+                    f"degenerate({granularity.name.lower()}): declared -- "
+                    "timeslice scans one tt tick"
+                )
                 return PlannedQuery(
                     strategy="degenerate-tick-window",
                     explanation=(
@@ -295,7 +350,11 @@ class Planner:
                         self.relation, vt, granularity
                     ),
                 )
+            decisions.append("degenerate: pruned -- not declared (or not an event relation)")
             if is_event and self._has(GloballySequential, GloballyNonDecreasing):
+                decisions.append(
+                    "monotone-binary-search: globally sequential/non-decreasing declared"
+                )
                 return PlannedQuery(
                     strategy="monotone-binary-search",
                     explanation=(
@@ -305,6 +364,7 @@ class Planner:
                     _thunk=lambda: operators.timeslice_monotone_events(self.relation, vt),
                 )
             if is_event and self._has(GloballyNonIncreasing):
+                decisions.append("monotone-binary-search: globally non-increasing declared")
                 return PlannedQuery(
                     strategy="monotone-binary-search-descending",
                     explanation="valid times non-increasing along transaction order",
@@ -312,7 +372,11 @@ class Planner:
                         self.relation, vt, descending=True
                     ),
                 )
+            decisions.append(
+                "monotone-binary-search: pruned -- no global event ordering declared"
+            )
             if not is_event and self._has(IntervalGloballySequential):
+                decisions.append("sequential-interval-search: sequential intervals declared")
                 return PlannedQuery(
                     strategy="sequential-interval-search",
                     explanation="sequential intervals are disjoint and ordered; binary search",
@@ -323,6 +387,9 @@ class Planner:
                 lower = None if region.lower is None else region.lower.offset
                 upper = None if region.upper is None else region.upper.offset
                 sides = ("one" if region.line_count == 1 else "two") + "-sided"
+                decisions.append(
+                    f"bounded-tt-window: declared offset region prunes to a {sides} window"
+                )
                 return PlannedQuery(
                     strategy="bounded-tt-window",
                     explanation=(
@@ -333,6 +400,11 @@ class Planner:
                         self.relation, vt, lower, upper
                     ),
                 )
+            decisions.append("bounded-tt-window: pruned -- no bounded region declared")
+        else:
+            decisions.append(
+                "tt-index rules: pruned -- engine has no in-memory transaction-time index"
+            )
         return PlannedQuery(
             strategy="engine-index",
             explanation="engine valid-time index (sorted index / interval tree / SQL)",

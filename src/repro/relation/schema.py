@@ -11,8 +11,8 @@ paper's central design artifact.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.chronos.granularity import Granularity, GranularityLike, as_granularity
 from repro.chronos.interval import Interval

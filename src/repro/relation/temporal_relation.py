@@ -31,7 +31,6 @@ from typing import (
     Dict,
     Hashable,
     Iterable,
-    Iterator,
     List,
     Mapping,
     Optional,
@@ -40,10 +39,11 @@ from typing import (
     Union,
 )
 
-from repro.chronos.clock import LogicalClock, TransactionClock
+from repro.chronos.clock import LogicalClock, TimerSource, TransactionClock
 from repro.chronos.interval import Interval
-from repro.chronos.timestamp import FOREVER, TimePoint, Timestamp
+from repro.chronos.timestamp import TimePoint, Timestamp
 from repro.core.constraints import ConstraintSet
+from repro.observability import metrics as _metrics
 from repro.core.taxonomy.base import TimeReference
 from repro.relation.element import Element, ValidTime, build_trusted
 from repro.relation.schema import AttributeRole
@@ -124,6 +124,8 @@ class TemporalRelation:
         if self._backlog is not None:
             self._backlog.record_insert(element)
         self._bump_version()
+        if _metrics.enabled():
+            _metrics.registry().counter("relation.inserts").inc()
         return element
 
     def append_many(self, rows: Iterable[InsertRow]) -> List[Element]:
@@ -207,6 +209,10 @@ class TemporalRelation:
         if self._backlog is not None:
             self._backlog.record_insert_many(elements)
         self._bump_version()
+        if _metrics.enabled():
+            registry = _metrics.registry()
+            registry.counter("relation.batches").inc()
+            registry.counter("relation.batch_rows").inc(len(elements))
         return elements
 
     def bulk(self) -> "BulkBatch":
@@ -405,6 +411,18 @@ class TemporalRelation:
                 f"relation {self.schema.name!r} was created with keep_backlog=False"
             )
         return self._backlog
+
+    def explain(self, query: Any, execute: bool = True, timer: Optional[TimerSource] = None):
+        """EXPLAIN one query (TQL text or algebra tree) on this relation.
+
+        Returns an :class:`repro.observability.explain.ExplainReport`:
+        the chosen strategy, the planner's pruning decisions, and a
+        tree of timed spans (parse/plan/execute/operator).  With
+        ``execute=False`` the query is planned but not run.
+        """
+        from repro.observability.explain import explain_query
+
+        return explain_query(self, query, execute=execute, timer=timer)
 
     # -- planner-visible metadata ---------------------------------------------------
 

@@ -27,6 +27,7 @@ from typing import IO, Any, Dict, Iterable, Iterator, Optional
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
+from repro.observability import metrics as _metrics
 from repro.relation.element import Element
 from repro.storage.backlog import Backlog, Operation, OperationKind
 from repro.storage.base import StorageEngine
@@ -206,12 +207,19 @@ class LogFileEngine(StorageEngine):
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
+            if _metrics.enabled():
+                _metrics.registry().counter("storage.logfile.fsyncs").inc()
+
+    def _write(self, payload: str) -> None:
+        self._handle.write(payload)
+        if _metrics.enabled():
+            _metrics.registry().counter("storage.logfile.bytes_written").inc(len(payload))
 
     # -- mutation -----------------------------------------------------------------
 
     def append(self, element: Element) -> None:
         self._mirror.append(element)  # validates; raises before any I/O
-        self._handle.write(self._insert_line(element))
+        self._write(self._insert_line(element))
         self._sync()
 
     def extend(self, elements: Iterable[Element]) -> int:
@@ -221,7 +229,7 @@ class LogFileEngine(StorageEngine):
             return 0
         lines = [self._insert_line(element) for element in batch]  # encode first
         self._mirror.extend(batch)  # all-or-nothing; raises before any I/O
-        self._handle.write("".join(lines))
+        self._write("".join(lines))
         self._sync()
         return len(batch)
 
@@ -232,7 +240,7 @@ class LogFileEngine(StorageEngine):
             "tt": tt_stop.microseconds,
             "surrogate": element_surrogate,
         }
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._write(json.dumps(record, sort_keys=True) + "\n")
         self._sync()
         return closed
 

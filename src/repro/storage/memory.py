@@ -8,10 +8,11 @@ operators the planner chooses among.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import TimePoint, Timestamp
+from repro.observability import metrics as _metrics
 from repro.relation.element import Element
 from repro.storage.base import StorageEngine
 from repro.storage.indexes import TransactionTimeIndex, ValidTimeEventIndex
@@ -35,6 +36,8 @@ class MemoryEngine(StorageEngine):
             raise ValueError(
                 f"element surrogate {element.element_surrogate} already stored"
             )
+        if _metrics.enabled():
+            _metrics.registry().counter("storage.memory.appends").inc()
         self._positions[element.element_surrogate] = len(self._tt_index)
         self._tt_index.append(element)
         if not self._maintain_vt_index:
@@ -71,6 +74,12 @@ class MemoryEngine(StorageEngine):
                 seen.add(surrogate)
         # The tt index validates ordering itself, before mutating anything.
         self._tt_index.extend(batch)
+        if _metrics.enabled():
+            # Per batch, not per element: amortized accounting keeps the
+            # enabled overhead off the bulk-ingest hot path.
+            registry = _metrics.registry()
+            registry.counter("storage.memory.batch_appends").inc()
+            registry.counter("storage.memory.rows_appended").inc(len(batch))
         self._positions.update(zip(surrogates, range(base, base + len(batch))))
         if not self._maintain_vt_index:
             return len(batch)
@@ -108,6 +117,12 @@ class MemoryEngine(StorageEngine):
         return self._tt_index.element_at(position)
 
     def scan(self) -> Iterator[Element]:
+        if _metrics.enabled():
+            # One increment per scan call (with the whole length), not
+            # per yielded element: scans are always full passes here.
+            _metrics.registry().counter("storage.memory.rows_scanned").inc(
+                len(self._tt_index)
+            )
         return iter(self._tt_index)
 
     def __len__(self) -> int:
@@ -127,8 +142,12 @@ class MemoryEngine(StorageEngine):
         self, vt: Timestamp, as_of_tt: Optional[TimePoint] = None
     ) -> Iterator[Element]:
         if as_of_tt is not None or not self._maintain_vt_index:
+            if _metrics.enabled():
+                _metrics.registry().counter("storage.memory.vt_index_misses").inc()
             yield from super().valid_at(vt, as_of_tt)
             return
+        if _metrics.enabled():
+            _metrics.registry().counter("storage.memory.vt_index_hits").inc()
         if self._vt_intervals is not None:
             for surrogate in self._vt_intervals.stab(vt):
                 element = self.get(surrogate)
@@ -144,8 +163,12 @@ class MemoryEngine(StorageEngine):
         self, window: Interval, as_of_tt: Optional[TimePoint] = None
     ) -> Iterator[Element]:
         if as_of_tt is not None or not self._maintain_vt_index:
+            if _metrics.enabled():
+                _metrics.registry().counter("storage.memory.vt_index_misses").inc()
             yield from super().valid_overlapping(window, as_of_tt)
             return
+        if _metrics.enabled():
+            _metrics.registry().counter("storage.memory.vt_index_hits").inc()
         if self._vt_intervals is not None:
             for surrogate in self._vt_intervals.overlapping(window):
                 element = self.get(surrogate)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import sys
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.chronos.timestamp import FOREVER, TimePoint, Timestamp
 from repro.relation.element import Element

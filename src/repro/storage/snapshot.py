@@ -9,7 +9,7 @@ measures the replay-vs-snapshot trade-off.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.chronos.timestamp import TimePoint, Timestamp
 from repro.relation.element import Element

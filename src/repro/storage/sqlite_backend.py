@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+from typing import Any, Iterable, Iterator, Optional, Tuple
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
+from repro.observability import metrics as _metrics
 from repro.relation.element import Element
 from repro.storage.base import StorageEngine
 
@@ -108,6 +109,10 @@ class SQLiteEngine(StorageEngine):
                 f"element surrogate {element.element_surrogate} already stored"
             ) from error
         self._connection.commit()
+        if _metrics.enabled():
+            registry = _metrics.registry()
+            registry.counter("storage.sqlite.rows_appended").inc()
+            registry.counter("storage.sqlite.commits").inc()
 
     def extend(self, elements: Iterable[Element]) -> int:
         """Bulk insert: the whole batch in one transaction, one
@@ -127,6 +132,11 @@ class SQLiteEngine(StorageEngine):
                 "a batch element surrogate is already stored; batch rolled back"
             ) from error
         self._connection.commit()
+        if _metrics.enabled():
+            registry = _metrics.registry()
+            registry.counter("storage.sqlite.batch_appends").inc()
+            registry.counter("storage.sqlite.rows_appended").inc(len(rows))
+            registry.counter("storage.sqlite.commits").inc()
         return len(rows)
 
     def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
@@ -149,10 +159,20 @@ class SQLiteEngine(StorageEngine):
             raise self._not_found(element_surrogate)
         return self._decode(row)
 
+    def _emit(self, cursor: "sqlite3.Cursor") -> Iterator[Element]:
+        """Decode a result cursor, counting rows scanned when enabled."""
+        if not _metrics.enabled():
+            for row in cursor:
+                yield self._decode(row)
+            return
+        counter = _metrics.registry().counter("storage.sqlite.rows_scanned")
+        for row in cursor:
+            counter.inc()
+            yield self._decode(row)
+
     def scan(self) -> Iterator[Element]:
         cursor = self._connection.execute("SELECT * FROM elements ORDER BY tt_start")
-        for row in cursor:
-            yield self._decode(row)
+        yield from self._emit(cursor)
 
     def __len__(self) -> int:
         (count,) = self._connection.execute("SELECT COUNT(*) FROM elements").fetchone()
@@ -164,8 +184,7 @@ class SQLiteEngine(StorageEngine):
         cursor = self._connection.execute(
             "SELECT * FROM elements WHERE tt_stop IS NULL ORDER BY tt_start"
         )
-        for row in cursor:
-            yield self._decode(row)
+        yield from self._emit(cursor)
 
     def as_of(self, tt: TimePoint) -> Iterator[Element]:
         if not isinstance(tt, Timestamp):
@@ -177,8 +196,7 @@ class SQLiteEngine(StorageEngine):
             "AND (tt_stop IS NULL OR tt_stop > ?) ORDER BY tt_start",
             (tt.microseconds, tt.microseconds),
         )
-        for row in cursor:
-            yield self._decode(row)
+        yield from self._emit(cursor)
 
     def valid_at(
         self, vt: Timestamp, as_of_tt: Optional[TimePoint] = None
@@ -194,8 +212,7 @@ class SQLiteEngine(StorageEngine):
             ") ORDER BY tt_start",
             (coordinate, coordinate, coordinate),
         )
-        for row in cursor:
-            yield self._decode(row)
+        yield from self._emit(cursor)
 
     def valid_overlapping(
         self, window: Interval, as_of_tt: Optional[TimePoint] = None
@@ -212,8 +229,7 @@ class SQLiteEngine(StorageEngine):
             ") ORDER BY tt_start",
             (low, high, high, low),
         )
-        for row in cursor:
-            yield self._decode(row)
+        yield from self._emit(cursor)
 
     # -- codecs --------------------------------------------------------------------------
 

@@ -15,7 +15,6 @@ delayed retroactive always); transmission delay is uniform in
 
 from __future__ import annotations
 
-from repro.chronos.duration import Duration
 from repro.chronos.timestamp import Timestamp
 from repro.relation.schema import TemporalSchema
 from repro.relation.temporal_relation import TemporalRelation

@@ -1,6 +1,5 @@
 """Unit tests for determined relations and mapping functions (Section 3.1)."""
 
-import pytest
 
 from repro.chronos.duration import Duration
 from repro.chronos.timestamp import Timestamp

@@ -1,7 +1,7 @@
 """Unit and property tests for the Section 3.1 isolated-event taxonomy."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.chronos.duration import CalendricDuration, Duration
 from repro.chronos.timestamp import Timestamp

@@ -1,13 +1,13 @@
 """Unit and property tests for specialization inference (E11)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.chronos.duration import Duration
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import Timestamp
 from repro.core.taxonomy.base import Stamped
-from repro.core.taxonomy.determined import fixed_delay, floor_to_unit
+from repro.core.taxonomy.determined import floor_to_unit
 from repro.core.taxonomy.event_isolated import (
     Degenerate,
     DelayedStronglyRetroactivelyBounded,

@@ -1,0 +1,88 @@
+"""Span trees: nesting, timing determinism, rendering."""
+
+import pytest
+
+from repro.chronos.clock import ManualTimer
+from repro.observability.tracing import QueryTrace
+
+
+def test_nested_spans_form_a_tree():
+    trace = QueryTrace(timer=ManualTimer())
+    with trace.span("plan"):
+        with trace.span("rule-1"):
+            pass
+        with trace.span("rule-2"):
+            pass
+    with trace.span("execute"):
+        pass
+    assert [span.name for span in trace.roots] == ["plan", "execute"]
+    assert [child.name for child in trace.roots[0].children] == ["rule-1", "rule-2"]
+    assert trace.span_count() == 4
+    assert [span.name for span in trace.all_spans()] == [
+        "plan",
+        "rule-1",
+        "rule-2",
+        "execute",
+    ]
+
+
+def test_durations_are_deterministic_under_manual_timer():
+    timer = ManualTimer()
+    trace = QueryTrace(timer=timer)
+    with trace.span("outer"):
+        timer.advance(0.5)
+        with trace.span("inner"):
+            timer.advance(0.25)
+        timer.advance(0.125)
+    outer, inner = trace.roots[0], trace.roots[0].children[0]
+    assert outer.duration_seconds == 0.875
+    assert inner.duration_seconds == 0.25
+
+
+def test_open_span_has_no_duration():
+    trace = QueryTrace(timer=ManualTimer())
+    context = trace.span("open")
+    span = context.__enter__()
+    with pytest.raises(ValueError):
+        _ = span.duration_seconds
+    context.__exit__(None, None, None)
+    assert span.duration_seconds == 0.0
+
+
+def test_annotate_merges_attributes():
+    trace = QueryTrace(timer=ManualTimer())
+    with trace.span("plan", phase="start") as span:
+        span.annotate(strategy="merge-join", examined=7)
+    assert span.attributes == {"phase": "start", "strategy": "merge-join", "examined": 7}
+
+
+def test_out_of_order_close_is_an_error():
+    trace = QueryTrace(timer=ManualTimer())
+    outer = trace.span("outer")
+    inner = trace.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(ValueError):
+        trace._close(outer._span)
+
+
+def test_render_shows_attributes_and_millis():
+    timer = ManualTimer()
+    trace = QueryTrace(timer=timer)
+    with trace.span("execute", strategy="engine-index"):
+        timer.advance(0.002)
+    rendered = trace.render()
+    assert rendered == "- execute [strategy=engine-index]: 2.000 ms"
+
+
+def test_to_dict_is_json_shaped():
+    timer = ManualTimer()
+    trace = QueryTrace(timer=timer)
+    with trace.span("a"):
+        timer.advance(1.0)
+        with trace.span("b"):
+            pass
+    payload = trace.to_dict()
+    assert payload["spans"][0]["name"] == "a"
+    assert payload["spans"][0]["duration_seconds"] == 1.0
+    assert payload["spans"][0]["children"][0]["name"] == "b"

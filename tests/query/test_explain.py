@@ -1,0 +1,222 @@
+"""EXPLAIN coverage: one query per planner strategy.
+
+Each test drives ``TemporalRelation.explain`` through a relation shaped
+to trigger exactly one strategy and asserts the report names it, logs
+at least one pruning decision, and carries a timed span tree (compile
+-- for TQL input -- plan, execute, and the operator span).
+"""
+
+from repro.chronos.clock import ManualTimer, SimulatedWallClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.core.taxonomy.event_isolated import Degenerate
+from repro.core.taxonomy.interval_inter import IntervalGloballyNonDecreasing
+from repro.query import (
+    BitemporalSlice,
+    CurrentState,
+    Rollback,
+    Scan,
+    TemporalJoin,
+    ValidOverlap,
+    ValidTimeslice,
+)
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+
+
+def build_events(specializations, offsets, name="r"):
+    schema = TemporalSchema(name=name, specializations=list(specializations))
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+    for i, offset in enumerate(offsets):
+        clock.advance_to(Timestamp(10 * i))
+        relation.insert("o", Timestamp(10 * i + offset), {})
+    return relation
+
+
+def build_intervals(name, spans, specializations):
+    schema = TemporalSchema(
+        name=name,
+        valid_time_kind=ValidTimeKind.INTERVAL,
+        specializations=specializations,
+    )
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+    for i, (start, end) in enumerate(spans):
+        clock.advance_to(Timestamp(10 * i))
+        relation.insert("o", Interval(Timestamp(start), Timestamp(end)), {})
+    return relation
+
+
+def assert_report_shape(report, strategy, min_spans=3):
+    assert report.strategy == strategy
+    assert report.decisions, "the planner should log its decision path"
+    assert report.decisions[-1].startswith(f"chosen: {strategy}")
+    assert report.trace.span_count() >= min_spans
+    names = [span.name for span in report.trace.all_spans()]
+    assert "plan" in names
+    assert "execute" in names
+    assert f"operator:{strategy}" in names
+    for span in report.trace.all_spans():
+        assert span.duration_seconds >= 0.0
+
+
+class TestTimesliceStrategies:
+    def test_degenerate_rollback(self):
+        relation = build_events(["degenerate"], [0] * 30)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(100)))
+        assert_report_shape(report, "degenerate-rollback")
+        assert any("degenerate" in decision for decision in report.decisions)
+
+    def test_degenerate_tick_window(self):
+        schema = TemporalSchema(
+            name="g", specializations=[Degenerate(granularity="minute")]
+        )
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        for i in range(60):
+            base = 60 * i
+            clock.advance_to(Timestamp(base + 30))
+            relation.insert("o", Timestamp(base + (i % 25)), {})
+        probe = relation.all_elements()[30].vt
+        report = relation.explain(ValidTimeslice(Scan(relation), probe))
+        assert_report_shape(report, "degenerate-tick-window")
+
+    def test_monotone_binary_search(self):
+        relation = build_events(["globally non-decreasing"], [3] * 30)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(103)))
+        assert_report_shape(report, "monotone-binary-search")
+
+    def test_monotone_binary_search_descending(self):
+        schema = TemporalSchema(name="arch", specializations=["globally non-increasing"])
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False)
+        for i in range(30):
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("dig", Timestamp(-10 * i), {})
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(-100)))
+        assert_report_shape(report, "monotone-binary-search-descending")
+
+    def test_sequential_interval_search(self):
+        from repro.core.taxonomy import IntervalGloballySequential
+
+        relation = build_intervals(
+            "weeks",
+            [(week * 10, week * 10 + 7) for week in range(20)],
+            [IntervalGloballySequential()],
+        )
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(55)))
+        assert_report_shape(report, "sequential-interval-search")
+        assert report.returned == 1
+
+    def test_bounded_tt_window(self):
+        relation = build_events(
+            ["strongly bounded(5s, 5s)"], [(-1) ** i * 4 for i in range(30)]
+        )
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(100)))
+        assert_report_shape(report, "bounded-tt-window")
+        assert any("window" in decision for decision in report.decisions)
+
+    def test_engine_index_fallback(self):
+        relation = build_events([], [7, -20, 3, 40, -11])
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(3)))
+        assert_report_shape(report, "engine-index")
+
+
+class TestOtherShapes:
+    def test_rollback_prefix(self):
+        relation = build_events([], [0] * 10)
+        report = relation.explain(Rollback(Scan(relation), Timestamp(50)))
+        assert_report_shape(report, "rollback-prefix")
+
+    def test_bitemporal_prefix(self):
+        relation = build_events([], [0] * 10)
+        report = relation.explain(
+            BitemporalSlice(Scan(relation), vt=Timestamp(50), tt=Timestamp(50))
+        )
+        assert_report_shape(report, "bitemporal-prefix")
+
+    def test_current_state(self):
+        relation = build_events([], [0] * 10)
+        report = relation.explain(CurrentState(Scan(relation)))
+        assert_report_shape(report, "current")
+
+    def test_bounded_tt_window_overlap(self):
+        relation = build_events(["strongly bounded(5s, 5s)"], [0] * 30)
+        report = relation.explain(
+            ValidOverlap(Scan(relation), Interval(Timestamp(100), Timestamp(140)))
+        )
+        assert_report_shape(report, "bounded-tt-window-overlap")
+
+    def test_engine_overlap(self):
+        relation = build_events([], [0] * 30)
+        report = relation.explain(
+            ValidOverlap(Scan(relation), Interval(Timestamp(100), Timestamp(140)))
+        )
+        assert_report_shape(report, "engine-overlap")
+
+    def test_naive_fallback(self):
+        relation = build_events([], [0])
+        report = relation.explain(ValidTimeslice(CurrentState(Scan(relation)), Timestamp(0)))
+        assert_report_shape(report, "naive")
+        assert any("no rule matched" in d or "naive" in d for d in report.decisions)
+
+
+class TestJoinStrategies:
+    @staticmethod
+    def join_of(left, right):
+        return TemporalJoin(
+            CurrentState(Scan(left)),
+            CurrentState(Scan(right)),
+            condition=lambda a, b: True,
+        )
+
+    def test_merge_join(self):
+        left = build_events(["globally non-decreasing"], [3] * 5, name="l")
+        right = build_events(["globally non-decreasing"], [3] * 5, name="r")
+        report = left.explain(self.join_of(left, right))
+        assert_report_shape(report, "merge-join")
+
+    def test_interval_merge_join(self):
+        left = build_intervals("li", [(0, 5), (3, 9)], [IntervalGloballyNonDecreasing()])
+        right = build_intervals("ri", [(4, 8)], [IntervalGloballyNonDecreasing()])
+        report = left.explain(self.join_of(left, right))
+        assert_report_shape(report, "interval-merge-join")
+
+
+class TestReportMechanics:
+    def test_tql_statement_gets_compile_span(self):
+        relation = build_events(["strongly bounded(5s, 5s)"], [0] * 30, name="temps")
+        report = relation.explain("SELECT * FROM temps VALID AT 100s")
+        assert report.statement == "SELECT * FROM temps VALID AT 100s"
+        assert report.strategy == "bounded-tt-window"
+        names = [span.name for span in report.trace.all_spans()]
+        assert names[0] == "compile"
+        assert report.trace.span_count() >= 4
+
+    def test_no_execute_plans_only(self):
+        relation = build_events(["degenerate"], [0] * 10)
+        report = relation.explain(
+            ValidTimeslice(Scan(relation), Timestamp(50)), execute=False
+        )
+        assert report.strategy == "degenerate-rollback"
+        assert not report.executed
+        assert report.results == []
+        names = [span.name for span in report.trace.all_spans()]
+        assert "execute" not in names
+
+    def test_manual_timer_makes_deterministic_trace(self):
+        relation = build_events(["degenerate"], [0] * 10)
+        report = relation.explain(
+            ValidTimeslice(Scan(relation), Timestamp(50)), timer=ManualTimer()
+        )
+        assert all(span.duration_seconds == 0.0 for span in report.trace.all_spans())
+
+    def test_render_mentions_strategy_and_spans(self):
+        relation = build_events(["degenerate"], [0] * 10)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(50)))
+        rendered = report.render()
+        assert "strategy  : degenerate-rollback" in rendered
+        assert "decisions :" in rendered
+        assert "- plan" in rendered
+        assert "operator:degenerate-rollback" in rendered

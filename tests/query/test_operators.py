@@ -4,7 +4,7 @@ import pytest
 
 from repro.chronos.clock import SimulatedWallClock
 from repro.chronos.interval import Interval
-from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.chronos.timestamp import Timestamp
 from repro.query import operators
 from repro.relation.schema import TemporalSchema, ValidTimeKind
 from repro.relation.temporal_relation import TemporalRelation

@@ -1,6 +1,5 @@
 """Tests for the bounded-window overlap planner rule."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chronos.clock import SimulatedWallClock

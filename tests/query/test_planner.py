@@ -7,7 +7,6 @@ reference executor's answer -- on both engines, under random data.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chronos.clock import SimulatedWallClock

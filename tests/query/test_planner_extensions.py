@@ -1,7 +1,6 @@
 """Tests for planner extensions: granularity-degenerate windows and
 index-free engine behaviour."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chronos.clock import SimulatedWallClock

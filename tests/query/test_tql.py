@@ -1,7 +1,6 @@
 """Tests for the TQL language: parsing, compilation, execution."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.chronos.clock import SimulatedWallClock
 from repro.chronos.duration import Duration

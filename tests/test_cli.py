@@ -78,6 +78,55 @@ class TestWorkload:
         assert "more" in output
 
 
+class TestExplain:
+    def test_sequenced_key_timeslice(self, capsys):
+        """The acceptance query: a timeslice on the sequenced-key
+        monitoring workload prints strategy, pruning decisions, and at
+        least three timed spans."""
+        assert main(
+            ["explain", "monitoring", "SELECT * FROM plant_temperatures VALID AT 100s"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "strategy  : bounded-tt-window" in output
+        assert "decisions :" in output
+        assert "pruned" in output
+        span_lines = [line for line in output.splitlines() if " ms" in line and "- " in line]
+        assert len(span_lines) >= 3
+
+    def test_metrics_snapshot(self, capsys):
+        assert main(
+            [
+                "explain",
+                "monitoring",
+                "SELECT * FROM plant_temperatures VALID AT 100s",
+                "--metrics",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "metrics   :" in output
+        assert '"counters"' in output
+
+    def test_no_execute(self, capsys):
+        assert main(
+            [
+                "explain",
+                "monitoring",
+                "SELECT * FROM plant_temperatures VALID AT 100s",
+                "--no-execute",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "strategy  :" in output
+        assert "operator:" not in output
+
+    def test_metrics_stay_disabled_after_run(self):
+        from repro.observability import metrics
+
+        was = metrics.enabled()
+        main(["explain", "monitoring", "SELECT * FROM plant_temperatures VALID AT 100s"])
+        assert metrics.enabled() == was
+
+
 class TestDemo:
     def test_demo_runs(self, capsys):
         assert main(["demo"]) == 0

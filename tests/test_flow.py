@@ -6,7 +6,7 @@ from repro.chronos.clock import SimulatedWallClock
 from repro.chronos.duration import Duration
 from repro.chronos.timestamp import Timestamp
 from repro.core.constraints import ConstraintViolation
-from repro.flow import FlowLagBounded, FlowProcessor, identity_transform
+from repro.flow import FlowLagBounded, FlowProcessor
 from repro.relation.schema import TemporalSchema
 from repro.relation.temporal_relation import TemporalRelation
 
