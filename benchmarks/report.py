@@ -53,6 +53,10 @@ BENCH_JSON_SCHEMA_VERSION = 1
 
 THRESHOLDS_PATH = os.path.join(os.path.dirname(__file__), "thresholds.json")
 
+#: The committed seed run (``--quick --emit-json`` output, renamed);
+#: ``--check-baseline`` diffs the machine-independent numbers against it.
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")
+
 
 # -- machine-readable emission (shared by every bench_* script) ---------------------
 
@@ -128,6 +132,61 @@ def check_thresholds(
                     f"{benchmark}.{metric}: {value:.3f} regressed above "
                     f"{ceiling:.3f} (baseline {baseline:.3f} + {tolerance:.0%})"
                 )
+    return failures
+
+
+def _stable_items(results: Dict[str, Any], prefix: str = ""):
+    """Yield ``(dotted_key, value)`` for machine-independent leaves.
+
+    Wall-clock leaves (``*_ms``, speedups, seconds) vary by machine and
+    are skipped; sizes, operation counts, strategies, and examined
+    numbers are deterministic (seeded workloads on a simulated clock)
+    and must reproduce exactly.
+    """
+    for key, value in sorted(results.items()):
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from _stable_items(value, dotted + ".")
+        elif isinstance(value, list):
+            for i, entry in enumerate(value):
+                if isinstance(entry, dict):
+                    yield from _stable_items(entry, f"{dotted}[{i}].")
+        else:
+            lowered = key.lower()
+            if lowered.endswith("_ms") or "speedup" in lowered or "seconds" in lowered:
+                continue
+            yield dotted, value
+
+
+def check_baseline(
+    results: Dict[str, Any],
+    quick: bool,
+    path: str = BASELINE_PATH,
+) -> List[str]:
+    """Diff this run's machine-independent numbers against the seed baseline.
+
+    Returns human-readable failure lines; empty means the run reproduces
+    the committed shapes exactly.  The baseline records which sizes it
+    ran at (``parameters.quick``), so a mismatched invocation fails fast
+    instead of reporting every count as drifted.
+    """
+    with open(path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_quick = bool(baseline.get("parameters", {}).get("quick", False))
+    if baseline_quick != quick:
+        flag = "--quick" if baseline_quick else "full sizes"
+        return [f"baseline was recorded at {flag}; rerun with matching sizes"]
+    expected = dict(_stable_items(baseline.get("results", {})))
+    actual = dict(_stable_items(results))
+    failures: List[str] = []
+    for key, value in expected.items():
+        if key not in actual:
+            failures.append(f"baseline key missing from this run: {key}")
+        elif actual[key] != value:
+            failures.append(f"{key}: {actual[key]!r} != baseline {value!r}")
+    for key in actual:
+        if key not in expected:
+            failures.append(f"new un-baselined key: {key} (re-baseline deliberately)")
     return failures
 
 
@@ -324,6 +383,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="write BENCH_report.json (to DIR, default the current directory)",
     )
+    parser.add_argument(
+        "--check-baseline",
+        nargs="?",
+        const=BASELINE_PATH,
+        default=None,
+        metavar="PATH",
+        help="diff machine-independent numbers (examined counts, sizes, "
+        "strategies) against the committed seed baseline "
+        "(benchmarks/BENCH_baseline.json by default) and exit non-zero "
+        "on drift",
+    )
     arguments = parser.parse_args(argv)
     scale = 4 if arguments.quick else 1
     print("EXPERIMENTS.md measurement tables, regenerated")
@@ -343,6 +413,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parameters={"quick": arguments.quick},
                 directory=arguments.emit_json,
             )
+    if arguments.check_baseline is not None:
+        failures = check_baseline(
+            results, quick=arguments.quick, path=arguments.check_baseline
+        )
+        for line in failures:
+            print(f"BASELINE DRIFT: {line}")
+        if failures:
+            return 1
+        print(f"baseline reproduced: {arguments.check_baseline}")
     return 0
 
 

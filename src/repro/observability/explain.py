@@ -42,6 +42,10 @@ class ExplainReport:
     returned: int = 0
     executed: bool = True
     results: list = field(default_factory=list)
+    #: Zone-map accounting; None when the chosen strategy does not scan
+    #: segment-at-a-time (point lookups, engine-index delegation, naive).
+    segments_scanned: Optional[int] = None
+    segments_pruned: Optional[int] = None
 
     def render(self) -> str:
         lines: List[str] = []
@@ -56,6 +60,11 @@ class ExplainReport:
         if self.executed:
             lines.append(f"examined  : {self.examined} element(s)")
             lines.append(f"returned  : {self.returned} result(s)")
+            if self.segments_scanned is not None:
+                lines.append(
+                    f"segments  : {self.segments_scanned} scanned, "
+                    f"{self.segments_pruned} pruned by zone maps"
+                )
         lines.append("spans     :")
         lines.append(self.trace.render())
         return "\n".join(lines)
@@ -126,8 +135,16 @@ def explain_query(
         with trace.span(f"operator:{plan.strategy}") as operator_span:
             results = plan.execute()
             operator_span.annotate(examined=plan.examined, returned=len(results))
+            if plan.segment_stats is not None:
+                operator_span.annotate(
+                    segments_scanned=plan.segment_stats.scanned,
+                    segments_pruned=plan.segment_stats.pruned,
+                )
         span.annotate(returned=len(results))
     report.examined = plan.examined
     report.returned = len(results)
     report.results = results
+    if plan.segment_stats is not None:
+        report.segments_scanned = plan.segment_stats.scanned
+        report.segments_pruned = plan.segment_stats.pruned
     return report

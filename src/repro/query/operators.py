@@ -5,27 +5,111 @@ the stored elements it touched -- the work metric the benchmarks report
 alongside wall-clock time.  Operators that exploit structure only apply
 when the relation's declared specializations license them; the planner
 is responsible for that reasoning.
+
+Operators whose candidate set is a transaction-time range (prefixes,
+bounded windows, bitemporal slices) run segment-at-a-time over the
+engine's :class:`~repro.storage.segments.SegmentedStore`: the declared
+offsets tighten the range first, then each sealed segment's zone map is
+consulted and segments that cannot contain a match are skipped without
+touching an element.  Callers pass a :class:`SegmentStats` to receive
+the scanned/pruned counts ``explain()`` reports; work across surviving
+segments is distributed by
+:func:`~repro.storage.segments.parallel_map_segments`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import TimePoint, Timestamp
 from repro.relation.element import Element
 from repro.relation.temporal_relation import TemporalRelation
 from repro.storage.indexes import TransactionTimeIndex
-from repro.storage.memory import MemoryEngine
+from repro.storage.segments import SegmentedStore, ZoneMap, parallel_map_segments
 
 Result = Tuple[List[Element], int]
 
 
 def _tt_index(relation: TemporalRelation) -> Optional[TransactionTimeIndex]:
-    engine = relation.engine
-    if isinstance(engine, MemoryEngine):
-        return engine.transaction_index
-    return None
+    # Any engine exposing a transaction_index (memory, logfile mirror)
+    # gets the specialized transaction-order strategies.
+    return getattr(relation.engine, "transaction_index", None)
+
+
+@dataclass
+class SegmentStats:
+    """Zone-map accounting for one operator execution.
+
+    ``scanned`` + ``pruned`` is the number of segments the candidate
+    transaction-time range overlapped; ``pruned`` of them were skipped
+    on zone-map evidence alone.
+    """
+
+    scanned: int = 0
+    pruned: int = 0
+
+
+def _scan_segments(
+    store: SegmentedStore,
+    start: int,
+    stop: int,
+    element_match: Callable[[Element], bool],
+    zone_match: Callable[[ZoneMap], bool],
+    stats: Optional[SegmentStats],
+) -> Result:
+    """Filter positions ``[start, stop)`` segment-at-a-time.
+
+    Sealed segments overlapping the range are kept only when
+    *zone_match* accepts their zone map (zone maps summarise the whole
+    segment, so rejecting one is valid even when the range clips it);
+    the mutable head is always scanned.  Surviving segments run through
+    :func:`parallel_map_segments` and results concatenate in position
+    order, so output order and the examined count are identical with
+    parallelism on or off.
+    """
+    if stop <= start:
+        return [], 0
+    size = store.segment_size
+    head_start = store.head_start
+    units: List[Tuple[int, int]] = []
+    pruned = 0
+    first = start // size
+    for ordinal in range(first, store.sealed_count):
+        seg_lo = ordinal * size
+        if seg_lo >= stop:
+            break
+        lo = max(start, seg_lo)
+        hi = min(stop, seg_lo + size)
+        if zone_match(store.zone_of(ordinal)):
+            units.append((lo, hi))
+        else:
+            pruned += 1
+    if stop > head_start:
+        lo = max(start, head_start)
+        if lo < stop:
+            units.append((lo, stop))
+    if stats is not None:
+        stats.scanned += len(units)
+        stats.pruned += pruned
+    elements = store.elements_list()
+
+    def work(unit: Tuple[int, int]) -> Result:
+        lo, hi = unit
+        kept = []
+        for position in range(lo, hi):
+            element = elements[position]
+            if element_match(element):
+                kept.append(element)
+        return kept, hi - lo
+
+    matches: List[Element] = []
+    examined = 0
+    for kept, touched in parallel_map_segments(work, units):
+        matches.extend(kept)
+        examined += touched
+    return matches, examined
 
 
 # -- baseline -------------------------------------------------------------------
@@ -55,19 +139,31 @@ def rollback_full_scan(relation: TemporalRelation, tt: TimePoint) -> Result:
 # -- transaction-time access -------------------------------------------------------
 
 
-def rollback_prefix(relation: TemporalRelation, tt: TimePoint) -> Result:
-    """Rollback via the append-ordered index: binary search + prefix."""
+def rollback_prefix(
+    relation: TemporalRelation,
+    tt: TimePoint,
+    stats: Optional[SegmentStats] = None,
+) -> Result:
+    """Rollback via the append-ordered index: binary search bounds the
+    candidate prefix, then zone maps skip fully-dead segments (every
+    element closed at or before *tt* -- e.g. vacuum-bait history runs)."""
     index = _tt_index(relation)
     if index is None:
         results = list(relation.engine.as_of(tt))
         return results, len(results)
-    matches = []
-    examined = 0
-    for element in index.prefix_through(tt):
-        examined += 1
-        if element.stored_during(tt):
-            matches.append(element)
-    return matches, examined
+    store = index.store
+    if isinstance(tt, Timestamp):
+        stop = store.position_right(tt.microseconds)
+        tt_micro = tt.microseconds
+        zone_match: Callable[[ZoneMap], bool] = lambda zone: zone.alive_at(tt_micro)
+    elif tt.is_positive:  # FOREVER: the current state
+        stop = len(store)
+        zone_match = lambda zone: zone.live > 0
+    else:  # NEGATIVE_INFINITY: empty prefix
+        return [], 0
+    return _scan_segments(
+        store, 0, stop, lambda element: element.stored_during(tt), zone_match, stats
+    )
 
 
 def timeslice_degenerate(relation: TemporalRelation, vt: Timestamp) -> Result:
@@ -117,32 +213,39 @@ def timeslice_bounded_window(
     vt: Timestamp,
     lower_offset: Optional[int],
     upper_offset: Optional[int],
+    stats: Optional[SegmentStats] = None,
 ) -> Result:
     """Scan only the transaction window allowed by the declared bounds.
 
     With declared offsets ``lower <= vt - tt <= upper`` (microseconds,
     either side may be None for unbounded), an element valid at ``vt``
-    must satisfy ``vt - upper <= tt <= vt - lower``.
+    must satisfy ``vt - upper <= tt <= vt - lower``.  The declared
+    window bounds the segment range first; zone maps then skip
+    segments with no live element or no valid time covering *vt*.
     """
     index = _tt_index(relation)
     if index is None:
         raise ValueError("bounded-window timeslice requires the in-memory tt index")
-    low = None if upper_offset is None else Timestamp(vt.microseconds - upper_offset, "microsecond")
-    high = None if lower_offset is None else Timestamp(vt.microseconds - lower_offset, "microsecond")
-    if low is None and high is None:
-        candidates = iter(index)
-    elif low is None:
-        candidates = index.prefix_through(high)
-    else:
-        top = high if high is not None else Timestamp(2**62, "microsecond")
-        candidates = index.window(low, top)
-    matches = []
-    examined = 0
-    for element in candidates:
-        examined += 1
-        if element.is_current and element.valid_at(vt):
-            matches.append(element)
-    return matches, examined
+    store = index.store
+    start = (
+        0
+        if upper_offset is None
+        else store.position_left(vt.microseconds - upper_offset)
+    )
+    stop = (
+        len(store)
+        if lower_offset is None
+        else store.position_right(vt.microseconds - lower_offset)
+    )
+    target = vt.microseconds
+    return _scan_segments(
+        store,
+        start,
+        stop,
+        lambda element: element.is_current and element.valid_at(vt),
+        lambda zone: zone.live > 0 and zone.may_contain_vt(target, target),
+        stats,
+    )
 
 
 def overlap_bounded_window(
@@ -150,10 +253,12 @@ def overlap_bounded_window(
     window: Interval,
     lower_offset: Optional[int],
     upper_offset: Optional[int],
+    stats: Optional[SegmentStats] = None,
 ) -> Result:
     """Window variant of :func:`timeslice_bounded_window` for event
     relations: an element with valid time in ``[a, b)`` must have been
-    stored in ``[a - upper, b - lower)``."""
+    stored in ``[a - upper, b - lower)``.  Zone maps additionally skip
+    segments whose valid-time coverage misses the window."""
     index = _tt_index(relation)
     if index is None:
         raise ValueError("bounded-window overlap requires the in-memory tt index")
@@ -162,30 +267,27 @@ def overlap_bounded_window(
     if not (isinstance(start, Timestamp) and isinstance(end, Timestamp)):
         results = list(relation.engine.valid_overlapping(window))
         return results, len(results)
-    low = (
-        None
+    store = index.store
+    first = (
+        0
         if upper_offset is None
-        else Timestamp(start.microseconds - upper_offset, "microsecond")
+        else store.position_left(start.microseconds - upper_offset)
     )
-    high = (
-        None
+    stop = (
+        len(store)
         if lower_offset is None
-        else Timestamp(end.microseconds - lower_offset, "microsecond")
+        else store.position_right(end.microseconds - lower_offset)
     )
-    if low is None and high is None:
-        candidates = iter(index)
-    elif low is None:
-        candidates = index.prefix_through(high)
-    else:
-        top = high if high is not None else Timestamp(2**62, "microsecond")
-        candidates = index.window(low, top)
-    matches = []
-    examined = 0
-    for element in candidates:
-        examined += 1
-        if element.is_current and window.contains_point(element.vt):  # type: ignore[arg-type]
-            matches.append(element)
-    return matches, examined
+    vt_lo = start.microseconds
+    vt_hi = end.microseconds - 1  # the window is half-open
+    return _scan_segments(
+        store,
+        first,
+        stop,
+        lambda element: element.is_current and window.contains_point(element.vt),  # type: ignore[arg-type]
+        lambda zone: zone.live > 0 and zone.may_contain_vt(vt_lo, vt_hi),
+        stats,
+    )
 
 
 # -- monotone valid-time access ------------------------------------------------------
@@ -273,6 +375,30 @@ def timeslice_sequential_intervals(relation: TemporalRelation, vt: Timestamp) ->
     return matches, examined
 
 
+def timeslice_segment_pruned(
+    relation: TemporalRelation,
+    vt: Timestamp,
+    stats: Optional[SegmentStats] = None,
+) -> Result:
+    """Timeslice for undeclared relations without a valid-time index:
+    still a full transaction-range pass, but whole segments drop out on
+    zone-map evidence (no live elements, or valid-time coverage that
+    misses *vt*) before any element is examined."""
+    index = _tt_index(relation)
+    if index is None:
+        raise ValueError("segment-pruned timeslice requires a transaction index")
+    store = index.store
+    target = vt.microseconds
+    return _scan_segments(
+        store,
+        0,
+        len(store),
+        lambda element: element.is_current and element.valid_at(vt),
+        lambda zone: zone.live > 0 and zone.may_contain_vt(target, target),
+        stats,
+    )
+
+
 # -- engine-delegated access ------------------------------------------------------------
 
 
@@ -300,9 +426,12 @@ def merge_join_events(
     order, so the equality join on event stamps runs in one merge pass
     -- O(n + m + matches) instead of the nested loop's O(n * m).
     Runs of equal stamps cross-product, as they must.
+
+    Inputs come from ``engine.current()`` -- O(live) via the
+    materialized current-state view, instead of filtering full history.
     """
-    left = [e for e in left_relation.engine.scan() if e.is_current]
-    right = [e for e in right_relation.engine.scan() if e.is_current]
+    left = list(left_relation.engine.current())
+    right = list(right_relation.engine.current())
     pairs: List[Tuple[Element, Element]] = []
     examined = len(left) + len(right)
     i = j = 0
@@ -346,9 +475,12 @@ def merge_join_intervals(
     This implementation keeps the sweep simple by probing forward from
     the current frontier -- work stays proportional to matches for the
     common case of bounded overlap fan-out.
+
+    Inputs come from ``engine.current()`` -- O(live) via the
+    materialized current-state view, instead of filtering full history.
     """
-    left = [e for e in left_relation.engine.scan() if e.is_current]
-    right = [e for e in right_relation.engine.scan() if e.is_current]
+    left = list(left_relation.engine.current())
+    right = list(right_relation.engine.current())
     pairs: List[Tuple[Element, Element]] = []
     examined = len(left) + len(right)
     frontier = 0
@@ -370,17 +502,38 @@ def merge_join_intervals(
 
 
 def bitemporal_prefix(
-    relation: TemporalRelation, vt: Timestamp, tt: TimePoint
+    relation: TemporalRelation,
+    vt: Timestamp,
+    tt: TimePoint,
+    stats: Optional[SegmentStats] = None,
 ) -> Result:
-    """Bitemporal slice: tt-prefix via binary search, then vt filter."""
+    """Bitemporal slice: tt-prefix via binary search, then vt filter.
+
+    Zone maps prune segments that were entirely dead at *tt* or whose
+    valid-time coverage misses *vt*.
+    """
     index = _tt_index(relation)
     if index is None:
         results = list(relation.engine.valid_at(vt, as_of_tt=tt))
         return results, len(results)
-    matches = []
-    examined = 0
-    for element in index.prefix_through(tt):
-        examined += 1
-        if element.stored_during(tt) and element.valid_at(vt):
-            matches.append(element)
-    return matches, examined
+    store = index.store
+    target = vt.microseconds
+    if isinstance(tt, Timestamp):
+        stop = store.position_right(tt.microseconds)
+        tt_micro = tt.microseconds
+        zone_match: Callable[[ZoneMap], bool] = lambda zone: (
+            zone.alive_at(tt_micro) and zone.may_contain_vt(target, target)
+        )
+    elif tt.is_positive:  # FOREVER
+        stop = len(store)
+        zone_match = lambda zone: zone.live > 0 and zone.may_contain_vt(target, target)
+    else:
+        return [], 0
+    return _scan_segments(
+        store,
+        0,
+        stop,
+        lambda element: element.stored_during(tt) and element.valid_at(vt),
+        zone_match,
+        stats,
+    )

@@ -44,7 +44,6 @@ from repro.core.taxonomy.regions import OffsetRegion
 from repro.query import ast, operators
 from repro.query.executor import NaiveExecutor
 from repro.relation.temporal_relation import TemporalRelation
-from repro.storage.memory import MemoryEngine
 
 
 @dataclass
@@ -54,6 +53,10 @@ class PlannedQuery:
     ``decisions`` records the planning walk: every rule the planner
     considered, why the pruned ones did not apply, and which one fired
     -- the audit trail ``explain`` renders.
+
+    ``segment_stats`` is present for pruning-capable strategies (the
+    operator fills it in during execution); it resets on each execute so
+    re-running a plan (e.g. benchmark repetitions) reports one run.
     """
 
     strategy: str
@@ -61,8 +64,12 @@ class PlannedQuery:
     _thunk: Callable[[], Tuple[list, int]]
     decisions: List[str] = field(default_factory=list)
     examined: int = field(default=0, init=False)
+    segment_stats: Optional[operators.SegmentStats] = None
 
     def execute(self) -> list:
+        if self.segment_stats is not None:
+            self.segment_stats.scanned = 0
+            self.segment_stats.pruned = 0
         if not _metrics.enabled():
             results, examined = self._thunk()
             self.examined = examined
@@ -74,6 +81,9 @@ class PlannedQuery:
         registry.counter(f"query.plans.{self.strategy}").inc()
         registry.counter("query.elements_examined").inc(examined)
         registry.counter("query.elements_returned").inc(len(results))
+        if self.segment_stats is not None:
+            registry.counter("query.segments_scanned").inc(self.segment_stats.scanned)
+            registry.counter("query.segments_pruned").inc(self.segment_stats.pruned)
         return results
 
 
@@ -161,9 +171,15 @@ class Planner:
                 return None
         return region
 
+    #: Below this many stored elements, specialized-strategy setup
+    #: (binary-search bracketing, window arithmetic) costs more than it
+    #: saves; the planner falls through to a plain full scan.  The
+    #: degenerate point lookup is exempt -- it has no setup cost.
+    SMALL_RELATION_THRESHOLD = 8
+
     @property
     def _has_memory_index(self) -> bool:
-        return isinstance(self.relation.engine, MemoryEngine)
+        return getattr(self.relation.engine, "transaction_index", None) is not None
 
     # -- planning -----------------------------------------------------------------------
 
@@ -190,17 +206,31 @@ class Planner:
             decisions.append(
                 "rollback query: transaction-time monotonicity needs no declaration"
             )
+            stats = operators.SegmentStats() if self._has_memory_index else None
             return PlannedQuery(
                 strategy="rollback-prefix",
-                explanation="transaction times are append-ordered; binary search + prefix",
-                _thunk=lambda: operators.rollback_prefix(self.relation, query.tt),
+                explanation=(
+                    "transaction times are append-ordered; binary search + prefix, "
+                    "zone maps skip dead segments"
+                ),
+                _thunk=lambda: operators.rollback_prefix(
+                    self.relation, query.tt, stats=stats
+                ),
+                segment_stats=stats,
             )
         if isinstance(query, ast.BitemporalSlice) and self._is_scan(query.child):
             decisions.append("bitemporal slice: tt prefix is free, vt filters the prefix")
+            stats = operators.SegmentStats() if self._has_memory_index else None
             return PlannedQuery(
                 strategy="bitemporal-prefix",
-                explanation="tt-prefix by binary search, vt filter on the prefix",
-                _thunk=lambda: operators.bitemporal_prefix(self.relation, query.vt, query.tt),
+                explanation=(
+                    "tt-prefix by binary search, vt filter on the prefix; zone maps "
+                    "skip segments dead at tt or outside vt"
+                ),
+                _thunk=lambda: operators.bitemporal_prefix(
+                    self.relation, query.vt, query.tt, stats=stats
+                ),
+                segment_stats=stats,
             )
         if isinstance(query, ast.ValidTimeslice) and self._is_scan(query.child):
             return self._plan_timeslice(query.vt, decisions)
@@ -213,15 +243,17 @@ class Planner:
                     decisions.append(
                         "bounded-tt-window-overlap: declared offset region prunes the scan"
                     )
+                    stats = operators.SegmentStats()
                     return PlannedQuery(
                         strategy="bounded-tt-window-overlap",
                         explanation=(
                             "declared bounds confine the window's matches to a "
-                            "transaction-time range"
+                            "transaction-time range; zone maps skip segments inside it"
                         ),
                         _thunk=lambda: operators.overlap_bounded_window(
-                            self.relation, query.window, lower, upper
+                            self.relation, query.window, lower, upper, stats=stats
                         ),
+                        segment_stats=stats,
                     )
                 decisions.append(
                     "bounded-tt-window-overlap: pruned -- no bounded region declared"
@@ -237,10 +269,13 @@ class Planner:
                 _thunk=lambda: operators.overlap_engine_index(self.relation, query.window),
             )
         if isinstance(query, ast.CurrentState) and self._is_scan(query.child):
-            decisions.append("current query: the engine's current-state path")
+            decisions.append(
+                "current query: the engine's current-state path (materialized "
+                "view on segmented engines -- O(live), not O(history))"
+            )
             return PlannedQuery(
                 strategy="current",
-                explanation="current-state filter",
+                explanation="current-state read (materialized view when available)",
                 _thunk=lambda: _count_all(list(self.relation.engine.current())),
             )
         if isinstance(query, ast.TemporalJoin):
@@ -351,6 +386,24 @@ class Planner:
                     ),
                 )
             decisions.append("degenerate: pruned -- not declared (or not an event relation)")
+            if self._specialized_timeslice_available(is_event):
+                count = self.relation_statistics().get(
+                    "elements", len(self.relation.engine)
+                )
+                if count < self.SMALL_RELATION_THRESHOLD:
+                    decisions.append(
+                        f"small-relation: {count} elements < threshold "
+                        f"{self.SMALL_RELATION_THRESHOLD}; specialized-strategy "
+                        "setup skipped, full scan instead"
+                    )
+                    return PlannedQuery(
+                        strategy="small-relation-scan",
+                        explanation=(
+                            "relation is below the small-relation threshold; a full "
+                            "scan beats binary-search/window setup"
+                        ),
+                        _thunk=lambda: operators.timeslice_full_scan(self.relation, vt),
+                    )
             if is_event and self._has(GloballySequential, GloballyNonDecreasing):
                 decisions.append(
                     "monotone-binary-search: globally sequential/non-decreasing declared"
@@ -390,26 +443,60 @@ class Planner:
                 decisions.append(
                     f"bounded-tt-window: declared offset region prunes to a {sides} window"
                 )
+                stats = operators.SegmentStats()
                 return PlannedQuery(
                     strategy="bounded-tt-window",
                     explanation=(
                         f"declared bounds confine matches to a {sides} "
-                        "transaction-time window"
+                        "transaction-time window; zone maps skip segments inside it"
                     ),
                     _thunk=lambda: operators.timeslice_bounded_window(
-                        self.relation, vt, lower, upper
+                        self.relation, vt, lower, upper, stats=stats
                     ),
+                    segment_stats=stats,
                 )
             decisions.append("bounded-tt-window: pruned -- no bounded region declared")
+            if not getattr(self.relation.engine, "has_vt_index", False):
+                decisions.append(
+                    "segment-pruned-scan: no valid-time index; zone maps prune "
+                    "the full transaction range"
+                )
+                stats = operators.SegmentStats()
+                return PlannedQuery(
+                    strategy="segment-pruned-scan",
+                    explanation=(
+                        "no valid-time index available; full transaction range "
+                        "with zone-map segment pruning"
+                    ),
+                    _thunk=lambda: operators.timeslice_segment_pruned(
+                        self.relation, vt, stats=stats
+                    ),
+                    segment_stats=stats,
+                )
         else:
             decisions.append(
-                "tt-index rules: pruned -- engine has no in-memory transaction-time index"
+                "tt-index rules: pruned -- engine has no transaction-time index"
             )
         return PlannedQuery(
             strategy="engine-index",
             explanation="engine valid-time index (sorted index / interval tree / SQL)",
             _thunk=lambda: operators.timeslice_engine_index(self.relation, vt),
         )
+
+    def _specialized_timeslice_available(self, is_event: bool) -> bool:
+        """Would a non-degenerate specialized timeslice strategy fire?
+
+        Consulted by the small-relation rule: setup cost only matters
+        when there is a setup to skip.
+        """
+        if is_event:
+            if self._has(
+                GloballySequential, GloballyNonDecreasing, GloballyNonIncreasing
+            ):
+                return True
+            region = self.declared_offset_region()
+            return region is not None and region.line_count > 0
+        return self._has(IntervalGloballySequential)
 
     @staticmethod
     def _is_scan(node: ast.QueryNode) -> bool:

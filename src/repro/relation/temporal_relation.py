@@ -368,8 +368,23 @@ class TemporalRelation:
     # -- reading ------------------------------------------------------------------------
 
     def current(self) -> List[Element]:
-        """The current historical state."""
+        """The current historical state.
+
+        On segmented engines this reads the materialized current-state
+        view -- O(live elements), independent of history length.
+        """
         return list(self.engine.current())
+
+    def live_count(self) -> int:
+        """Number of current elements without materializing them.
+
+        O(1) on engines that track liveness in their segmented store;
+        otherwise one pass over the current state.
+        """
+        index = getattr(self.engine, "transaction_index", None)
+        if index is not None:
+            return index.store.live_count()
+        return sum(1 for _ in self.engine.current())
 
     def as_of(self, tt: TimePoint) -> List[Element]:
         """Rollback: the historical state at transaction time *tt*."""

@@ -19,7 +19,11 @@ implements the representations the paper names:
 * :mod:`repro.storage.interval_tree` -- a centered interval tree for
   valid-time stabbing and overlap queries;
 * :mod:`repro.storage.sqlite_backend` -- a persistent engine over the
-  standard-library ``sqlite3``.
+  standard-library ``sqlite3``;
+* :mod:`repro.storage.segments` -- the segmented transaction-time store
+  shared by the engines: sealed ~4k-element segments with zone maps for
+  pruning, a materialized current-state view, and thread-pool parallel
+  segment scans.
 """
 
 from repro.storage.backlog import Backlog, Operation, OperationKind
@@ -28,6 +32,13 @@ from repro.storage.indexes import BoundedWindow, TransactionTimeIndex, ValidTime
 from repro.storage.interval_tree import IntervalTree
 from repro.storage.logfile import LogFileEngine
 from repro.storage.memory import MemoryEngine
+from repro.storage.segments import (
+    Segment,
+    SegmentedStore,
+    ZoneMap,
+    parallel_enabled,
+    parallel_map_segments,
+)
 from repro.storage.snapshot import SnapshotCache
 from repro.storage.sqlite_backend import SQLiteEngine
 
@@ -42,6 +53,11 @@ __all__ = [
     "IntervalTree",
     "LogFileEngine",
     "MemoryEngine",
+    "Segment",
+    "SegmentedStore",
+    "ZoneMap",
+    "parallel_enabled",
+    "parallel_map_segments",
     "SnapshotCache",
     "SQLiteEngine",
 ]

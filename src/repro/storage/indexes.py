@@ -23,73 +23,65 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.chronos.duration import CalendricDuration, Duration
 from repro.chronos.timestamp import TimePoint, Timestamp
 from repro.relation.element import Element
+from repro.storage.segments import SegmentedStore
 
 
 class TransactionTimeIndex:
-    """Binary-searchable array of insertion transaction times."""
+    """Binary-searchable run of insertion transaction times.
 
-    def __init__(self) -> None:
-        self._tts: List[int] = []
-        self._elements: List[Element] = []
+    Backed by a :class:`~repro.storage.segments.SegmentedStore`, so the
+    same structure serves both the classic prefix/window binary searches
+    and the segment-at-a-time consumers (zone-map pruning, the
+    materialized current-state view, parallel scans).
+    """
+
+    def __init__(self, segment_size: Optional[int] = None) -> None:
+        self._store = SegmentedStore(segment_size=segment_size)
+
+    @property
+    def store(self) -> SegmentedStore:
+        """The underlying segmented store (zone maps, current view)."""
+        return self._store
 
     def append(self, element: Element) -> None:
-        tt = element.tt_start.microseconds
-        if self._tts and tt <= self._tts[-1]:
-            raise ValueError(
-                f"transaction times must be strictly increasing; got {tt} after "
-                f"{self._tts[-1]}"
-            )
-        self._tts.append(tt)
-        self._elements.append(element)
+        self._store.append(element)
 
     def extend(self, batch: Sequence[Element]) -> None:
         """Append a whole batch with one ordering pass, no per-element
         method dispatch.  Validates before mutating, so a bad batch
         leaves the index untouched."""
-        if not batch:
-            return
-        tts = [element.tt_start._micro for element in batch]
-        last = self._tts[-1] if self._tts else None
-        for tt in tts:
-            if last is not None and tt <= last:
-                raise ValueError(
-                    f"transaction times must be strictly increasing; got {tt} after "
-                    f"{last}"
-                )
-            last = tt
-        self._tts.extend(tts)
-        self._elements.extend(batch)
+        self._store.extend(batch)
 
     def replace(self, position: int, element: Element) -> None:
         """Swap in a closed version of the element at *position*."""
-        self._elements[position] = element
+        self._store.replace(position, element)
 
     def position_of_tt(self, tt: Timestamp) -> int:
         """Index of the first element with ``tt_start > tt``."""
-        return bisect.bisect_right(self._tts, tt.microseconds)
+        return self._store.position_right(tt.microseconds)
 
     def prefix_through(self, tt: TimePoint) -> Iterator[Element]:
         """Elements inserted at or before *tt* (rollback candidates)."""
         if isinstance(tt, Timestamp):
-            yield from self._elements[: self.position_of_tt(tt)]
+            yield from self._store.elements_list()[: self.position_of_tt(tt)]
         elif tt.is_positive:  # FOREVER
-            yield from self._elements
+            yield from self._store
         # NEGATIVE_INFINITY: empty prefix
 
     def window(self, low: Timestamp, high: Timestamp) -> Iterator[Element]:
         """Elements with ``low <= tt_start <= high``."""
-        start = bisect.bisect_left(self._tts, low.microseconds)
-        stop = bisect.bisect_right(self._tts, high.microseconds)
-        yield from self._elements[start:stop]
+        start = self._store.position_left(low.microseconds)
+        stop = self._store.position_right(high.microseconds)
+        yield from self._store.elements_list()[start:stop]
 
     def __len__(self) -> int:
-        return len(self._elements)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Element]:
-        return iter(self._elements)
+        return iter(self._store)
 
     def element_at(self, position: int) -> Element:
-        return self._elements[position]
+        return self._store.element_at(position)
 
 
 class ValidTimeEventIndex:

@@ -246,6 +246,20 @@ class LogFileEngine(StorageEngine):
 
     # -- lookup: delegate to the mirror -------------------------------------------
 
+    @property
+    def transaction_index(self):
+        """The mirror's segmented tt index -- the planner's specialized
+        strategies (and segment pruning) work on log-backed relations
+        exactly as on in-memory ones."""
+        return self._mirror.transaction_index
+
+    @property
+    def has_vt_index(self) -> bool:
+        return self._mirror.has_vt_index
+
+    def index_statistics(self):
+        return self._mirror.index_statistics()
+
     def get(self, element_surrogate: int) -> Element:
         return self._mirror.get(element_surrogate)
 

@@ -22,8 +22,12 @@ from repro.storage.interval_tree import IntervalTree
 class MemoryEngine(StorageEngine):
     """Append-ordered in-memory storage with secondary indexes."""
 
-    def __init__(self, maintain_vt_index: bool = True) -> None:
-        self._tt_index = TransactionTimeIndex()
+    def __init__(
+        self,
+        maintain_vt_index: bool = True,
+        segment_size: Optional[int] = None,
+    ) -> None:
+        self._tt_index = TransactionTimeIndex(segment_size=segment_size)
         self._positions: Dict[int, int] = {}
         self._maintain_vt_index = maintain_vt_index
         self._vt_events: Optional[ValidTimeEventIndex] = None
@@ -128,6 +132,12 @@ class MemoryEngine(StorageEngine):
     def __len__(self) -> int:
         return len(self._tt_index)
 
+    def current(self) -> Iterator[Element]:
+        """O(live) via the store's materialized current-state view."""
+        if _metrics.enabled():
+            _metrics.registry().counter("storage.memory.current_view_reads").inc()
+        return self._tt_index.store.iter_current()
+
     # -- temporal access, exploiting indexes -----------------------------------------
 
     def as_of(self, tt: TimePoint) -> Iterator[Element]:
@@ -148,16 +158,21 @@ class MemoryEngine(StorageEngine):
             return
         if _metrics.enabled():
             _metrics.registry().counter("storage.memory.vt_index_hits").inc()
+        # Resolve positions once per call; the indexes may hold stale
+        # (since-closed) copies, so re-read the store by position rather
+        # than paying a full get() per candidate.
+        positions = self._positions
+        tt_index = self._tt_index
         if self._vt_intervals is not None:
             for surrogate in self._vt_intervals.stab(vt):
-                element = self.get(surrogate)
+                element = tt_index.element_at(positions[surrogate])
                 if element.is_current:
                     yield element
         if self._vt_events is not None:
-            for element in self._vt_events.at(vt):
-                current = self.get(element.element_surrogate)
-                if current.is_current:
-                    yield current
+            for candidate in self._vt_events.at(vt):
+                element = tt_index.element_at(positions[candidate.element_surrogate])
+                if element.is_current:
+                    yield element
 
     def valid_overlapping(
         self, window: Interval, as_of_tt: Optional[TimePoint] = None
@@ -169,9 +184,11 @@ class MemoryEngine(StorageEngine):
             return
         if _metrics.enabled():
             _metrics.registry().counter("storage.memory.vt_index_hits").inc()
+        positions = self._positions
+        tt_index = self._tt_index
         if self._vt_intervals is not None:
             for surrogate in self._vt_intervals.overlapping(window):
-                element = self.get(surrogate)
+                element = tt_index.element_at(positions[surrogate])
                 if element.is_current:
                     yield element
         if self._vt_events is not None:
@@ -180,10 +197,10 @@ class MemoryEngine(StorageEngine):
             else:
                 # Unbounded window: the sorted index cannot bracket it.
                 candidates = (e for e in self.scan() if not isinstance(e.vt, Interval))
-            for element in candidates:
-                current = self.get(element.element_surrogate)
-                if current.is_current and window.contains_point(current.vt):
-                    yield current
+            for candidate in candidates:
+                element = tt_index.element_at(positions[candidate.element_surrogate])
+                if element.is_current and window.contains_point(element.vt):
+                    yield element
 
     # -- introspection ------------------------------------------------------------------
 
@@ -199,9 +216,16 @@ class MemoryEngine(StorageEngine):
     def interval_index(self) -> Optional[IntervalTree]:
         return self._vt_intervals
 
+    @property
+    def has_vt_index(self) -> bool:
+        """Whether valid-time indexing is on (capability, not whether an
+        index has materialized yet -- an empty engine still counts)."""
+        return self._maintain_vt_index
+
     def index_statistics(self) -> Dict[str, int]:
         """Counters benchmarks read (e.g. in-order append ratio)."""
         stats = {"elements": len(self)}
+        stats.update(self._tt_index.store.statistics())
         if self._vt_events is not None:
             stats["vt_appends_in_order"] = self._vt_events.appended_in_order
             stats["vt_inserts_out_of_order"] = self._vt_events.inserted_out_of_order

@@ -1,0 +1,472 @@
+"""Segmented transaction-time storage with zone-map pruning.
+
+The append-ordered run every engine keeps is here organised into
+*segments*: elements accumulate in a mutable **head** segment which
+seals into immutable segments of :data:`DEFAULT_SEGMENT_SIZE` elements.
+Each sealed segment carries a :class:`ZoneMap` -- its transaction-time
+range, its valid-time coverage, its live-element count, and whether its
+event valid times are sorted -- so a query can decide *per segment*
+whether any match is possible before touching a single element.
+
+This extends the paper's leverage from "which algorithm" to "which
+data": declared specializations (Figure 1 offset regions, Section 3.1)
+tighten the transaction window first, and the zone maps then discard
+whole segments inside that window.  The physical operators in
+:mod:`repro.query.operators` report how many segments they scanned and
+pruned, surfaced by ``explain``.
+
+Three further facilities live here because every consumer shares them:
+
+* the **materialized current-state view** -- an insertion-ordered map
+  of live elements maintained incrementally on append/close (and
+  rebuilt lazily after it is invalidated, e.g. by vacuum), making
+  ``current()`` O(live) instead of O(history);
+* :func:`parallel_map_segments` -- a thread-pool map over independent
+  segment work units, used by full-scan-shaped operators once the
+  segment count crosses a threshold (``REPRO_PARALLEL=0`` disables it;
+  results are combined in submission order so answers are
+  byte-identical to the sequential path);
+* the shared microsecond sentinels for unbounded time-stamp endpoints.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.relation.element import Element
+
+#: Sentinel microsecond coordinates for unbounded endpoints (the same
+#: convention the SQLite and log-file codecs use).
+POS_SENTINEL = 2**62
+NEG_SENTINEL = -(2**62)
+
+#: Elements per sealed segment unless overridden (constructor argument
+#: or the ``REPRO_SEGMENT_SIZE`` environment variable).
+DEFAULT_SEGMENT_SIZE = 4096
+
+#: Run segment work units on threads once there are more than this many
+#: (sequential below it -- thread dispatch costs more than it saves).
+DEFAULT_PARALLEL_THRESHOLD = 8
+
+_PARALLEL_ENV = "REPRO_PARALLEL"
+_SEGMENT_SIZE_ENV = "REPRO_SEGMENT_SIZE"
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def _encode_stop(point: object) -> int:
+    """``tt_stop`` as a microsecond coordinate (FOREVER -> +sentinel)."""
+    if isinstance(point, Timestamp):
+        return point.microseconds
+    return POS_SENTINEL if point.is_positive else NEG_SENTINEL  # type: ignore[attr-defined]
+
+
+def configured_segment_size() -> int:
+    """The default segment size, honouring ``REPRO_SEGMENT_SIZE``."""
+    raw = os.environ.get(_SEGMENT_SIZE_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_SEGMENT_SIZE
+        if value >= 2:
+            return value
+    return DEFAULT_SEGMENT_SIZE
+
+
+def parallel_enabled() -> bool:
+    """Parallel segment scans are on unless ``REPRO_PARALLEL=0``."""
+    return os.environ.get(_PARALLEL_ENV, "1") != "0"
+
+
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+
+
+def _executor() -> ThreadPoolExecutor:
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        workers = min(8, os.cpu_count() or 2)
+        _EXECUTOR = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-segment"
+        )
+    return _EXECUTOR
+
+
+def parallel_map_segments(
+    work: Callable[[T], U],
+    units: Sequence[T],
+    threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+) -> List[U]:
+    """Map *work* over independent segment work units.
+
+    Sequential when parallelism is disabled or there are at most
+    *threshold* units; otherwise the shared thread pool runs them
+    concurrently.  Results come back in input order either way, so the
+    two paths are indistinguishable to the caller -- the property the
+    differential suite asserts.
+    """
+    if len(units) <= threshold or not parallel_enabled():
+        return [work(unit) for unit in units]
+    return list(_executor().map(work, units))
+
+
+class ZoneMap:
+    """Per-segment statistics a query consults before touching elements.
+
+    All coordinates are microseconds on the shared exact time-line.
+    ``vt_lo``/``vt_hi`` cover the union of the segment's valid times
+    (interval endpoints widened to the sentinels when unbounded), so a
+    probe outside ``[vt_lo, vt_hi]`` cannot match anything inside.
+    ``live`` and ``max_closed_tt_stop`` are the only mutable fields:
+    logically deleting an element updates them in place (valid times and
+    insertion stamps never change after sealing).
+    """
+
+    __slots__ = ("tt_lo", "tt_hi", "vt_lo", "vt_hi", "live", "max_closed_tt_stop", "vt_sorted")
+
+    def __init__(
+        self,
+        tt_lo: int,
+        tt_hi: int,
+        vt_lo: int,
+        vt_hi: int,
+        live: int,
+        max_closed_tt_stop: int,
+        vt_sorted: bool,
+    ) -> None:
+        self.tt_lo = tt_lo
+        self.tt_hi = tt_hi
+        self.vt_lo = vt_lo
+        self.vt_hi = vt_hi
+        self.live = live
+        self.max_closed_tt_stop = max_closed_tt_stop
+        self.vt_sorted = vt_sorted
+
+    def may_contain_vt(self, lo: int, hi: int) -> bool:
+        """Could any element's valid time intersect ``[lo, hi]``?"""
+        return not (hi < self.vt_lo or lo > self.vt_hi)
+
+    def alive_at(self, tt_micro: int) -> bool:
+        """Could any element's existence interval contain *tt_micro*?
+
+        Conservative: an element inserted at or before the probe matches
+        only if it is still live or was closed after the probe.
+        """
+        if self.tt_lo > tt_micro:
+            return False
+        return self.live > 0 or self.max_closed_tt_stop > tt_micro
+
+    def __repr__(self) -> str:
+        return (
+            f"ZoneMap(tt=[{self.tt_lo}, {self.tt_hi}], vt=[{self.vt_lo}, {self.vt_hi}], "
+            f"live={self.live}, vt_sorted={self.vt_sorted})"
+        )
+
+
+class Segment:
+    """A contiguous run of the store: ``positions [start, stop)``.
+
+    Sealed segments carry a :class:`ZoneMap`; the mutable head segment
+    has ``zone = None`` and is always scanned.
+    """
+
+    __slots__ = ("ordinal", "start", "stop", "zone", "_elements")
+
+    def __init__(
+        self,
+        ordinal: int,
+        start: int,
+        stop: int,
+        zone: Optional[ZoneMap],
+        elements: List[Element],
+    ) -> None:
+        self.ordinal = ordinal
+        self.start = start
+        self.stop = stop
+        self.zone = zone
+        self._elements = elements  # the store's backing list, not a copy
+
+    @property
+    def sealed(self) -> bool:
+        return self.zone is not None
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __iter__(self) -> Iterator[Element]:
+        elements = self._elements
+        for position in range(self.start, self.stop):
+            yield elements[position]
+
+    def __repr__(self) -> str:
+        kind = "sealed" if self.sealed else "head"
+        return f"Segment(#{self.ordinal} [{self.start}:{self.stop}] {kind})"
+
+
+class SegmentedStore:
+    """The segmented append-ordered element run.
+
+    Invariants (the transaction clock guarantees the first):
+
+    * insertion transaction times are strictly increasing, so positions,
+      segments, and transaction times are all co-sorted;
+    * sealed segments never change membership -- the only in-place
+      mutation is closing an element's existence interval, which updates
+      the owning zone map's ``live`` / ``max_closed_tt_stop``.
+    """
+
+    def __init__(self, segment_size: Optional[int] = None) -> None:
+        self.segment_size = segment_size if segment_size else configured_segment_size()
+        if self.segment_size < 2:
+            raise ValueError("segment size must be at least 2")
+        self._tts: List[int] = []
+        self._elements: List[Element] = []
+        self._zones: List[ZoneMap] = []
+        #: The materialized current-state view: surrogate -> position,
+        #: insertion-ordered (appends arrive in transaction order, so
+        #: iterating the dict yields the current state in tt order).
+        self._current: Dict[int, int] = {}
+        self._view_valid = True
+        #: Monotone mutation counter (appends, extends, closes); lets
+        #: callers version-check anything they derive from the store.
+        self.mutations = 0
+        self._live_total = 0
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append(self, element: Element) -> None:
+        tt = element.tt_start.microseconds
+        if self._tts and tt <= self._tts[-1]:
+            raise ValueError(
+                f"transaction times must be strictly increasing; got {tt} after "
+                f"{self._tts[-1]}"
+            )
+        position = len(self._elements)
+        self._tts.append(tt)
+        self._elements.append(element)
+        if element.is_current:
+            self._live_total += 1
+            if self._view_valid:
+                self._current[element.element_surrogate] = position
+        self.mutations += 1
+        self._seal_full_blocks()
+
+    def extend(self, batch: Sequence[Element]) -> None:
+        """Append a whole batch with one ordering pass.
+
+        Validates before mutating, so a bad batch leaves the store (and
+        its view and zone maps) untouched.
+        """
+        if not batch:
+            return
+        tts = [element.tt_start.microseconds for element in batch]
+        last = self._tts[-1] if self._tts else None
+        for tt in tts:
+            if last is not None and tt <= last:
+                raise ValueError(
+                    f"transaction times must be strictly increasing; got {tt} after "
+                    f"{last}"
+                )
+            last = tt
+        base = len(self._elements)
+        self._tts.extend(tts)
+        self._elements.extend(batch)
+        live = 0
+        if self._view_valid:
+            view = self._current
+            for offset, element in enumerate(batch):
+                if element.is_current:
+                    live += 1
+                    view[element.element_surrogate] = base + offset
+        else:
+            live = sum(1 for element in batch if element.is_current)
+        self._live_total += live
+        self.mutations += 1
+        self._seal_full_blocks()
+
+    def replace(self, position: int, element: Element) -> None:
+        """Swap in a new record at *position* (closing an element).
+
+        Keeps the owning sealed segment's zone map and the current-state
+        view in step with the change.
+        """
+        old = self._elements[position]
+        self._elements[position] = element
+        self.mutations += 1
+        was_live = old.is_current
+        is_live = element.is_current
+        ordinal = position // self.segment_size
+        if ordinal < len(self._zones):
+            zone = self._zones[ordinal]
+            if was_live and not is_live:
+                zone.live -= 1
+                zone.max_closed_tt_stop = max(
+                    zone.max_closed_tt_stop, _encode_stop(element.tt_stop)
+                )
+            elif is_live and not was_live:
+                zone.live += 1
+        if was_live and not is_live:
+            self._live_total -= 1
+            if self._view_valid:
+                self._current.pop(old.element_surrogate, None)
+        elif is_live:
+            if not was_live:
+                self._live_total += 1
+            if self._view_valid:
+                if old.element_surrogate != element.element_surrogate:
+                    self._current.pop(old.element_surrogate, None)
+                    # Re-keyed mid-run: dict order would break tt order.
+                    self._view_valid = False
+                    self._current = {}
+                else:
+                    self._current[element.element_surrogate] = position
+
+    # -- sealing ------------------------------------------------------------------
+
+    def _seal_full_blocks(self) -> None:
+        size = self.segment_size
+        while (len(self._zones) + 1) * size <= len(self._elements):
+            start = len(self._zones) * size
+            self._zones.append(self._build_zone(start, start + size))
+
+    def _build_zone(self, start: int, stop: int) -> ZoneMap:
+        elements = self._elements
+        vt_lo = POS_SENTINEL
+        vt_hi = NEG_SENTINEL
+        live = 0
+        max_closed = NEG_SENTINEL
+        vt_sorted = True
+        previous_key: Optional[int] = None
+        for position in range(start, stop):
+            element = elements[position]
+            vt = element.vt
+            if isinstance(vt, Interval):
+                lo = _encode_stop(vt.start)
+                hi = _encode_stop(vt.end)
+                vt_sorted = False  # the sorted flag covers event runs only
+            else:
+                lo = hi = vt.microseconds
+                if previous_key is not None and lo < previous_key:
+                    vt_sorted = False
+                previous_key = lo
+            if lo < vt_lo:
+                vt_lo = lo
+            if hi > vt_hi:
+                vt_hi = hi
+            if element.is_current:
+                live += 1
+            else:
+                stop_micro = _encode_stop(element.tt_stop)
+                if stop_micro > max_closed:
+                    max_closed = stop_micro
+        return ZoneMap(
+            tt_lo=self._tts[start],
+            tt_hi=self._tts[stop - 1],
+            vt_lo=vt_lo,
+            vt_hi=vt_hi,
+            live=live,
+            max_closed_tt_stop=max_closed,
+            vt_sorted=vt_sorted,
+        )
+
+    # -- segment access ------------------------------------------------------------
+
+    @property
+    def head_start(self) -> int:
+        """First position of the mutable head segment."""
+        return len(self._zones) * self.segment_size
+
+    @property
+    def sealed_count(self) -> int:
+        return len(self._zones)
+
+    def sealed_segments(self) -> Iterator[Segment]:
+        size = self.segment_size
+        elements = self._elements
+        for ordinal, zone in enumerate(self._zones):
+            start = ordinal * size
+            yield Segment(ordinal, start, start + size, zone, elements)
+
+    def segments(self) -> List[Segment]:
+        """All segments in position order, the head (possibly empty) last."""
+        listed = list(self.sealed_segments())
+        head_start = self.head_start
+        if head_start < len(self._elements):
+            listed.append(
+                Segment(len(self._zones), head_start, len(self._elements), None, self._elements)
+            )
+        return listed
+
+    def zone_of(self, ordinal: int) -> ZoneMap:
+        return self._zones[ordinal]
+
+    # -- position search -----------------------------------------------------------
+
+    def position_left(self, tt_micro: int) -> int:
+        """First position with ``tt_start >= tt_micro``."""
+        return bisect.bisect_left(self._tts, tt_micro)
+
+    def position_right(self, tt_micro: int) -> int:
+        """First position with ``tt_start > tt_micro``."""
+        return bisect.bisect_right(self._tts, tt_micro)
+
+    # -- element access ------------------------------------------------------------
+
+    def element_at(self, position: int) -> Element:
+        return self._elements[position]
+
+    def elements_list(self) -> List[Element]:
+        """The backing list (read-only by convention; no copy)."""
+        return self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    # -- the materialized current-state view -----------------------------------------
+
+    def invalidate_view(self) -> None:
+        """Drop the current-state view; it rebuilds lazily on next use."""
+        self._view_valid = False
+        self._current = {}
+
+    @property
+    def view_valid(self) -> bool:
+        return self._view_valid
+
+    def _view(self) -> Dict[int, int]:
+        if not self._view_valid:
+            self._current = {
+                element.element_surrogate: position
+                for position, element in enumerate(self._elements)
+                if element.is_current
+            }
+            self._view_valid = True
+        return self._current
+
+    def live_count(self) -> int:
+        """Number of current elements -- O(1), no scan."""
+        return self._live_total
+
+    def iter_current(self) -> Iterator[Element]:
+        """The current state in transaction order, O(live) via the view."""
+        elements = self._elements
+        for position in self._view().values():
+            yield elements[position]
+
+    # -- introspection -------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "segments_sealed": len(self._zones),
+            "segment_size": self.segment_size,
+            "live_elements": self._live_total,
+        }

@@ -14,14 +14,16 @@ or None.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
-from typing import Any, Iterable, Iterator, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
 from repro.observability import metrics as _metrics
 from repro.relation.element import Element
 from repro.storage.base import StorageEngine
+from repro.storage.segments import parallel_enabled, parallel_map_segments
 
 #: Sentinel microsecond coordinates for unbounded valid-time endpoints.
 _NEG = -(2**62)
@@ -62,7 +64,22 @@ class SQLiteEngine(StorageEngine):
         CREATE INDEX IF NOT EXISTS elements_vt_start ON elements (vt_start);
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    #: Parallelize range reads once the table holds this many rows
+    #: (file-backed engines only; sqlite3 connections are not shareable
+    #: across threads, so each worker opens its own read-only one).
+    DEFAULT_PARALLEL_ROW_THRESHOLD = 8192
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        parallel_row_threshold: Optional[int] = None,
+    ) -> None:
+        self._path = path
+        self._parallel_row_threshold = (
+            parallel_row_threshold
+            if parallel_row_threshold is not None
+            else self.DEFAULT_PARALLEL_ROW_THRESHOLD
+        )
         self._connection = sqlite3.connect(path)
         self._connection.executescript(self._SCHEMA)
         self._connection.commit()
@@ -159,18 +176,76 @@ class SQLiteEngine(StorageEngine):
             raise self._not_found(element_surrogate)
         return self._decode(row)
 
-    def _emit(self, cursor: "sqlite3.Cursor") -> Iterator[Element]:
-        """Decode a result cursor, counting rows scanned when enabled."""
+    def _emit(self, rows: Iterable[Tuple[Any, ...]]) -> Iterator[Element]:
+        """Decode result rows, counting rows scanned when enabled."""
         if not _metrics.enabled():
-            for row in cursor:
+            for row in rows:
                 yield self._decode(row)
             return
         counter = _metrics.registry().counter("storage.sqlite.rows_scanned")
-        for row in cursor:
+        for row in rows:
             counter.inc()
             yield self._decode(row)
 
+    # -- parallel range reads -----------------------------------------------------
+
+    def _partition_tt(self) -> Optional[List[Tuple[int, int]]]:
+        """Disjoint ascending ``tt_start`` half-open ranges covering the
+        table, or None when a parallel read is not worthwhile (in-memory
+        database, small table, or ``REPRO_PARALLEL=0``)."""
+        if self._path == ":memory:" or not parallel_enabled():
+            return None
+        count, lo, hi = self._connection.execute(
+            "SELECT COUNT(*), MIN(tt_start), MAX(tt_start) FROM elements"
+        ).fetchone()
+        if count < self._parallel_row_threshold or lo is None or hi <= lo:
+            return None
+        workers = min(4, os.cpu_count() or 2)
+        span = hi + 1 - lo
+        edges = [lo + (span * i) // workers for i in range(workers)] + [hi + 1]
+        return [
+            (edges[i], edges[i + 1])
+            for i in range(workers)
+            if edges[i] < edges[i + 1]
+        ]
+
+    def _parallel_rows(
+        self,
+        where: str,
+        params: Tuple[Any, ...],
+        ranges: List[Tuple[int, int]],
+    ) -> List[Tuple[Any, ...]]:
+        """Fetch ``WHERE where`` rows chunk-by-chunk on worker threads.
+
+        Each worker opens its own read-only connection (URI mode); chunk
+        ranges are disjoint and ascending, so concatenating the per-chunk
+        ``ORDER BY tt_start`` results reproduces the sequential order
+        exactly.
+        """
+        sql = (
+            "SELECT * FROM elements WHERE "
+            + where
+            + " AND tt_start >= ? AND tt_start < ? ORDER BY tt_start"
+        )
+        uri = f"file:{self._path}?mode=ro"
+
+        def fetch(tt_range: Tuple[int, int]) -> List[Tuple[Any, ...]]:
+            connection = sqlite3.connect(uri, uri=True)
+            try:
+                return connection.execute(sql, params + tt_range).fetchall()
+            finally:
+                connection.close()
+
+        if _metrics.enabled():
+            _metrics.registry().counter("storage.sqlite.parallel_reads").inc()
+        chunks = parallel_map_segments(fetch, ranges, threshold=0)
+        return [row for chunk in chunks for row in chunk]
+
     def scan(self) -> Iterator[Element]:
+        ranges = self._partition_tt()
+        if ranges is not None:
+            yield from self._emit(self._parallel_rows("1=1", (), ranges))
+            return
         cursor = self._connection.execute("SELECT * FROM elements ORDER BY tt_start")
         yield from self._emit(cursor)
 
@@ -191,10 +266,14 @@ class SQLiteEngine(StorageEngine):
             if tt.is_positive:
                 yield from self.current()
             return
+        where = "tt_start <= ? AND (tt_stop IS NULL OR tt_stop > ?)"
+        params = (tt.microseconds, tt.microseconds)
+        ranges = self._partition_tt()
+        if ranges is not None:
+            yield from self._emit(self._parallel_rows(where, params, ranges))
+            return
         cursor = self._connection.execute(
-            "SELECT * FROM elements WHERE tt_start <= ? "
-            "AND (tt_stop IS NULL OR tt_stop > ?) ORDER BY tt_start",
-            (tt.microseconds, tt.microseconds),
+            f"SELECT * FROM elements WHERE {where} ORDER BY tt_start", params
         )
         yield from self._emit(cursor)
 

@@ -52,16 +52,19 @@ def vacuum_engine(engine: StorageEngine, horizon: Timestamp) -> "tuple[MemoryEng
     Rollback answers for ``tt >= horizon``, current queries, and valid
     timeslices are unchanged (asserted by the test suite).
     """
-    compacted = MemoryEngine()
-    kept = 0
+    survivors = []
     purged = 0
     for element in engine.scan():
         if isinstance(element.tt_stop, Timestamp) and element.tt_stop <= horizon:
             purged += 1
             continue
-        compacted.append(element)
-        kept += 1
-    return compacted, VacuumReport(horizon=horizon, kept=kept, purged=purged)
+        survivors.append(element)
+    compacted = MemoryEngine()
+    compacted.extend(survivors)
+    # Compaction changed history wholesale; drop the materialized
+    # current-state view so it rebuilds lazily on the next current().
+    compacted.transaction_index.store.invalidate_view()
+    return compacted, VacuumReport(horizon=horizon, kept=len(survivors), purged=purged)
 
 
 def vacuum_relation(relation: TemporalRelation, horizon: Timestamp) -> VacuumReport:

@@ -20,8 +20,10 @@ from repro.query import (
     ValidOverlap,
     ValidTimeslice,
 )
+from repro.query.planner import Planner
 from repro.relation.schema import TemporalSchema, ValidTimeKind
 from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
 
 
 def build_events(specializations, offsets, name="r"):
@@ -182,6 +184,106 @@ class TestJoinStrategies:
         right = build_intervals("ri", [(4, 8)], [IntervalGloballyNonDecreasing()])
         report = left.explain(self.join_of(left, right))
         assert_report_shape(report, "interval-merge-join")
+
+
+def build_segmented(specializations, offsets, segment_size=8, name="r", vt_index=True):
+    """Events at tt = 10*i with a small segment size (sealed segments
+    appear at realistic test sizes)."""
+    schema = TemporalSchema(name=name, specializations=list(specializations))
+    clock = SimulatedWallClock(start=0)
+    engine = MemoryEngine(maintain_vt_index=vt_index, segment_size=segment_size)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False, engine=engine)
+    for i, offset in enumerate(offsets):
+        clock.advance_to(Timestamp(10 * i))
+        relation.insert("o", Timestamp(10 * i + offset), {})
+    return relation, clock
+
+
+class TestSegmentPruning:
+    """Every pruning-capable strategy reports its zone-map counts."""
+
+    def test_rollback_prefix_prunes_dead_segments(self):
+        relation, clock = build_segmented([], [0] * 64)
+        clock.advance_to(Timestamp(1000))
+        for element in relation.all_elements()[:16]:
+            relation.delete(element.element_surrogate)
+        report = relation.explain(Rollback(Scan(relation), Timestamp(2000)))
+        assert_report_shape(report, "rollback-prefix")
+        # Segments 0-1 (positions 0-15) died before the probe.
+        assert report.segments_pruned == 2
+        assert report.segments_scanned == 6
+        assert "segments  : 6 scanned, 2 pruned by zone maps" in report.render()
+
+    def test_bitemporal_prefix_prunes_on_valid_time(self):
+        relation, _clock = build_segmented([], [0] * 64)
+        report = relation.explain(
+            BitemporalSlice(Scan(relation), vt=Timestamp(0), tt=Timestamp(10_000))
+        )
+        assert_report_shape(report, "bitemporal-prefix")
+        # Only segment 0's valid-time range [0, 70] covers vt=0.
+        assert report.segments_scanned == 1
+        assert report.segments_pruned == 7
+        assert report.returned == 1
+
+    def test_bounded_tt_window_reports_counts(self):
+        relation, _clock = build_segmented(
+            ["strongly bounded(5s, 5s)"], [(-1) ** i * 4 for i in range(64)]
+        )
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(104)))
+        assert_report_shape(report, "bounded-tt-window")
+        assert report.segments_scanned is not None
+        assert report.segments_pruned is not None
+        assert "segments  :" in report.render()
+
+    def test_bounded_overlap_reports_counts(self):
+        relation, _clock = build_segmented(["strongly bounded(5s, 5s)"], [0] * 64)
+        report = relation.explain(
+            ValidOverlap(Scan(relation), Interval(Timestamp(100), Timestamp(140)))
+        )
+        assert_report_shape(report, "bounded-tt-window-overlap")
+        assert report.segments_scanned is not None
+        assert "segments  :" in report.render()
+
+    def test_segment_pruned_scan_without_vt_index(self):
+        relation, _clock = build_segmented([], [0] * 64, vt_index=False)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(0)))
+        assert_report_shape(report, "segment-pruned-scan")
+        assert report.segments_scanned == 1
+        assert report.segments_pruned == 7
+        assert report.returned == 1
+        # Only segment 0's elements were touched.
+        assert report.examined == 8
+
+    def test_non_pruning_strategy_reports_no_counts(self):
+        relation, _clock = build_segmented([], [0] * 64)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(0)))
+        assert_report_shape(report, "engine-index")
+        assert report.segments_scanned is None
+        assert "segments  :" not in report.render()
+
+
+class TestSmallRelationThreshold:
+    def test_below_threshold_falls_to_full_scan(self):
+        count = Planner.SMALL_RELATION_THRESHOLD - 1
+        relation = build_events(["globally non-decreasing"], [3] * count)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(13)))
+        assert_report_shape(report, "small-relation-scan")
+        assert any(
+            f"threshold {Planner.SMALL_RELATION_THRESHOLD}" in decision
+            for decision in report.decisions
+        )
+
+    def test_at_threshold_keeps_specialized_strategy(self):
+        count = Planner.SMALL_RELATION_THRESHOLD
+        relation = build_events(["globally non-decreasing"], [3] * count)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(13)))
+        assert_report_shape(report, "monotone-binary-search")
+
+    def test_degenerate_is_exempt(self):
+        # The degenerate point lookup has no setup cost to skip.
+        relation = build_events(["degenerate"], [0] * 2)
+        report = relation.explain(ValidTimeslice(Scan(relation), Timestamp(10)))
+        assert_report_shape(report, "degenerate-rollback")
 
 
 class TestReportMechanics:

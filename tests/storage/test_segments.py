@@ -1,0 +1,402 @@
+"""The segmented store: sealing, zone maps, the current-state view,
+parallel segment scans -- and the differential property that none of it
+ever changes an answer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.query import NaiveExecutor, Rollback, Scan, ValidTimeslice, operators
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
+from repro.storage.segments import (
+    DEFAULT_SEGMENT_SIZE,
+    SegmentedStore,
+    configured_segment_size,
+    parallel_enabled,
+    parallel_map_segments,
+)
+from repro.storage.sqlite_backend import SQLiteEngine
+from repro.storage.vacuum import vacuum_relation
+from tests.strategies import OBJECTS, SMALL_TICKS, insert_rows, json_safe_attributes
+
+
+@contextmanager
+def parallel_env(value):
+    """Temporarily pin REPRO_PARALLEL ('0'/'1' or None to unset)."""
+    old = os.environ.get("REPRO_PARALLEL")
+    if value is None:
+        os.environ.pop("REPRO_PARALLEL", None)
+    else:
+        os.environ["REPRO_PARALLEL"] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_PARALLEL", None)
+        else:
+            os.environ["REPRO_PARALLEL"] = old
+
+
+def build_relation(segment_size=None, count=0, vt_index=True):
+    schema = TemporalSchema(name="r", time_varying=("reading",))
+    clock = SimulatedWallClock(start=0)
+    engine = MemoryEngine(maintain_vt_index=vt_index, segment_size=segment_size)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False, engine=engine)
+    for i in range(count):
+        clock.advance_to(Timestamp(10 * i))
+        relation.insert("o", Timestamp(10 * i), {"reading": i})
+    return relation, clock
+
+
+class TestSealing:
+    def test_head_seals_at_segment_size(self):
+        relation, _clock = build_relation(segment_size=8, count=20)
+        store = relation.engine.transaction_index.store
+        assert store.sealed_count == 2
+        assert store.head_start == 16
+        segments = store.segments()
+        assert [len(s) for s in segments] == [8, 8, 4]
+        assert [s.sealed for s in segments] == [True, True, False]
+
+    def test_extend_seals_full_blocks(self):
+        relation, _clock = build_relation(segment_size=8)
+        relation.append_many(
+            [("o", Timestamp(i), {"reading": i}) for i in range(17)]
+        )
+        store = relation.engine.transaction_index.store
+        assert store.sealed_count == 2
+        assert len(store) == 17
+
+    def test_zone_map_covers_segment(self):
+        relation, _clock = build_relation(segment_size=8, count=16)
+        store = relation.engine.transaction_index.store
+        zone = store.zone_of(0)
+        assert zone.tt_lo == Timestamp(0).microseconds
+        assert zone.tt_hi == Timestamp(70).microseconds
+        assert zone.vt_lo == Timestamp(0).microseconds
+        assert zone.vt_hi == Timestamp(70).microseconds
+        assert zone.live == 8
+        assert zone.vt_sorted  # valid times arrived in order
+
+    def test_vt_sorted_flag_detects_disorder(self):
+        schema = TemporalSchema(name="r")
+        clock = SimulatedWallClock(start=0)
+        engine = MemoryEngine(segment_size=4)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False, engine=engine)
+        for i, vt in enumerate([5, 3, 8, 1]):  # out of valid-time order
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("o", Timestamp(vt), {})
+        store = engine.transaction_index.store
+        assert store.sealed_count == 1
+        assert not store.zone_of(0).vt_sorted
+
+    def test_ordering_violation_message_unchanged(self):
+        store = SegmentedStore(segment_size=4)
+        from repro.relation.element import Element
+
+        first = Element(
+            element_surrogate=1,
+            object_surrogate="o",
+            tt_start=Timestamp(10),
+            vt=Timestamp(10),
+        )
+        stale = Element(
+            element_surrogate=2,
+            object_surrogate="o",
+            tt_start=Timestamp(5),
+            vt=Timestamp(5),
+        )
+        store.append(first)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            store.append(stale)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            store.extend([stale])
+
+    def test_env_segment_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEGMENT_SIZE", "64")
+        assert configured_segment_size() == 64
+        assert SegmentedStore().segment_size == 64
+        monkeypatch.setenv("REPRO_SEGMENT_SIZE", "bogus")
+        assert configured_segment_size() == DEFAULT_SEGMENT_SIZE
+        monkeypatch.delenv("REPRO_SEGMENT_SIZE")
+        assert configured_segment_size() == DEFAULT_SEGMENT_SIZE
+
+
+class TestZoneMaintenance:
+    def test_close_updates_sealed_zone(self):
+        relation, clock = build_relation(segment_size=8, count=16)
+        store = relation.engine.transaction_index.store
+        victim = relation.all_elements()[3]
+        clock.advance_to(Timestamp(1_000))
+        relation.delete(victim.element_surrogate)
+        zone = store.zone_of(0)
+        assert zone.live == 7
+        assert zone.max_closed_tt_stop > Timestamp(1_000).microseconds - 1
+        assert store.live_count() == 15
+
+    def test_alive_at_prunes_dead_segment(self):
+        relation, clock = build_relation(segment_size=8, count=16)
+        store = relation.engine.transaction_index.store
+        clock.advance_to(Timestamp(1_000))
+        for element in relation.all_elements()[:8]:
+            relation.delete(element.element_surrogate)
+        zone = store.zone_of(0)
+        assert zone.live == 0
+        probe = Timestamp(5_000).microseconds
+        assert not zone.alive_at(probe)  # everything closed before probe
+        assert zone.alive_at(Timestamp(500).microseconds)  # still open then
+
+
+class TestCurrentStateView:
+    def test_view_tracks_appends_and_closes(self):
+        relation, clock = build_relation(segment_size=8, count=12)
+        store = relation.engine.transaction_index.store
+        victim = relation.all_elements()[0]
+        clock.advance_to(Timestamp(900))
+        relation.delete(victim.element_surrogate)
+        expected = [e for e in relation.engine.scan() if e.is_current]
+        assert list(store.iter_current()) == expected
+        assert store.live_count() == len(expected)
+
+    def test_invalidate_then_lazy_rebuild(self):
+        relation, _clock = build_relation(segment_size=8, count=12)
+        store = relation.engine.transaction_index.store
+        expected = list(store.iter_current())
+        store.invalidate_view()
+        assert not store.view_valid
+        assert list(store.iter_current()) == expected  # rebuilt on demand
+        assert store.view_valid
+
+    def test_vacuum_invalidates_then_answers_match(self):
+        relation, clock = build_relation(segment_size=8, count=12)
+        clock.advance_to(Timestamp(500))
+        for element in relation.all_elements()[:4]:
+            relation.delete(element.element_surrogate)
+        before = [e.element_surrogate for e in relation.current()]
+        clock.advance_to(Timestamp(2_000))
+        vacuum_relation(relation, Timestamp(1_000))
+        store = relation.engine.transaction_index.store
+        assert not store.view_valid  # vacuum dropped the view
+        assert [e.element_surrogate for e in relation.current()] == before
+        assert store.view_valid  # and reading it rebuilt it
+
+    def test_current_is_o_live_not_o_history(self):
+        relation, clock = build_relation(segment_size=8, count=40)
+        clock.advance_to(Timestamp(10_000))
+        survivors = relation.all_elements()[:4]
+        for element in relation.all_elements()[4:]:
+            relation.delete(element.element_surrogate)
+        assert relation.live_count() == 4
+        assert sorted(e.element_surrogate for e in relation.current()) == sorted(
+            e.element_surrogate for e in survivors
+        )
+
+
+class TestParallelMap:
+    def test_preserves_order_and_uses_pool(self):
+        seen_threads = set()
+
+        def work(n):
+            seen_threads.add(threading.current_thread().name)
+            return n * n
+
+        with parallel_env("1"):
+            assert parallel_enabled()
+            result = parallel_map_segments(work, list(range(40)), threshold=4)
+        assert result == [n * n for n in range(40)]
+        assert any("repro-segment" in name for name in seen_threads)
+
+    def test_disabled_runs_sequential(self):
+        seen_threads = set()
+
+        def work(n):
+            seen_threads.add(threading.current_thread().name)
+            return n + 1
+
+        with parallel_env("0"):
+            assert not parallel_enabled()
+            result = parallel_map_segments(work, list(range(40)), threshold=4)
+        assert result == list(range(1, 41))
+        assert all("repro-segment" not in name for name in seen_threads)
+
+    def test_below_threshold_stays_sequential(self):
+        seen_threads = set()
+
+        def work(n):
+            seen_threads.add(threading.current_thread().name)
+            return n
+
+        with parallel_env("1"):
+            parallel_map_segments(work, [1, 2, 3], threshold=8)
+        assert all("repro-segment" not in name for name in seen_threads)
+
+
+class TestSQLiteParallelReads:
+    def build(self, tmp_path, threshold=1):
+        schema = TemporalSchema(name="r", time_varying=("reading",))
+        clock = SimulatedWallClock(start=0)
+        engine = SQLiteEngine(
+            str(tmp_path / "r.db"), parallel_row_threshold=threshold
+        )
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False, engine=engine)
+        relation.append_many(
+            [("o", Timestamp(i), {"reading": i}) for i in range(60)]
+        )
+        clock.advance_to(Timestamp(500))
+        for element in relation.all_elements()[:10]:
+            relation.delete(element.element_surrogate)
+        return relation
+
+    def test_parallel_scan_matches_sequential(self, tmp_path):
+        relation = self.build(tmp_path)
+        with parallel_env("0"):
+            sequential = [repr(e) for e in relation.engine.scan()]
+        with parallel_env("1"):
+            parallel = [repr(e) for e in relation.engine.scan()]
+        assert parallel == sequential
+        assert len(parallel) == 60
+
+    def test_parallel_as_of_matches_sequential(self, tmp_path):
+        relation = self.build(tmp_path)
+        probe = Timestamp(30)
+        with parallel_env("0"):
+            sequential = [repr(e) for e in relation.engine.as_of(probe)]
+        with parallel_env("1"):
+            parallel = [repr(e) for e in relation.engine.as_of(probe)]
+        assert parallel == sequential
+
+    def test_memory_database_never_parallelizes(self):
+        engine = SQLiteEngine(parallel_row_threshold=1)
+        schema = TemporalSchema(name="r", time_varying=("reading",))
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, keep_backlog=False, engine=engine)
+        relation.append_many([("o", Timestamp(i), {"reading": i}) for i in range(20)])
+        with parallel_env("1"):
+            assert engine._partition_tt() is None
+            assert len(list(engine.scan())) == 20
+
+
+# -- the differential property -----------------------------------------------------
+
+
+@st.composite
+def segment_workloads(draw):
+    """Randomized interleavings of appends, batches, closes, and vacuum."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=2, max_value=7))):
+        kind = draw(
+            st.sampled_from(["insert", "batch", "batch", "delete", "vacuum"])
+        )
+        if kind == "insert":
+            ops.append(
+                (
+                    "insert",
+                    draw(OBJECTS),
+                    draw(SMALL_TICKS),
+                    draw(json_safe_attributes()),
+                )
+            )
+        elif kind == "batch":
+            ops.append(("batch", draw(insert_rows(min_size=1, max_size=20))))
+        elif kind == "delete":
+            ops.append(("delete", draw(st.integers(min_value=0, max_value=40))))
+        else:
+            ops.append(("vacuum", draw(st.integers(min_value=0, max_value=60))))
+    probes = tuple(draw(SMALL_TICKS) for _ in range(3))
+    return ops, probes
+
+
+def replay(ops, segment_size):
+    schema = TemporalSchema(name="r", time_varying=("reading",))
+    clock = SimulatedWallClock(start=0)
+    engine = MemoryEngine(segment_size=segment_size)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False, engine=engine)
+    tick = 0
+    for op in ops:
+        tick += 100
+        clock.advance_to(Timestamp(tick))
+        if op[0] == "insert":
+            _kind, obj, vt, attributes = op
+            relation.insert(obj, Timestamp(vt), attributes)
+        elif op[0] == "batch":
+            relation.append_many(op[1])
+        elif op[0] == "delete":
+            stored = relation.current()
+            if stored:
+                relation.delete(stored[op[1] % len(stored)].element_surrogate)
+        else:  # vacuum at a horizon inside the history so far
+            vacuum_relation(relation, Timestamp(op[1] % (tick + 1)))
+    return relation
+
+
+def signature(elements):
+    return [
+        (e.element_surrogate, e.tt_start.microseconds, repr(e.tt_stop), repr(e.vt))
+        for e in elements
+    ]
+
+
+def all_answers(relation, probes):
+    """Every engine read path, in engine-reported order."""
+    a, b, c = (Timestamp(p) for p in probes)
+    lo, hi = sorted((probes[0], probes[1] + 1))
+    return {
+        "scan": signature(relation.engine.scan()),
+        "current": signature(relation.engine.current()),
+        "as_of": signature(relation.engine.as_of(a)),
+        "as_of_forever": signature(relation.engine.as_of(FOREVER)),
+        "valid_at": signature(relation.engine.valid_at(b)),
+        "overlap": signature(
+            relation.engine.valid_overlapping(
+                Interval(Timestamp(lo), Timestamp(hi))
+            )
+        ),
+        "rollback_op": signature(operators.rollback_prefix(relation, c)[0]),
+        "bitemporal_op": signature(
+            operators.bitemporal_prefix(relation, b, c)[0]
+        ),
+        "pruned_timeslice_op": signature(
+            operators.timeslice_segment_pruned(relation, b)[0]
+        ),
+    }
+
+
+@settings(deadline=None)
+@given(segment_workloads())
+def test_segmented_engines_match_flat_scan(workload):
+    """Byte-identical answers across segment sizes, parallelism on and off.
+
+    The reference is a store whose segment size exceeds any workload
+    (never seals -- the seed's flat scan), run sequentially; tiny
+    segment sizes force many sealed segments so zone-map pruning and
+    (with >8 work units) the thread pool genuinely engage.
+    """
+    ops, probes = workload
+    with parallel_env("0"):
+        reference = all_answers(replay(ops, 100_000), probes)
+        # The planner's naive executor agrees on the shared shapes.
+        flat = replay(ops, 100_000)
+        naive = NaiveExecutor()
+        assert sorted(signature(naive.run(Rollback(Scan(flat), Timestamp(probes[2]))))) == sorted(
+            reference["rollback_op"]
+        )
+        assert sorted(
+            signature(naive.run(ValidTimeslice(Scan(flat), Timestamp(probes[1]))))
+        ) == sorted(reference["pruned_timeslice_op"])
+    for segment_size in (2, 5):
+        for parallel in ("0", "1"):
+            with parallel_env(parallel):
+                assert all_answers(replay(ops, segment_size), probes) == reference, (
+                    f"divergence at segment_size={segment_size} parallel={parallel}"
+                )
