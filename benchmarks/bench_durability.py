@@ -1,0 +1,176 @@
+"""Durability benchmark: fsync amortization and recovery cost.
+
+Measures the crash-safety claims of the framed write-ahead log:
+
+1. **fsync amortization** -- ``extend`` (one frame run + one commit
+   marker + one fsync per batch) vs a loop of single ``append`` calls
+   (one fsync each).  The batch path must stay well ahead; this is the
+   amortized-durability claim behind batched ingestion.
+2. **recovery correctness under load** -- write a sizable log, tear the
+   tail mid-record, time the reopen, and check the recovered element
+   count equals the committed prefix exactly
+   (``recovered_equals_committed`` is 1.0 or the benchmark fails).
+   Recovery wall-clock is reported as telemetry but not gated: it is
+   dominated by I/O the CI runner does not control.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py            # full (20k)
+    PYTHONPATH=src python benchmarks/bench_durability.py --quick    # CI smoke (2k)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import Any, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.chronos.timestamp import Timestamp
+from repro.observability import metrics
+from repro.observability.timing import timed
+from repro.relation.element import Element
+from repro.storage.logfile import LogFileEngine
+
+
+def make_elements(count: int, start_surrogate: int = 1, start_tt: int = 10) -> List[Element]:
+    return [
+        Element(
+            element_surrogate=start_surrogate + i,
+            object_surrogate=f"obj-{i % 97}",
+            tt_start=Timestamp(start_tt + i),
+            vt=Timestamp(i),
+            time_varying={"reading": float(i)},
+        )
+        for i in range(count)
+    ]
+
+
+def bench_fsync_amortization(count: int, directory: str) -> float:
+    print(f"fsync amortization, {count} elements:")
+    elements = make_elements(count)
+
+    batch_engine = LogFileEngine(os.path.join(directory, "batch.wal"))
+    batched = timed(
+        "extend (one fsync per batch)", lambda: batch_engine.extend(elements)
+    )
+    assert len(batch_engine) == count
+    batch_engine.close()
+
+    single_engine = LogFileEngine(os.path.join(directory, "single.wal"))
+
+    def one_at_a_time() -> None:
+        for element in elements:
+            single_engine.append(element)
+
+    single = timed("append loop (one fsync each)", one_at_a_time)
+    assert len(single_engine) == count
+    single_engine.close()
+
+    speedup = single / batched
+    print(f"  -> batch fsync speedup: {speedup:.1f}x")
+    return speedup
+
+
+def bench_recovery(count: int, directory: str) -> Dict[str, Any]:
+    print(f"torn-tail recovery, {count} committed elements:")
+    path = os.path.join(directory, "recovery.wal")
+    engine = LogFileEngine(path)
+    engine.extend(make_elements(count))
+    committed_bytes = engine.log_bytes()
+    # One more batch, then tear into its final record: the batch lost
+    # its commit marker, so recovery must discard it entirely.
+    engine.extend(
+        make_elements(count // 10 or 1, start_surrogate=count + 1, start_tt=count + 100)
+    )
+    engine.close()
+    with open(path, "r+b") as handle:
+        handle.seek(0, 2)
+        handle.truncate(handle.tell() - 7)
+
+    reopened = None
+
+    def reopen() -> None:
+        nonlocal reopened
+        reopened = LogFileEngine(path)
+
+    seconds = timed("reopen with recovery", reopen)
+    report = reopened.last_recovery
+    recovered = len(reopened)
+    reopened.close()
+    correct = 1.0 if (recovered == count and report.committed_bytes == committed_bytes) else 0.0
+    print(
+        f"  -> recovered {recovered}/{count} committed elements, "
+        f"truncated {report.truncated_bytes} bytes "
+        f"({'exact' if correct else 'MISMATCH'})"
+    )
+    return {
+        "recovery_seconds": seconds,
+        "recovered_elements": recovered,
+        "recovered_equals_committed": correct,
+        "truncated_bytes": report.truncated_bytes,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: 2k elements"
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="override the element count (default: 20000, or 2000 with --quick)",
+    )
+    parser.add_argument(
+        "--emit-json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="run with metrics enabled, write BENCH_durability.json, and "
+        "gate the results against benchmarks/thresholds.json",
+    )
+    args = parser.parse_args(argv)
+    count = args.count if args.count is not None else (2_000 if args.quick else 20_000)
+
+    if args.emit_json is not None:
+        metrics.enable()
+        metrics.reset()
+    with tempfile.TemporaryDirectory() as tmp:
+        speedup = bench_fsync_amortization(count, tmp)
+        recovery = bench_recovery(count, tmp)
+
+    failed = False
+    if recovery["recovered_equals_committed"] != 1.0:
+        print("FAIL: recovered state does not equal the committed prefix")
+        failed = True
+
+    if args.emit_json is not None:
+        from report import check_thresholds, write_bench_json
+
+        results: Dict[str, Any] = {"count": count, "batch_fsync_speedup": speedup}
+        results.update(recovery)
+        write_bench_json(
+            "durability",
+            results,
+            parameters={"quick": args.quick, "count": count},
+            directory=args.emit_json,
+        )
+        metrics.disable()
+        benchmark = "durability_quick" if args.quick else "durability"
+        for line in check_thresholds(results, benchmark):
+            print(f"FAIL: {line}")
+            failed = True
+
+    if not failed:
+        print("all durability targets met")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,9 @@ Commands:
   under the observability layer: chosen strategy, the planner's pruning
   decisions, timed spans, and (with ``--metrics``) the registry
   snapshot;
+* ``recover FILE [--dry-run]`` -- scan a write-ahead log (v0 or v1),
+  quarantine any torn/corrupt/uncommitted tail into ``FILE.corrupt``,
+  truncate the log to its committed prefix, and report what was done;
 * ``demo`` -- a one-screen tour (insert, enforce, query, infer).
 """
 
@@ -99,6 +102,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the metrics-registry snapshot for the run",
     )
 
+    recover = commands.add_parser(
+        "recover",
+        help="scan a write-ahead log, truncate any torn/uncommitted tail, report",
+    )
+    recover.add_argument("path", help="the log file to recover")
+    recover.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report only; leave the file (and no sidecar) untouched",
+    )
+
     commands.add_parser("demo", help="a one-screen tour")
     return parser
 
@@ -111,6 +125,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "classify": _cmd_classify,
         "workload": _cmd_workload,
         "explain": _cmd_explain,
+        "recover": _cmd_recover,
         "demo": _cmd_demo,
     }[arguments.command]
     return handler(arguments)
@@ -202,6 +217,22 @@ def _cmd_explain(arguments: argparse.Namespace) -> int:
         if arguments.metrics:
             print("metrics   :")
             print(registry.snapshot_json(indent=2))
+    return 0
+
+
+def _cmd_recover(arguments: argparse.Namespace) -> int:
+    """Exit 0 when the log is clean or was recovered; 1 when a dry run
+    found damage (so scripts can gate on it); 2 when unreadable."""
+    from repro.storage.wal import recover_file
+
+    try:
+        _batches, report = recover_file(arguments.path, dry_run=arguments.dry_run)
+    except OSError as error:
+        print(f"cannot read {arguments.path}: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if arguments.dry_run and not report.clean:
+        return 1
     return 0
 
 

@@ -23,7 +23,10 @@ implements the representations the paper names:
 * :mod:`repro.storage.segments` -- the segmented transaction-time store
   shared by the engines: sealed ~4k-element segments with zone maps for
   pruning, a materialized current-state view, and thread-pool parallel
-  segment scans.
+  segment scans;
+* :mod:`repro.storage.wal` -- the framed, checksummed write-ahead-log
+  record layout used by :class:`~repro.storage.logfile.LogFileEngine`,
+  with torn-tail recovery (``.corrupt`` quarantine + truncation).
 """
 
 from repro.storage.backlog import Backlog, Operation, OperationKind
@@ -41,8 +44,11 @@ from repro.storage.segments import (
 )
 from repro.storage.snapshot import SnapshotCache
 from repro.storage.sqlite_backend import SQLiteEngine
+from repro.storage.wal import RecoveryReport, recover_file
 
 __all__ = [
+    "RecoveryReport",
+    "recover_file",
     "Backlog",
     "Operation",
     "OperationKind",

@@ -57,8 +57,16 @@ class Backlog:
 
     # -- appending -------------------------------------------------------------
 
-    def record_insert(self, element: Element) -> None:
-        self._check_order(element.tt_start)
+    def record_insert(self, element: Element, *, coincident: bool = False) -> None:
+        """Record an insertion.
+
+        ``coincident=True`` relaxes the strictly-increasing stamp check
+        to non-decreasing: one transaction storing several tuples gives
+        every resulting operation the same stamp (Section 2's "indexed
+        by the transaction time of the transaction making the change").
+        The log-file loader uses it to round-trip such runs.
+        """
+        self._check_order(element.tt_start, coincident=coincident)
         if element.element_surrogate in self._live:
             raise ValueError(
                 f"element surrogate {element.element_surrogate} already current"
@@ -118,8 +126,10 @@ class Backlog:
         self._operations.extend(operations)
         self._live.update(zip(surrogates, batch))
 
-    def record_delete(self, element_surrogate: int, tt: Timestamp) -> None:
-        self._check_order(tt)
+    def record_delete(
+        self, element_surrogate: int, tt: Timestamp, *, coincident: bool = False
+    ) -> None:
+        self._check_order(tt, coincident=coincident)
         if element_surrogate not in self._live:
             raise ElementNotFound(f"no current element with surrogate {element_surrogate}")
         self._operations.append(Operation(OperationKind.DELETE, tt, element_surrogate))
@@ -148,11 +158,20 @@ class Backlog:
         del self._live[deleted_surrogate]
         self._live[replacement.element_surrogate] = replacement
 
-    def _check_order(self, tt: Timestamp) -> None:
-        if self._operations and not self._operations[-1].tt < tt:
+    def _check_order(self, tt: Timestamp, coincident: bool = False) -> None:
+        if not self._operations:
+            return
+        last = self._operations[-1].tt
+        if coincident:
+            if tt < last:
+                raise ValueError(
+                    f"operations must carry non-decreasing transaction times; "
+                    f"got {tt!r} after {last!r}"
+                )
+        elif not last < tt:
             raise ValueError(
                 f"operations must carry strictly increasing transaction times; "
-                f"got {tt!r} after {self._operations[-1].tt!r}"
+                f"got {tt!r} after {last!r}"
             )
 
     # -- reconstruction ------------------------------------------------------------
@@ -223,6 +242,23 @@ class Backlog:
                 compacted._operations.append(operation)
                 del compacted._live[operation.element_surrogate]
         return compacted
+
+    def compact_in_place(self, horizon: Timestamp) -> int:
+        """Vacuum this backlog's own history up to *horizon*.
+
+        Same semantics as :meth:`compact`, but rewrites this instance's
+        operation prefix instead of returning a copy -- the in-place
+        analogue used when an engine-level vacuum wants the backlog's
+        space back too.  Returns the number of operations discarded.
+        Anything derived from the old prefix (snapshot caches) detects
+        the rewrite and rebuilds
+        (:class:`repro.storage.snapshot.SnapshotCache`).
+        """
+        compacted = self.compact(horizon)
+        discarded = len(self._operations) - len(compacted._operations)
+        self._operations = compacted._operations
+        self._live = compacted._live
+        return discarded
 
     # -- introspection ------------------------------------------------------------------
 

@@ -33,6 +33,46 @@ class MemoryEngine(StorageEngine):
         self._vt_events: Optional[ValidTimeEventIndex] = None
         self._vt_intervals: Optional[IntervalTree[int]] = None
 
+    # -- validation without mutation ----------------------------------------------
+    #
+    # The write-then-apply engines (the log-file WAL) must know that a
+    # mutation will be accepted *before* making it durable, because the
+    # in-memory apply that follows the disk write is not allowed to
+    # fail.  These raise exactly what the mutators would, touch nothing,
+    # and cover every check the mutators perform.
+
+    def validate_append(self, element: Element) -> None:
+        """Raise iff :meth:`append` would; mutates nothing."""
+        if element.element_surrogate in self._positions:
+            raise ValueError(
+                f"element surrogate {element.element_surrogate} already stored"
+            )
+        self._tt_index.store.validate_tts([element.tt_start.microseconds])
+
+    def validate_extend(self, batch: Iterable[Element]) -> None:
+        """Raise iff :meth:`extend` would reject the batch; mutates nothing."""
+        batch = list(batch)
+        if not batch:
+            return
+        surrogates = [element.element_surrogate for element in batch]
+        fresh = set(surrogates)
+        if len(fresh) != len(surrogates) or self._positions.keys() & fresh:
+            seen: set = set()
+            for surrogate in surrogates:
+                if surrogate in self._positions or surrogate in seen:
+                    raise ValueError(f"element surrogate {surrogate} already stored")
+                seen.add(surrogate)
+        self._tt_index.store.validate_tts(
+            [element.tt_start.microseconds for element in batch]
+        )
+
+    def validate_close(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
+        """The element :meth:`close_element` would produce; mutates nothing."""
+        position = self._positions.get(element_surrogate)
+        if position is None:
+            raise self._not_found(element_surrogate)
+        return self._tt_index.element_at(position).closed(tt_stop)
+
     # -- mutation -----------------------------------------------------------------
 
     def append(self, element: Element) -> None:

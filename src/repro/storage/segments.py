@@ -257,6 +257,22 @@ class SegmentedStore:
         self.mutations += 1
         self._seal_full_blocks()
 
+    def validate_tts(self, tts: Sequence[int]) -> None:
+        """Check that *tts* can extend the store, mutating nothing.
+
+        Raises the same ``ValueError`` the mutators would; engines that
+        must not fail after a durable write (the log-file engine's
+        validate/write/apply protocol) call this first.
+        """
+        last = self._tts[-1] if self._tts else None
+        for tt in tts:
+            if last is not None and tt <= last:
+                raise ValueError(
+                    f"transaction times must be strictly increasing; got {tt} after "
+                    f"{last}"
+                )
+            last = tt
+
     def extend(self, batch: Sequence[Element]) -> None:
         """Append a whole batch with one ordering pass.
 
@@ -266,14 +282,7 @@ class SegmentedStore:
         if not batch:
             return
         tts = [element.tt_start.microseconds for element in batch]
-        last = self._tts[-1] if self._tts else None
-        for tt in tts:
-            if last is not None and tt <= last:
-                raise ValueError(
-                    f"transaction times must be strictly increasing; got {tt} after "
-                    f"{last}"
-                )
-            last = tt
+        self.validate_tts(tts)
         base = len(self._elements)
         self._tts.extend(tts)
         self._elements.extend(batch)

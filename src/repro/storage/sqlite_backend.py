@@ -16,7 +16,8 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+import time
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, TimePoint, Timestamp
@@ -42,6 +43,40 @@ def _decode_point(coordinate: int) -> TimePoint:
     if coordinate <= _NEG:
         return NEGATIVE_INFINITY
     return Timestamp(coordinate, "microsecond")
+
+
+_T = TypeVar("_T")
+
+#: Busy/locked retry schedule: attempts and first backoff (seconds).
+#: Exponential doubling, so the defaults wait ~1+2+4+8+16 = 31ms total.
+_BUSY_ATTEMPTS = 6
+_BUSY_BASE_DELAY = 0.001
+
+
+def _is_busy(error: sqlite3.OperationalError) -> bool:
+    return "locked" in str(error).lower() or "busy" in str(error).lower()
+
+
+def _with_busy_retry(operation: Callable[[], _T]) -> _T:
+    """Run *operation*, retrying SQLITE_BUSY/LOCKED with backoff.
+
+    Parallel segment readers open extra connections against the same
+    file, so writers (and the readers themselves) can observe transient
+    lock contention that sqlite3's own busy timeout does not always
+    absorb -- notably immediate "database is locked" on connect-time
+    schema reads.  Retries are bounded; a held lock still surfaces as
+    the original ``OperationalError`` after the schedule is exhausted.
+    """
+    for attempt in range(_BUSY_ATTEMPTS):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not _is_busy(error) or attempt == _BUSY_ATTEMPTS - 1:
+                raise
+            if _metrics.enabled():
+                _metrics.registry().counter("storage.sqlite.busy_retries").inc()
+            time.sleep(_BUSY_BASE_DELAY * (2**attempt))
+    raise AssertionError("unreachable")
 
 
 class SQLiteEngine(StorageEngine):
@@ -117,15 +152,17 @@ class SQLiteEngine(StorageEngine):
 
     def append(self, element: Element) -> None:
         try:
-            self._connection.execute(
-                "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                self._encode(element),
+            _with_busy_retry(
+                lambda: self._connection.execute(
+                    "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    self._encode(element),
+                )
             )
         except sqlite3.IntegrityError as error:
             raise ValueError(
                 f"element surrogate {element.element_surrogate} already stored"
             ) from error
-        self._connection.commit()
+        _with_busy_retry(self._connection.commit)
         if _metrics.enabled():
             registry = _metrics.registry()
             registry.counter("storage.sqlite.rows_appended").inc()
@@ -140,15 +177,17 @@ class SQLiteEngine(StorageEngine):
         if not rows:
             return 0
         try:
-            self._connection.executemany(
-                "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)", rows
+            _with_busy_retry(
+                lambda: self._connection.executemany(
+                    "INSERT INTO elements VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)", rows
+                )
             )
         except sqlite3.IntegrityError as error:
             self._connection.rollback()
             raise ValueError(
                 "a batch element surrogate is already stored; batch rolled back"
             ) from error
-        self._connection.commit()
+        _with_busy_retry(self._connection.commit)
         if _metrics.enabled():
             registry = _metrics.registry()
             registry.counter("storage.sqlite.batch_appends").inc()
@@ -159,11 +198,13 @@ class SQLiteEngine(StorageEngine):
     def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
         element = self.get(element_surrogate)  # raises if absent
         closed = element.closed(tt_stop)  # validates ordering / double delete
-        self._connection.execute(
-            "UPDATE elements SET tt_stop = ? WHERE element_surrogate = ?",
-            (tt_stop.microseconds, element_surrogate),
+        _with_busy_retry(
+            lambda: self._connection.execute(
+                "UPDATE elements SET tt_stop = ? WHERE element_surrogate = ?",
+                (tt_stop.microseconds, element_surrogate),
+            )
         )
-        self._connection.commit()
+        _with_busy_retry(self._connection.commit)
         return closed
 
     # -- lookup -------------------------------------------------------------------
@@ -230,11 +271,14 @@ class SQLiteEngine(StorageEngine):
         uri = f"file:{self._path}?mode=ro"
 
         def fetch(tt_range: Tuple[int, int]) -> List[Tuple[Any, ...]]:
-            connection = sqlite3.connect(uri, uri=True)
-            try:
-                return connection.execute(sql, params + tt_range).fetchall()
-            finally:
-                connection.close()
+            def read() -> List[Tuple[Any, ...]]:
+                connection = sqlite3.connect(uri, uri=True)
+                try:
+                    return connection.execute(sql, params + tt_range).fetchall()
+                finally:
+                    connection.close()
+
+            return _with_busy_retry(read)
 
         if _metrics.enabled():
             _metrics.registry().counter("storage.sqlite.parallel_reads").inc()

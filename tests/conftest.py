@@ -9,7 +9,11 @@ Two hypothesis profiles:
 * ``dev`` (default) -- a small example budget, so the tier-1 suite
   stays fast for local loops;
 * ``ci`` -- at least 200 examples per property, no deadline, used by
-  the CI workflow via ``HYPOTHESIS_PROFILE=ci``.
+  the CI workflow via ``HYPOTHESIS_PROFILE=ci``;
+* ``faults`` -- a reduced budget for the durability crash-matrix
+  properties (each example replays a whole workload at every byte
+  offset, so examples are expensive); used by the CI fault-injection
+  leg via ``HYPOTHESIS_PROFILE=faults``.
 """
 
 from __future__ import annotations
@@ -38,4 +42,10 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile(
+    "faults",
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

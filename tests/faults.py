@@ -1,0 +1,105 @@
+"""Fault injection for durability tests.
+
+:class:`FaultyFile` wraps a binary file object and injects a write-path
+fault at the *Nth* I/O operation (write and fsync calls both count,
+starting at 0).  Fault kinds:
+
+* ``"enospc"`` -- the write fails up front, nothing reaches the file
+  (a full disk detected before any byte lands);
+* ``"torn"`` -- the write persists only a prefix of the payload, then
+  fails (a crash / full disk mid-write: the torn-tail case recovery
+  must truncate);
+* ``"short"`` -- like ``torn`` but surfaced as ``EIO``: a short write
+  the caller is told about;
+* ``"fsync"`` -- writes succeed, the matching fsync fails (data may be
+  in the page cache but durability was never acknowledged).
+
+``LogFileEngine`` calls the handle's own ``fsync()`` when it has one,
+so the wrapper intercepts durability points without patching ``os``.
+A fault fires once; subsequent operations pass through, which lets
+tests assert that the engine repairs its tail and keeps working.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from typing import IO, Optional
+
+FAULT_KINDS = ("enospc", "torn", "short", "fsync")
+
+
+class FaultyFile:
+    """A binary file wrapper that fails the Nth write/fsync operation."""
+
+    def __init__(
+        self,
+        handle: IO[bytes],
+        *,
+        fail_at: int = 0,
+        kind: str = "enospc",
+        partial_bytes: Optional[int] = None,
+    ) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} (expected one of {FAULT_KINDS})")
+        self._handle = handle
+        self._fail_at = fail_at
+        self._kind = kind
+        self._partial_bytes = partial_bytes
+        self.operations = 0  # writes + fsyncs seen so far
+        self.faults_fired = 0
+
+    def _due(self) -> bool:
+        due = self.operations == self._fail_at and self.faults_fired == 0
+        self.operations += 1
+        return due
+
+    # -- faulted operations -------------------------------------------------------
+
+    def write(self, payload: bytes) -> int:
+        if self._due() and self._kind in ("enospc", "torn", "short"):
+            self.faults_fired += 1
+            if self._kind == "enospc":
+                raise OSError(errno.ENOSPC, "injected: no space left on device")
+            partial = (
+                self._partial_bytes
+                if self._partial_bytes is not None
+                else len(payload) // 2
+            )
+            self._handle.write(payload[:partial])
+            self._handle.flush()  # the torn prefix really reaches the file
+            if self._kind == "torn":
+                raise OSError(errno.ENOSPC, "injected: torn write (disk filled mid-record)")
+            raise OSError(errno.EIO, f"injected: short write ({partial}/{len(payload)} bytes)")
+        return self._handle.write(payload)
+
+    def fsync(self) -> None:
+        if self._due() and self._kind == "fsync":
+            self.faults_fired += 1
+            raise OSError(errno.EIO, "injected: fsync failure")
+        os.fsync(self._handle.fileno())
+
+    # -- transparent delegation ---------------------------------------------------
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __getattr__(self, name: str):
+        return getattr(self._handle, name)
+
+
+def arm(engine, **kwargs) -> FaultyFile:
+    """Wrap a ``LogFileEngine``'s live handle with a fault plan."""
+    wrapper = FaultyFile(engine._handle, **kwargs)
+    engine._handle = wrapper
+    return wrapper

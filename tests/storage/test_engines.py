@@ -1,5 +1,7 @@
 """Cross-engine tests: memory and SQLite must behave identically."""
 
+import sqlite3
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -197,3 +199,44 @@ class TestSQLitePersistence:
         element = engine.get(1)
         assert element.vt.end is FOREVER
         assert element.valid_at(Timestamp(10**9))
+
+
+class TestBusyRetry:
+    """Transient SQLITE_BUSY/LOCKED errors are retried with backoff."""
+
+    def test_transient_lock_is_absorbed(self):
+        from repro.observability import metrics
+        from repro.storage import sqlite_backend
+
+        failures = iter([True, True, False])
+
+        def flaky():
+            if next(failures):
+                raise sqlite3.OperationalError("database is locked")
+            return "done"
+
+        with metrics.enabled_scope(fresh=True) as registry:
+            assert sqlite_backend._with_busy_retry(flaky) == "done"
+        assert registry.snapshot()["counters"]["storage.sqlite.busy_retries"] == 2
+
+    def test_persistent_lock_still_surfaces(self):
+        from repro.storage import sqlite_backend
+
+        def held():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            sqlite_backend._with_busy_retry(held)
+
+    def test_non_busy_errors_are_not_retried(self):
+        from repro.storage import sqlite_backend
+
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise sqlite3.OperationalError("no such table: elements")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            sqlite_backend._with_busy_retry(broken)
+        assert len(calls) == 1

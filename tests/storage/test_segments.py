@@ -351,6 +351,8 @@ def all_answers(relation, probes):
     """Every engine read path, in engine-reported order."""
     a, b, c = (Timestamp(p) for p in probes)
     lo, hi = sorted((probes[0], probes[1] + 1))
+    if lo == hi:  # probes can collide; Interval requires start < end
+        hi += 1
     return {
         "scan": signature(relation.engine.scan()),
         "current": signature(relation.engine.current()),

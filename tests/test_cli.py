@@ -133,3 +133,60 @@ class TestDemo:
         output = capsys.readouterr().out
         assert "rejected" in output
         assert "inferred" in output
+
+
+class TestRecover:
+    def build_log(self, tmp_path):
+        from repro.chronos.timestamp import Timestamp
+        from repro.relation.element import Element
+        from repro.storage.logfile import LogFileEngine
+
+        path = str(tmp_path / "crash.wal")
+        engine = LogFileEngine(path)
+        engine.append(
+            Element(
+                element_surrogate=1,
+                object_surrogate="obj",
+                tt_start=Timestamp(10),
+                vt=Timestamp(5),
+            )
+        )
+        engine.close()
+        return path
+
+    def tear(self, path, bytes_off=3):
+        with open(path, "r+b") as handle:
+            handle.seek(0, 2)
+            handle.truncate(handle.tell() - bytes_off)
+
+    def test_clean_log_exits_zero(self, tmp_path, capsys):
+        path = self.build_log(tmp_path)
+        assert main(["recover", path]) == 0
+        assert "damage    : none" in capsys.readouterr().out
+
+    def test_recovers_torn_tail(self, tmp_path, capsys):
+        path = self.build_log(tmp_path)
+        self.tear(path)
+        assert main(["recover", path]) == 0
+        out = capsys.readouterr().out
+        assert "truncated" in out
+        import os
+
+        assert os.path.exists(path + ".corrupt")
+        # A second pass sees a clean log.
+        assert main(["recover", path]) == 0
+        assert "damage    : none" in capsys.readouterr().out
+
+    def test_dry_run_reports_damage_without_touching(self, tmp_path, capsys):
+        import os
+
+        path = self.build_log(tmp_path)
+        self.tear(path)
+        size = os.path.getsize(path)
+        assert main(["recover", path, "--dry-run"]) == 1
+        assert os.path.getsize(path) == size
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_unreadable_path_exits_two(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "absent.wal")]) == 2
+        assert "cannot read" in capsys.readouterr().err
