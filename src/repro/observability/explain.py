@@ -46,6 +46,11 @@ class ExplainReport:
     #: segment-at-a-time (point lookups, engine-index delegation, naive).
     segments_scanned: Optional[int] = None
     segments_pruned: Optional[int] = None
+    #: Columnar accounting; None unless the stamp-column kernels ran
+    #: (positions the kernels tested vs Element objects materialized --
+    #: the late-materialization ratio).
+    columnar_positions_examined: Optional[int] = None
+    columnar_elements_materialized: Optional[int] = None
 
     def render(self) -> str:
         lines: List[str] = []
@@ -64,6 +69,12 @@ class ExplainReport:
                 lines.append(
                     f"segments  : {self.segments_scanned} scanned, "
                     f"{self.segments_pruned} pruned by zone maps"
+                )
+            if self.columnar_positions_examined is not None:
+                lines.append(
+                    f"columnar  : {self.columnar_positions_examined} positions "
+                    f"examined, {self.columnar_elements_materialized} elements "
+                    "materialized"
                 )
         lines.append("spans     :")
         lines.append(self.trace.render())
@@ -140,6 +151,11 @@ def explain_query(
                     segments_scanned=plan.segment_stats.scanned,
                     segments_pruned=plan.segment_stats.pruned,
                 )
+                if plan.segment_stats.columnar:
+                    operator_span.annotate(
+                        columnar_positions=plan.segment_stats.positions_examined,
+                        columnar_materialized=plan.segment_stats.materialized,
+                    )
         span.annotate(returned=len(results))
     report.examined = plan.examined
     report.returned = len(results)
@@ -147,4 +163,7 @@ def explain_query(
     if plan.segment_stats is not None:
         report.segments_scanned = plan.segment_stats.scanned
         report.segments_pruned = plan.segment_stats.pruned
+        if plan.segment_stats.columnar:
+            report.columnar_positions_examined = plan.segment_stats.positions_examined
+            report.columnar_elements_materialized = plan.segment_stats.materialized
     return report

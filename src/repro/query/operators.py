@@ -26,16 +26,44 @@ from repro.chronos.interval import Interval
 from repro.chronos.timestamp import TimePoint, Timestamp
 from repro.relation.element import Element
 from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.columnar import (
+    StampColumns,
+    columnar_enabled,
+    positions_bitemporal,
+    positions_live,
+    positions_overlapping,
+    positions_stored_at,
+    positions_valid_at,
+)
 from repro.storage.indexes import TransactionTimeIndex
 from repro.storage.segments import SegmentedStore, ZoneMap, parallel_map_segments
 
 Result = Tuple[List[Element], int]
+
+#: A column kernel: positions surviving the predicate within [lo, hi).
+Kernel = Callable[[StampColumns, int, int], List[int]]
 
 
 def _tt_index(relation: TemporalRelation) -> Optional[TransactionTimeIndex]:
     # Any engine exposing a transaction_index (memory, logfile mirror)
     # gets the specialized transaction-order strategies.
     return getattr(relation.engine, "transaction_index", None)
+
+
+def columnar_active(relation: TemporalRelation) -> bool:
+    """Will the segment-shaped operators run on column kernels here?
+
+    True only when the engine's store carries the stamp sidecar *and*
+    ``REPRO_COLUMNAR`` is on right now -- the same dynamic check
+    :func:`_scan_segments` makes, so the planner's advertised strategy
+    matches what actually executes.
+    """
+    index = _tt_index(relation)
+    return (
+        index is not None
+        and index.store.columns is not None
+        and columnar_enabled()
+    )
 
 
 @dataclass
@@ -45,10 +73,19 @@ class SegmentStats:
     ``scanned`` + ``pruned`` is the number of segments the candidate
     transaction-time range overlapped; ``pruned`` of them were skipped
     on zone-map evidence alone.
+
+    When the columnar path ran, ``columnar`` is set and
+    ``positions_examined`` / ``materialized`` record how many column
+    rows the kernels tested versus how many ``Element`` objects were
+    actually built for the answer -- the late-materialization ratio
+    ``explain()`` surfaces.
     """
 
     scanned: int = 0
     pruned: int = 0
+    columnar: bool = False
+    positions_examined: int = 0
+    materialized: int = 0
 
 
 def _scan_segments(
@@ -58,6 +95,7 @@ def _scan_segments(
     element_match: Callable[[Element], bool],
     zone_match: Callable[[ZoneMap], bool],
     stats: Optional[SegmentStats],
+    kernel: Optional[Kernel] = None,
 ) -> Result:
     """Filter positions ``[start, stop)`` segment-at-a-time.
 
@@ -68,6 +106,14 @@ def _scan_segments(
     :func:`parallel_map_segments` and results concatenate in position
     order, so output order and the examined count are identical with
     parallelism on or off.
+
+    When a *kernel* is supplied and the store carries stamp columns
+    (and ``REPRO_COLUMNAR`` is on), each work unit runs the kernel over
+    the columns and hands back a **position list**; the surviving
+    ``Element`` objects are materialized only after the merge.  The
+    kernel must encode exactly the predicate *element_match* evaluates
+    on objects -- the differential suite holds the two paths to
+    byte-identical answers.
     """
     if stop <= start:
         return [], 0
@@ -95,6 +141,29 @@ def _scan_segments(
         stats.pruned += pruned
     elements = store.elements_list()
 
+    columns = store.columns
+    if kernel is not None and columns is not None and columnar_enabled():
+        stamp_columns = columns  # narrowed for the closure
+
+        def column_work(unit: Tuple[int, int]) -> Tuple[List[int], int]:
+            lo, hi = unit
+            return kernel(stamp_columns, lo, hi), hi - lo
+
+        matches: List[Element] = []
+        examined = 0
+        materialized = 0
+        for positions, touched in parallel_map_segments(column_work, units):
+            # Late materialization: objects are fetched only for the
+            # positions the kernel kept, in position (= tt) order.
+            matches.extend(elements[position] for position in positions)
+            examined += touched
+            materialized += len(positions)
+        if stats is not None:
+            stats.columnar = True
+            stats.positions_examined += examined
+            stats.materialized += materialized
+        return matches, examined
+
     def work(unit: Tuple[int, int]) -> Result:
         lo, hi = unit
         kept = []
@@ -104,12 +173,12 @@ def _scan_segments(
                 kept.append(element)
         return kept, hi - lo
 
-    matches: List[Element] = []
-    examined = 0
+    object_matches: List[Element] = []
+    object_examined = 0
     for kept, touched in parallel_map_segments(work, units):
-        matches.extend(kept)
-        examined += touched
-    return matches, examined
+        object_matches.extend(kept)
+        object_examined += touched
+    return object_matches, object_examined
 
 
 # -- baseline -------------------------------------------------------------------
@@ -156,13 +225,23 @@ def rollback_prefix(
         stop = store.position_right(tt.microseconds)
         tt_micro = tt.microseconds
         zone_match: Callable[[ZoneMap], bool] = lambda zone: zone.alive_at(tt_micro)
+        kernel: Kernel = lambda columns, lo, hi: positions_stored_at(
+            columns, lo, hi, tt_micro
+        )
     elif tt.is_positive:  # FOREVER: the current state
         stop = len(store)
         zone_match = lambda zone: zone.live > 0
+        kernel = positions_live
     else:  # NEGATIVE_INFINITY: empty prefix
         return [], 0
     return _scan_segments(
-        store, 0, stop, lambda element: element.stored_during(tt), zone_match, stats
+        store,
+        0,
+        stop,
+        lambda element: element.stored_during(tt),
+        zone_match,
+        stats,
+        kernel=kernel,
     )
 
 
@@ -245,6 +324,7 @@ def timeslice_bounded_window(
         lambda element: element.is_current and element.valid_at(vt),
         lambda zone: zone.live > 0 and zone.may_contain_vt(target, target),
         stats,
+        kernel=lambda columns, lo, hi: positions_valid_at(columns, lo, hi, target),
     )
 
 
@@ -280,6 +360,7 @@ def overlap_bounded_window(
     )
     vt_lo = start.microseconds
     vt_hi = end.microseconds - 1  # the window is half-open
+    win_hi = end.microseconds  # kernels keep the exclusive endpoint
     return _scan_segments(
         store,
         first,
@@ -287,6 +368,9 @@ def overlap_bounded_window(
         lambda element: element.is_current and window.contains_point(element.vt),  # type: ignore[arg-type]
         lambda zone: zone.live > 0 and zone.may_contain_vt(vt_lo, vt_hi),
         stats,
+        kernel=lambda columns, lo, hi: positions_overlapping(
+            columns, lo, hi, vt_lo, win_hi
+        ),
     )
 
 
@@ -396,6 +480,7 @@ def timeslice_segment_pruned(
         lambda element: element.is_current and element.valid_at(vt),
         lambda zone: zone.live > 0 and zone.may_contain_vt(target, target),
         stats,
+        kernel=lambda columns, lo, hi: positions_valid_at(columns, lo, hi, target),
     )
 
 
@@ -524,9 +609,13 @@ def bitemporal_prefix(
         zone_match: Callable[[ZoneMap], bool] = lambda zone: (
             zone.alive_at(tt_micro) and zone.may_contain_vt(target, target)
         )
-    elif tt.is_positive:  # FOREVER
+        kernel: Kernel = lambda columns, lo, hi: positions_bitemporal(
+            columns, lo, hi, tt_micro, target
+        )
+    elif tt.is_positive:  # FOREVER: limit state = current state
         stop = len(store)
         zone_match = lambda zone: zone.live > 0 and zone.may_contain_vt(target, target)
+        kernel = lambda columns, lo, hi: positions_valid_at(columns, lo, hi, target)
     else:
         return [], 0
     return _scan_segments(
@@ -536,4 +625,5 @@ def bitemporal_prefix(
         lambda element: element.stored_during(tt) and element.valid_at(vt),
         zone_match,
         stats,
+        kernel=kernel,
     )

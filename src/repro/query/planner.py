@@ -70,6 +70,9 @@ class PlannedQuery:
         if self.segment_stats is not None:
             self.segment_stats.scanned = 0
             self.segment_stats.pruned = 0
+            self.segment_stats.columnar = False
+            self.segment_stats.positions_examined = 0
+            self.segment_stats.materialized = 0
         if not _metrics.enabled():
             results, examined = self._thunk()
             self.examined = examined
@@ -84,6 +87,13 @@ class PlannedQuery:
         if self.segment_stats is not None:
             registry.counter("query.segments_scanned").inc(self.segment_stats.scanned)
             registry.counter("query.segments_pruned").inc(self.segment_stats.pruned)
+            if self.segment_stats.columnar:
+                registry.counter("query.columnar_positions_examined").inc(
+                    self.segment_stats.positions_examined
+                )
+                registry.counter("query.columnar_elements_materialized").inc(
+                    self.segment_stats.materialized
+                )
         return results
 
 
@@ -100,7 +110,7 @@ class Planner:
         self._region_cache: Optional[OffsetRegion] = None
         self._region_computed = False
         self._stats_cache: Optional[dict] = None
-        self._stats_version: Optional[int] = None
+        self._stats_key: Optional[Tuple[int, Tuple[int, int]]] = None
 
     # -- declared-semantics predicates --------------------------------------------
 
@@ -145,16 +155,31 @@ class Planner:
         return self._region_cache
 
     def relation_statistics(self) -> dict:
-        """The relation's planner-visible metadata, cached per version.
+        """The relation's planner-visible metadata, cached per epoch.
 
-        Repeated planning between mutations reuses the cached snapshot;
-        a mutation (one bump per batch) invalidates it.
+        Repeated planning between mutations reuses the cached snapshot.
+        The cache key is the relation version *and* the storage epoch
+        (engine identity + its store's mutation counter), so changes
+        that bypass the relation's own mutators -- a vacuum swapping the
+        engine out, a bulk ``extend()`` straight into the engine --
+        still invalidate it and a later query re-plans against fresh
+        counts.
         """
-        version = self.relation.version
-        if self._stats_cache is None or self._stats_version != version:
+        key = (self.relation.version, self._engine_epoch())
+        if self._stats_cache is None or self._stats_key != key:
             self._stats_cache = self.relation.statistics()
-            self._stats_version = version
+            self._stats_key = key
         return self._stats_cache
+
+    def _engine_epoch(self) -> Tuple[int, int]:
+        """Identity of the engine plus its segmented store's monotone
+        mutation counter (falls back to the element count for engines
+        without one)."""
+        engine = self.relation.engine
+        index = getattr(engine, "transaction_index", None)
+        if index is not None:
+            return (id(engine), index.store.mutations)
+        return (id(engine), len(engine))
 
     def _compute_offset_region(self) -> Optional[OffsetRegion]:
         region: Optional[OffsetRegion] = None
@@ -192,6 +217,11 @@ class Planner:
                 strategy="naive",
                 explanation="no applicable rule; reference executor",
                 _thunk=lambda: _run_naive(query),
+            )
+        if plan.segment_stats is not None and operators.columnar_active(self.relation):
+            decisions.append(
+                "columnar: stamp-column kernel with late materialization "
+                "(REPRO_COLUMNAR=0 selects the object path)"
             )
         decisions.append(f"chosen: {plan.strategy} -- {plan.explanation}")
         plan.decisions = decisions
@@ -457,6 +487,23 @@ class Planner:
                 )
             decisions.append("bounded-tt-window: pruned -- no bounded region declared")
             if not getattr(self.relation.engine, "has_vt_index", False):
+                if operators.columnar_active(self.relation):
+                    decisions.append(
+                        "columnar-scan: no valid-time index; zone maps prune, "
+                        "then the timeslice kernel runs on the stamp columns"
+                    )
+                    stats = operators.SegmentStats()
+                    return PlannedQuery(
+                        strategy="columnar-scan",
+                        explanation=(
+                            "no valid-time index available; zone-map pruning, then "
+                            "column kernels with late element materialization"
+                        ),
+                        _thunk=lambda: operators.timeslice_segment_pruned(
+                            self.relation, vt, stats=stats
+                        ),
+                        segment_stats=stats,
+                    )
                 decisions.append(
                     "segment-pruned-scan: no valid-time index; zone maps prune "
                     "the full transaction range"

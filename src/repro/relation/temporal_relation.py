@@ -81,6 +81,7 @@ class TemporalRelation:
         self._backlog = Backlog() if keep_backlog else None
         self._version = 0
         self._statistics: Optional[Dict[str, int]] = None
+        self._statistics_epoch: Optional[Tuple[int, int]] = None
         if engine is not None and len(engine):
             self._adopt_existing()
 
@@ -453,19 +454,45 @@ class TemporalRelation:
         self._version += 1
         self._statistics = None
 
+    def notify_engine_replaced(self) -> None:
+        """Tell the relation its engine was swapped out from under it.
+
+        Vacuum (and anything else that rebinds ``relation.engine``)
+        must call this: it bumps the version so every version-keyed
+        cache -- the relation's own statistics, planner snapshots,
+        prepared-query plans -- re-derives against the new engine.
+        """
+        self._bump_version()
+
+    def _engine_epoch(self) -> Tuple[int, int]:
+        """Identity + mutation count of the storage underneath.
+
+        Catches changes that bypass the relation's mutators (an engine
+        swap, a bulk ``extend()`` straight into the engine), which the
+        version counter alone cannot see.
+        """
+        index = getattr(self.engine, "transaction_index", None)
+        if index is not None:
+            return (id(self.engine), index.store.mutations)
+        return (id(self.engine), len(self.engine))
+
     def statistics(self) -> Dict[str, int]:
-        """Planner-visible metadata, recomputed at most once per version.
+        """Planner-visible metadata, recomputed at most once per epoch.
 
         Includes the element count, the relation version, and whatever
         counters the engine exposes (e.g. the memory engine's in-order
-        append ratio).  Batched ingestion refreshes this once per batch.
+        append ratio).  Batched ingestion refreshes this once per batch;
+        out-of-band engine changes (vacuum, direct extends) invalidate
+        via the storage epoch.
         """
-        if self._statistics is None:
+        epoch = self._engine_epoch()
+        if self._statistics is None or self._statistics_epoch != epoch:
             stats: Dict[str, int] = {"version": self._version, "elements": len(self.engine)}
             engine_stats = getattr(self.engine, "index_statistics", None)
             if callable(engine_stats):
                 stats.update(engine_stats())
             self._statistics = stats
+            self._statistics_epoch = epoch
         return dict(self._statistics)
 
     def __len__(self) -> int:

@@ -7,8 +7,13 @@ the classic centered construction: each node stores the intervals
 containing its center, sorted by both endpoints, giving
 O(log n + k) stabbing queries.
 
-The tree is rebuilt lazily: mutations mark it dirty and the next query
-rebuilds, which suits the append-mostly workloads of temporal relations.
+The first query builds the tree from whatever has accumulated; after
+that, single appends insert **incrementally** -- descend by center and
+either join a node's spanning lists or grow a new leaf -- so an
+append/query workload no longer rebuilds the whole tree per mutation.
+Bulk loads into an already-built tree insert the same way; bulk loads
+into an empty (or never-queried) tree just accumulate and build once on
+the next query.  ``rebuilds`` counts full builds for regression tests.
 """
 
 from __future__ import annotations
@@ -29,6 +34,34 @@ def _coord(point: TimePoint) -> int:
     if isinstance(point, Timestamp):
         return point.microseconds
     return _POS if point.is_positive else _NEG
+
+
+def _insort_by_start(items: List[Tuple[int, int, "Payload"]], item: Tuple[int, int, "Payload"]) -> None:
+    """Insert keeping ascending start order, after equal starts (the
+    position a stable sort of the appended list would give).  Manual
+    binary search: ``bisect`` only grew a ``key=`` parameter in 3.10."""
+    key = item[0]
+    lo, hi = 0, len(items)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if items[mid][0] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    items.insert(lo, item)
+
+
+def _insort_by_end_desc(items: List[Tuple[int, int, "Payload"]], item: Tuple[int, int, "Payload"]) -> None:
+    """Insert keeping descending end order, after equal ends."""
+    key = item[1]
+    lo, hi = 0, len(items)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if items[mid][1] >= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    items.insert(lo, item)
 
 
 class _Node(Generic[Payload]):
@@ -55,10 +88,17 @@ class IntervalTree(Generic[Payload]):
         self._items: List[Tuple[int, int, Payload]] = []
         self._root: Optional[_Node[Payload]] = None
         self._dirty = False
+        #: Full builds performed (regression-tested: appends after the
+        #: first query must insert incrementally, not trigger rebuilds).
+        self.rebuilds = 0
 
     def add(self, interval: Interval, payload: Payload) -> None:
-        self._items.append((_coord(interval.start), _coord(interval.end), payload))
-        self._dirty = True
+        item = (_coord(interval.start), _coord(interval.end), payload)
+        self._items.append(item)
+        if self._root is not None and not self._dirty:
+            self._insert(item)
+        else:
+            self._dirty = True
 
     def bulk_load(self, items: Iterable[Tuple[Interval, Payload]]) -> None:
         for interval, payload in items:
@@ -136,6 +176,36 @@ class IntervalTree(Generic[Payload]):
         if self._dirty or (self._root is None and self._items):
             self._root = self._build(self._items)
             self._dirty = False
+            self.rebuilds += 1
+
+    def _insert(self, item: Tuple[int, int, Payload]) -> None:
+        """Place one item into the built tree without rebuilding.
+
+        Descend exactly the partition rule :meth:`_build` uses; an item
+        spanning a node's center joins that node's sorted lists at the
+        position a stable re-sort would have given it, and an item that
+        falls off the frontier grows a new leaf whose center it spans --
+        so every node keeps the invariant ``start <= center < end`` for
+        its spanning intervals, which is all the queries rely on.
+        """
+        start, end, _payload = item
+        node = self._root
+        assert node is not None
+        while True:
+            if end <= node.center:
+                if node.left is None:
+                    node.left = _Node((start + end) // 2, [item], None, None)
+                    return
+                node = node.left
+            elif start > node.center:
+                if node.right is None:
+                    node.right = _Node((start + end) // 2, [item], None, None)
+                    return
+                node = node.right
+            else:
+                _insort_by_start(node.by_start, item)
+                _insort_by_end_desc(node.by_end, item)
+                return
 
     def _build(
         self, items: Sequence[Tuple[int, int, Payload]]

@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import Timestamp
 from repro.relation.element import Element
+from repro.storage.columnar import StampColumns, columnar_enabled
 
 #: Sentinel microsecond coordinates for unbounded endpoints (the same
 #: convention the SQLite and log-file codecs use).
@@ -237,6 +238,13 @@ class SegmentedStore:
         #: callers version-check anything they derive from the store.
         self.mutations = 0
         self._live_total = 0
+        #: The columnar stamp sidecar (``repro.storage.columnar``): four
+        #: int64 stamp columns plus a live bitmap, maintained row-for-row
+        #: with ``_elements`` (head segment included).  ``None`` when the
+        #: store was built under ``REPRO_COLUMNAR=0``; operators check
+        #: both this and the env flag at query time, so the object path
+        #: stays the behavioural reference.
+        self.columns: Optional[StampColumns] = StampColumns() if columnar_enabled() else None
 
     # -- mutation -----------------------------------------------------------------
 
@@ -250,6 +258,8 @@ class SegmentedStore:
         position = len(self._elements)
         self._tts.append(tt)
         self._elements.append(element)
+        if self.columns is not None:
+            self.columns.append(element)
         if element.is_current:
             self._live_total += 1
             if self._view_valid:
@@ -286,6 +296,8 @@ class SegmentedStore:
         base = len(self._elements)
         self._tts.extend(tts)
         self._elements.extend(batch)
+        if self.columns is not None:
+            self.columns.extend(batch)
         live = 0
         if self._view_valid:
             view = self._current
@@ -307,6 +319,8 @@ class SegmentedStore:
         """
         old = self._elements[position]
         self._elements[position] = element
+        if self.columns is not None:
+            self.columns.rewrite(position, element)
         self.mutations += 1
         was_live = old.is_current
         is_live = element.is_current
@@ -453,11 +467,22 @@ class SegmentedStore:
 
     def _view(self) -> Dict[int, int]:
         if not self._view_valid:
-            self._current = {
-                element.element_surrogate: position
-                for position, element in enumerate(self._elements)
-                if element.is_current
-            }
+            if self.columns is not None and columnar_enabled():
+                # Current-state feed kernel: walk the live bitmap and
+                # materialize only the survivors' surrogates, instead of
+                # probing ``is_current`` on every historical object.
+                elements = self._elements
+                self._current = {
+                    elements[position].element_surrogate: position
+                    for position, alive in enumerate(self.columns.live)
+                    if alive
+                }
+            else:
+                self._current = {
+                    element.element_surrogate: position
+                    for position, element in enumerate(self._elements)
+                    if element.is_current
+                }
             self._view_valid = True
         return self._current
 

@@ -59,7 +59,16 @@ def vacuum_engine(engine: StorageEngine, horizon: Timestamp) -> "tuple[MemoryEng
             purged += 1
             continue
         survivors.append(element)
-    compacted = MemoryEngine()
+    # Preserve the source engine's configuration: vacuuming must change
+    # how much history is kept, not how the survivors are stored (the
+    # extend below also rebuilds the stamp-column sidecar from the
+    # survivors -- vacuum is what compacts deleted rows out of the
+    # columns, since logical deletes only clear live bits in place).
+    index = getattr(engine, "transaction_index", None)
+    compacted = MemoryEngine(
+        maintain_vt_index=getattr(engine, "has_vt_index", True),
+        segment_size=index.store.segment_size if index is not None else None,
+    )
     compacted.extend(survivors)
     # Compaction changed history wholesale; drop the materialized
     # current-state view so it rebuilds lazily on the next current().
@@ -76,6 +85,10 @@ def vacuum_relation(relation: TemporalRelation, horizon: Timestamp) -> VacuumRep
     """
     compacted, report = vacuum_engine(relation.engine, horizon)
     relation.engine = compacted
+    # The swap happened outside the relation's own mutators; bump the
+    # version so statistics and planner caches re-derive (a post-vacuum
+    # query must re-plan against the compacted counts).
+    relation.notify_engine_replaced()
     return report
 
 

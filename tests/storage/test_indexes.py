@@ -9,6 +9,7 @@ from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY, Timestamp
 from repro.relation.element import Element
 from repro.storage.indexes import BoundedWindow, TransactionTimeIndex, ValidTimeEventIndex
 from repro.storage.interval_tree import IntervalTree
+from repro.storage.memory import MemoryEngine
 
 
 def event_element(surrogate: int, tt: int, vt: int) -> Element:
@@ -17,6 +18,15 @@ def event_element(surrogate: int, tt: int, vt: int) -> Element:
         object_surrogate="obj",
         tt_start=Timestamp(tt),
         vt=Timestamp(vt),
+    )
+
+
+def interval_element(surrogate: int, tt: int, vt_start: int, vt_end: int) -> Element:
+    return Element(
+        element_surrogate=surrogate,
+        object_surrogate="obj",
+        tt_start=Timestamp(tt),
+        vt=Interval(Timestamp(vt_start), Timestamp(vt_end)),
     )
 
 
@@ -203,3 +213,65 @@ class TestIntervalTree:
             i for i, interval in enumerate(intervals) if interval.overlaps(window)
         )
         assert sorted(tree.overlapping(window)) == expected
+
+
+class TestIntervalTreeIncrementalInsert:
+    """Appends after a build insert into the existing tree in place --
+    the regression is a rebuild (or a fresh tree) per mutation."""
+
+    def iv(self, start, end):
+        return Interval(Timestamp(start), Timestamp(end))
+
+    def test_appends_after_build_do_not_rebuild(self):
+        tree = IntervalTree()
+        for i in range(16):
+            tree.add(self.iv(i, i + 3), i)
+        assert sorted(tree.stab(Timestamp(5))) == [3, 4, 5]
+        assert tree.rebuilds == 1
+        for i in range(16, 200):
+            tree.add(self.iv(i, i + 3), i)
+            # Queries between appends stay correct without re-sorting
+            # the whole item set.
+            assert sorted(tree.stab(Timestamp(i))) == [i - 2, i - 1, i]
+        assert tree.rebuilds == 1
+
+    def test_engine_preserves_index_identity_across_appends(self):
+        engine = MemoryEngine()
+        for i in range(10):
+            engine.append(interval_element(i, 10 * i, 10 * i, 10 * i + 25))
+        assert len(list(engine.valid_at(Timestamp(30)))) > 0  # force build
+        tree = engine.interval_index
+        assert tree is not None
+        before = tree.rebuilds
+        for i in range(10, 40):
+            engine.append(interval_element(i, 10 * i, 10 * i, 10 * i + 25))
+            engine.valid_at(Timestamp(10 * i + 1))
+        assert engine.interval_index is tree
+        assert tree.rebuilds == before
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(1, 40)),
+            min_size=2,
+            max_size=40,
+        ),
+        st.integers(-60, 100),
+        st.integers(1, 50),
+    )
+    def test_incremental_matches_batch_built(self, spans, probe, window_length):
+        incremental = IntervalTree()
+        for identifier, (start, length) in enumerate(spans):
+            incremental.add(self.iv(start, start + length), identifier)
+            # Query every step: the first stab builds, the rest insert
+            # into the built tree.
+            incremental.stab(Timestamp(probe))
+        batch = IntervalTree()
+        for identifier, (start, length) in enumerate(spans):
+            batch.add(self.iv(start, start + length), identifier)
+        point = Timestamp(probe)
+        assert sorted(incremental.stab(point)) == sorted(batch.stab(point))
+        window = self.iv(probe, probe + window_length)
+        assert sorted(incremental.overlapping(window)) == sorted(
+            batch.overlapping(window)
+        )
+        assert incremental.rebuilds == 1

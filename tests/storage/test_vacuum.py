@@ -4,15 +4,18 @@ from hypothesis import given, settings, strategies as st
 
 from repro.chronos.clock import SimulatedWallClock
 from repro.chronos.timestamp import Timestamp
-from repro.query import NaiveExecutor, Scan, ValidTimeslice
+from repro.query import NaiveExecutor, Planner, Scan, ValidTimeslice
+from repro.relation.element import Element
 from repro.relation.schema import TemporalSchema
 from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
 from repro.storage.vacuum import (
     tt_horizon_for_valid_floor,
     vacuum_engine,
     vacuum_relation,
 )
 from repro.workloads import generate_general
+from tests.storage.test_segments import signature
 
 
 class TestVacuumEngine:
@@ -118,3 +121,84 @@ class TestHorizonFromValidFloor:
                 )
             )
             assert observed == surrogates, vt
+
+
+class TestStatisticsFreshness:
+    """Planner and relation statistics must not survive an engine swap
+    or a bulk extend that bypasses the relation's own mutators."""
+
+    def build_segmented(self, count=40, specializations=()):
+        schema = TemporalSchema(
+            name="x", time_varying=("v",), specializations=list(specializations)
+        )
+        clock = SimulatedWallClock(start=0)
+        engine = MemoryEngine(maintain_vt_index=False, segment_size=8)
+        relation = TemporalRelation(
+            schema, clock=clock, keep_backlog=False, engine=engine
+        )
+        for i in range(count):
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("o", Timestamp(10 * i), {"v": i})
+        return relation, clock
+
+    def test_vacuum_preserves_engine_configuration(self):
+        relation, clock = self.build_segmented()
+        clock.advance_to(Timestamp(1000))
+        for element in relation.all_elements()[:30]:
+            relation.delete(element.element_surrogate)
+        vacuum_relation(relation, Timestamp(10**6))
+        assert relation.engine.has_vt_index is False
+        assert relation.engine.transaction_index.store.segment_size == 8
+
+    def test_post_vacuum_query_replans_with_fresh_counts(self):
+        # Declared bounds make the small-relation rule applicable, so
+        # the strategy choice is sensitive to the cached element count.
+        relation, clock = self.build_segmented(
+            specializations=["strongly bounded(5s, 5s)"]
+        )
+        planner = Planner(relation)
+        query = ValidTimeslice(Scan(relation), Timestamp(390))
+        plan = planner.plan(query)
+        assert plan.strategy == "bounded-tt-window"
+        assert planner.relation_statistics()["elements"] == 40
+        # Close everything but the last 3, then vacuum past the closures:
+        # the compacted relation is small enough for the direct scan.
+        clock.advance_to(Timestamp(1000))
+        for element in relation.all_elements()[:37]:
+            relation.delete(element.element_surrogate)
+        vacuum_relation(relation, Timestamp(10**6))
+        assert len(relation.engine) == 3
+        # The SAME planner instance must re-derive, not reuse, its
+        # cached statistics (the engine object was swapped out under it).
+        assert planner.relation_statistics()["elements"] == 3
+        replanned = planner.plan(query)
+        assert replanned.strategy == "small-relation-scan"
+        expected = signature(NaiveExecutor().run(query))
+        assert signature(replanned.execute()) == expected
+
+    def test_relation_statistics_fresh_after_vacuum(self):
+        relation, clock = self.build_segmented()
+        assert relation.statistics()["elements"] == 40
+        clock.advance_to(Timestamp(1000))
+        for element in relation.all_elements()[:20]:
+            relation.delete(element.element_surrogate)
+        vacuum_relation(relation, Timestamp(10**6))
+        assert relation.statistics()["elements"] == 20
+
+    def test_statistics_fresh_after_direct_engine_extend(self):
+        relation, _clock = self.build_segmented(count=10)
+        planner = Planner(relation)
+        assert relation.statistics()["elements"] == 10
+        assert planner.relation_statistics()["elements"] == 10
+        last = relation.all_elements()[-1]
+        extra = Element(
+            element_surrogate=last.element_surrogate + 1,
+            object_surrogate="o",
+            tt_start=Timestamp(last.tt_start.microseconds + 1, "microsecond"),
+            vt=Timestamp(5000),
+        )
+        # Bypass the relation: extend the engine directly.  The epoch
+        # (the store's mutation counter) still catches it.
+        relation.engine.extend([extra])
+        assert relation.statistics()["elements"] == 11
+        assert planner.relation_statistics()["elements"] == 11
