@@ -15,6 +15,8 @@ Commands:
 * ``recover FILE [--dry-run]`` -- scan a write-ahead log (v0 or v1),
   quarantine any torn/corrupt/uncommitted tail into ``FILE.corrupt``,
   truncate the log to its committed prefix, and report what was done;
+* ``serve`` -- run the asyncio HTTP/JSON server over a (possibly
+  pre-loaded) temporal database (see ``docs/server.md``);
 * ``demo`` -- a one-screen tour (insert, enforce, query, infer).
 """
 
@@ -113,6 +115,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report only; leave the file (and no sidecar) untouched",
     )
 
+    serve = commands.add_parser(
+        "serve", help="run the asyncio HTTP/JSON server (see docs/server.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--workload",
+        choices=sorted(_WORKLOADS),
+        action="append",
+        default=None,
+        help="pre-load an example workload relation (repeatable)",
+    )
+    serve.add_argument("--seed", type=int, default=1992)
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="writer-queue bound; a full queue answers 429 (default 64)",
+    )
+    serve.add_argument(
+        "--reader-threads",
+        type=int,
+        default=8,
+        help="reader pool width for concurrent-safe engines (default 8)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for durable engines created via POST /relations",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="leave the metrics registry disabled",
+    )
+
     commands.add_parser("demo", help="a one-screen tour")
     return parser
 
@@ -126,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "workload": _cmd_workload,
         "explain": _cmd_explain,
         "recover": _cmd_recover,
+        "serve": _cmd_serve,
         "demo": _cmd_demo,
     }[arguments.command]
     return handler(arguments)
@@ -233,6 +272,42 @@ def _cmd_recover(arguments: argparse.Namespace) -> int:
     print(report.render())
     if arguments.dry_run and not report.clean:
         return 1
+    return 0
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import ServerConfig, TemporalServer
+
+    config = ServerConfig(
+        host=arguments.host,
+        port=arguments.port,
+        queue_limit=arguments.queue_limit,
+        reader_threads=arguments.reader_threads,
+        metrics=not arguments.no_metrics,
+        data_dir=arguments.data_dir,
+        close_engines=True,
+    )
+    server = TemporalServer(config)
+    for name in arguments.workload or ():
+        import repro.workloads as workloads
+
+        generator = getattr(workloads, _WORKLOADS[name])
+        server.attach_relation(generator(seed=arguments.seed).relation)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"(relations: {', '.join(server.database.names()) or 'none'})"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shut down")
     return 0
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import gc
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     Hashable,
@@ -38,6 +39,9 @@ from typing import (
     Tuple,
     Union,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.epoch import EpochPin
 
 from repro.chronos.clock import LogicalClock, TimerSource, TransactionClock
 from repro.chronos.interval import Interval
@@ -86,12 +90,26 @@ class TemporalRelation:
             self._adopt_existing()
 
     def _adopt_existing(self) -> None:
-        """Re-seed surrogates and warm constraint monitors from storage."""
+        """Re-seed surrogates, the clock, and constraint monitors from
+        storage.
+
+        The clock must move past every persisted transaction time:
+        otherwise a reopened relation would re-issue stamps at or below
+        the adopted data (breaking tt uniqueness) and its first epoch
+        pin (``peek() - 1``) would predate -- and therefore hide -- the
+        committed state.
+        """
         high = 0
+        high_tt = -1
         for element in self.engine.scan():
             high = max(high, element.element_surrogate)
+            high_tt = max(high_tt, element.tt_start.microseconds)
+            if not element.is_current:
+                high_tt = max(high_tt, element.tt_stop.microseconds)
             self.constraints.observe(element)
         self._surrogates.reserve_through(high)
+        if high_tt >= 0:
+            self.clock.reserve_through(Timestamp(high_tt, "microsecond"))
 
     # -- update operations ----------------------------------------------------------
 
@@ -439,6 +457,30 @@ class TemporalRelation:
         from repro.observability.explain import explain_query
 
         return explain_query(self, query, execute=execute, timer=timer)
+
+    def pin_epoch(self) -> "EpochPin":
+        """Pin the last committed epoch for snapshot-consistent reads.
+
+        Returns an :class:`repro.storage.epoch.EpochPin` whose
+        coordinate is one microsecond *before* the next stamp the
+        transaction clock would issue -- i.e. the largest coordinate
+        covering every committed operation and no future one.  Reads
+        evaluated as ``as_of(pin.as_of)`` (or with ``as_of_tt=pin.as_of``)
+        then see exactly the pinned state, even while later mutations
+        land in the same store (append-only: see
+        :mod:`repro.storage.epoch`).
+
+        Must be called at a writer-quiescent point -- never concurrently
+        with an in-flight mutation, whose stamps are drawn before its
+        elements are stored.
+        """
+        from repro.storage.epoch import EpochPin
+
+        return EpochPin(
+            tt_micro=self.clock.peek().microseconds - 1,
+            elements=len(self.engine),
+            version=self._version,
+        )
 
     # -- planner-visible metadata ---------------------------------------------------
 

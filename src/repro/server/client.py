@@ -1,0 +1,188 @@
+"""A small asyncio client for the temporal server.
+
+Used by the test harness and the load benchmark; speaks the same
+hand-rolled HTTP/1.1 subset as the server over one keep-alive
+connection (one request in flight at a time -- spin up one client per
+concurrent actor).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+from urllib.parse import quote, urlencode
+
+
+@dataclass
+class ClientResponse:
+    """One HTTP response, parsed."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body) if self.body else None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServerClient:
+    """One keep-alive connection to a :class:`TemporalServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServerClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    # -- raw request/response ---------------------------------------------------------
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        query: Optional[Dict[str, Any]] = None,
+    ) -> ClientResponse:
+        if self._writer is None or self._reader is None:
+            await self.connect()
+        assert self._writer is not None and self._reader is not None
+        target = path
+        if query:
+            target += "?" + urlencode({k: str(v) for k, v in query.items()})
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("ascii")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> ClientResponse:
+        assert self._reader is not None
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("ascii").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return ClientResponse(status=status, headers=headers, body=body)
+
+    # -- typed helpers ----------------------------------------------------------------
+
+    async def health(self) -> ClientResponse:
+        return await self.request("GET", "/health")
+
+    async def metrics(self) -> ClientResponse:
+        return await self.request("GET", "/metrics")
+
+    async def create_relation(self, spec: Dict[str, Any]) -> ClientResponse:
+        return await self.request("POST", "/relations", payload=spec)
+
+    async def append(
+        self,
+        relation: str,
+        object_surrogate: Any,
+        vt: Any,
+        attributes: Optional[Dict[str, Any]] = None,
+        wait: bool = True,
+    ) -> ClientResponse:
+        return await self.request(
+            "POST",
+            f"/relations/{quote(relation)}/append",
+            payload={"object": object_surrogate, "vt": vt, "attributes": attributes},
+            query=None if wait else {"wait": "false"},
+        )
+
+    async def bulk(
+        self, relation: str, rows: Sequence[Sequence[Any]], wait: bool = True
+    ) -> ClientResponse:
+        return await self.request(
+            "POST",
+            f"/relations/{quote(relation)}/bulk",
+            payload={"rows": [list(row) for row in rows]},
+            query=None if wait else {"wait": "false"},
+        )
+
+    async def delete(self, relation: str, surrogate: int) -> ClientResponse:
+        return await self.request(
+            "POST", f"/relations/{quote(relation)}/delete", payload={"surrogate": surrogate}
+        )
+
+    async def current(self, relation: str) -> ClientResponse:
+        return await self.request("GET", f"/relations/{quote(relation)}/current")
+
+    async def timeslice(
+        self, relation: str, vt: int, as_of: Optional[int] = None
+    ) -> ClientResponse:
+        query: Dict[str, Any] = {"vt": vt}
+        if as_of is not None:
+            query["as_of"] = as_of
+        return await self.request(
+            "GET", f"/relations/{quote(relation)}/timeslice", query=query
+        )
+
+    async def overlap(
+        self, relation: str, start: int, end: int, as_of: Optional[int] = None
+    ) -> ClientResponse:
+        query: Dict[str, Any] = {"start": start, "end": end}
+        if as_of is not None:
+            query["as_of"] = as_of
+        return await self.request(
+            "GET", f"/relations/{quote(relation)}/overlap", query=query
+        )
+
+    async def rollback(self, relation: str, tt: int) -> ClientResponse:
+        return await self.request(
+            "GET", f"/relations/{quote(relation)}/rollback", query={"tt": tt}
+        )
+
+    async def query(self, tql: str) -> ClientResponse:
+        return await self.request("POST", "/query", payload={"tql": tql})
+
+    async def explain(
+        self, relation: str, tql: str, execute: bool = True
+    ) -> ClientResponse:
+        return await self.request(
+            "POST",
+            f"/relations/{quote(relation)}/explain",
+            payload={"tql": tql, "execute": execute},
+        )

@@ -1,0 +1,272 @@
+"""Wire schemas and the canonical element codec.
+
+The request/response surface mirrors the temporal-backend schema style
+of the tkg-context-engine exemplars -- typed request models with
+up-front validation -- rendered here with stdlib dataclasses instead
+of pydantic.  Every temporal coordinate on the wire is a microsecond
+integer on the shared exact time-line (the same convention as the
+log-file WAL codec, which this module reuses); unbounded endpoints use
+the WAL's sentinel coordinates.
+
+The element codec is *canonical*: elements are serialized with sorted
+keys and emitted in ``(tt_start, element_surrogate)`` order, so the
+same logical state produces byte-identical payloads regardless of
+which engine (or which index iteration order) produced it.  The
+differential suite asserts exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.relation.element import Element, ValidTime
+from repro.relation.schema import TemporalSchema
+from repro.storage.logfile import _encode_element, _encode_point
+
+#: Wire coordinates at or beyond these are the WAL's infinity sentinels.
+POS_SENTINEL = 2**62
+NEG_SENTINEL = -(2**62)
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid request payload (answered with 400)."""
+
+
+# -- element -> JSON ---------------------------------------------------------------
+
+
+def element_to_json(element: Element) -> Dict[str, Any]:
+    """One element in wire form: the WAL codec plus the existence stop.
+
+    (The WAL never records ``tt_stop`` on inserts -- deletion is its
+    own record -- but a query response must carry the full bitemporal
+    rectangle.)
+    """
+    record = _encode_element(element)
+    record["tt_stop"] = _encode_point(element.tt_stop)
+    return record
+
+
+def elements_to_json(elements: Sequence[Element]) -> List[Dict[str, Any]]:
+    """Canonically ordered wire form of a result set."""
+    ordered = sorted(elements, key=lambda e: (e.tt_start.microseconds, e.element_surrogate))
+    return [element_to_json(element) for element in ordered]
+
+
+def rows_to_json(rows: Sequence[Any]) -> List[Any]:
+    """Wire form of a TQL result: elements, projections, or counts.
+
+    Projection rows may contain :class:`Timestamp` values (the ``vt`` /
+    ``tt`` pseudo-attributes); those become microsecond integers.
+    Element rows go through the canonical element codec.
+    """
+    if rows and isinstance(rows[0], Element):
+        return elements_to_json(rows)  # type: ignore[arg-type]
+    converted = []
+    for row in rows:
+        if isinstance(row, dict):
+            converted.append(
+                {key: _jsonify_value(value) for key, value in row.items()}
+            )
+        else:
+            converted.append(_jsonify_value(row))
+    return converted
+
+
+def _jsonify_value(value: Any) -> Any:
+    if isinstance(value, Timestamp):
+        return value.microseconds
+    if isinstance(value, Interval):
+        return [_encode_point(value.start), _encode_point(value.end)]
+    if hasattr(value, "is_positive"):  # a time sentinel
+        return POS_SENTINEL if value.is_positive else NEG_SENTINEL
+    return value
+
+
+# -- JSON -> domain ----------------------------------------------------------------
+
+
+def decode_valid_time(raw: Any, schema: TemporalSchema) -> ValidTime:
+    """A wire valid time: an integer (event) or a 2-list (interval)."""
+    if schema.is_event:
+        if not isinstance(raw, int) or isinstance(raw, bool):
+            raise ProtocolError(
+                f"relation {schema.name!r} is event-stamped; "
+                f"'vt' must be a microsecond integer, got {raw!r}"
+            )
+        return Timestamp(raw, "microsecond")
+    if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+        raise ProtocolError(
+            f"relation {schema.name!r} is interval-stamped; "
+            f"'vt' must be a [start, end] pair, got {raw!r}"
+        )
+    return Interval(_decode_endpoint(raw[0]), _decode_endpoint(raw[1]))
+
+
+def _decode_endpoint(raw: Any) -> Any:
+    from repro.chronos.timestamp import FOREVER, NEGATIVE_INFINITY
+
+    if not isinstance(raw, int) or isinstance(raw, bool):
+        raise ProtocolError(f"interval endpoint must be a microsecond integer, got {raw!r}")
+    if raw >= POS_SENTINEL:
+        return FOREVER
+    if raw <= NEG_SENTINEL:
+        return NEGATIVE_INFINITY
+    return Timestamp(raw, "microsecond")
+
+
+def decode_attributes(
+    raw: Any, schema: TemporalSchema
+) -> Optional[Dict[str, Any]]:
+    """Wire attributes, with declared user-defined times re-hydrated."""
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"'attributes' must be an object, got {raw!r}")
+    user_times = set(schema.user_times)
+    decoded: Dict[str, Any] = {}
+    for name, value in raw.items():
+        if name in user_times:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError(
+                    f"user-defined time {name!r} must be a microsecond integer, got {value!r}"
+                )
+            decoded[name] = Timestamp(value, "microsecond")
+        else:
+            decoded[name] = value
+    return decoded
+
+
+# -- request models ----------------------------------------------------------------
+
+
+@dataclass
+class AppendRequest:
+    """``POST /relations/{name}/append`` -- one fact."""
+
+    object_surrogate: Any
+    vt: ValidTime
+    attributes: Optional[Dict[str, Any]]
+
+    @classmethod
+    def from_json(cls, payload: Any, schema: TemporalSchema) -> "AppendRequest":
+        body = _require_object(payload, "append")
+        if "object" not in body or "vt" not in body:
+            raise ProtocolError("append requires 'object' and 'vt' fields")
+        return cls(
+            object_surrogate=body["object"],
+            vt=decode_valid_time(body["vt"], schema),
+            attributes=decode_attributes(body.get("attributes"), schema),
+        )
+
+
+@dataclass
+class BulkRequest:
+    """``POST /relations/{name}/bulk`` -- one atomic batch of facts."""
+
+    rows: List[Tuple[Any, ValidTime, Optional[Dict[str, Any]]]] = field(default_factory=list)
+
+    @classmethod
+    def from_json(cls, payload: Any, schema: TemporalSchema) -> "BulkRequest":
+        body = _require_object(payload, "bulk")
+        raw_rows = body.get("rows")
+        if not isinstance(raw_rows, list):
+            raise ProtocolError("bulk requires a 'rows' list")
+        rows: List[Tuple[Any, ValidTime, Optional[Dict[str, Any]]]] = []
+        for position, raw in enumerate(raw_rows):
+            if not isinstance(raw, (list, tuple)) or len(raw) not in (2, 3):
+                raise ProtocolError(
+                    f"bulk row {position} must be [object, vt] or "
+                    f"[object, vt, attributes], got {raw!r}"
+                )
+            attributes = decode_attributes(raw[2] if len(raw) == 3 else None, schema)
+            rows.append((raw[0], decode_valid_time(raw[1], schema), attributes))
+        return cls(rows=rows)
+
+
+@dataclass
+class DeleteRequest:
+    """``POST /relations/{name}/delete`` -- logical deletion."""
+
+    element_surrogate: int
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "DeleteRequest":
+        body = _require_object(payload, "delete")
+        surrogate = body.get("surrogate")
+        if not isinstance(surrogate, int) or isinstance(surrogate, bool):
+            raise ProtocolError("delete requires an integer 'surrogate'")
+        return cls(element_surrogate=surrogate)
+
+
+@dataclass
+class CreateRelationRequest:
+    """``POST /relations`` -- declare a new relation."""
+
+    schema: TemporalSchema
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "CreateRelationRequest":
+        from repro.relation.errors import SchemaError
+        from repro.relation.schema import ValidTimeKind
+
+        body = _require_object(payload, "create-relation")
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("create-relation requires a non-empty 'name'")
+        kind_text = body.get("kind", "event")
+        try:
+            kind = ValidTimeKind(kind_text)
+        except ValueError:
+            raise ProtocolError(
+                f"unknown relation kind {kind_text!r} (expected 'event' or 'interval')"
+            ) from None
+        try:
+            schema = TemporalSchema(
+                name=name,
+                valid_time_kind=kind,
+                key=_string_list(body, "key"),
+                time_invariant=_string_list(body, "time_invariant"),
+                time_varying=_string_list(body, "time_varying"),
+                user_times=_string_list(body, "user_times"),
+                granularity=body.get("granularity", "second"),
+                specializations=_string_list(body, "specializations"),
+            )
+        except (SchemaError, ValueError) as error:
+            raise ProtocolError(str(error)) from None
+        return cls(schema=schema)
+
+
+def _string_list(body: Dict[str, Any], name: str) -> Tuple[str, ...]:
+    raw = body.get(name, ())
+    if not isinstance(raw, (list, tuple)) or not all(isinstance(v, str) for v in raw):
+        raise ProtocolError(f"{name!r} must be a list of strings")
+    return tuple(raw)
+
+
+@dataclass
+class StatementRequest:
+    """``POST /query`` and ``POST /relations/{name}/explain`` bodies."""
+
+    tql: str
+    execute: bool = True
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "StatementRequest":
+        body = _require_object(payload, "statement")
+        tql = body.get("tql")
+        if not isinstance(tql, str) or not tql.strip():
+            raise ProtocolError("a non-empty 'tql' string is required")
+        execute = body.get("execute", True)
+        if not isinstance(execute, bool):
+            raise ProtocolError("'execute' must be a boolean")
+        return cls(tql=tql, execute=execute)
+
+
+def _require_object(payload: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{what} requires a JSON object body, got {payload!r}")
+    return payload

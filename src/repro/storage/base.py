@@ -21,6 +21,14 @@ class StorageEngine(abc.ABC):
     so that rollback is possible).
     """
 
+    #: Whether epoch-pinned reads (rollback / AS-OF prefix scans) may
+    #: run from other threads while a single writer mutates.  Engines
+    #: whose pinned read paths are GIL-atomic over append-only state set
+    #: this True; anything holding per-connection state (SQLite) or
+    #: unknown engines default to False and the server serializes their
+    #: reads with the writer instead.
+    supports_concurrent_reads = False
+
     # -- mutation -----------------------------------------------------------------
 
     @abc.abstractmethod

@@ -349,6 +349,12 @@ class LogFileEngine(StorageEngine):
     detected and kept in their own format; new logs are v1.
     """
 
+    #: Reads are served by the memory mirror, so epoch-pinned reads are
+    #: safe from other threads while the single writer appends (same
+    #: guarantee -- and same pinned-paths-only caveat -- as
+    #: :class:`MemoryEngine`).
+    supports_concurrent_reads = True
+
     def __init__(self, path: str, fsync: bool = True) -> None:
         self._path = path
         self._fsync = fsync
@@ -532,6 +538,16 @@ class LogFileEngine(StorageEngine):
         return self._mirror.valid_overlapping(window, as_of_tt)
 
     # -- lifecycle ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush and fsync the log now (graceful-shutdown durability point).
+
+        Every acknowledged mutation is already durable; this exists for
+        callers -- the server's shutdown path -- that want an explicit
+        final durability barrier before releasing the file.
+        """
+        if not self._handle.closed and not self._failed:
+            self._sync()
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -22,6 +22,15 @@ from repro.storage.interval_tree import IntervalTree
 class MemoryEngine(StorageEngine):
     """Append-ordered in-memory storage with secondary indexes."""
 
+    #: Epoch-pinned reads (rollback / AS-OF prefix scans over the
+    #: append-only store) are safe from other threads while a single
+    #: writer mutates: list appends and element replacement are atomic
+    #: under the GIL, and the pinned predicate excludes anything the
+    #: writer adds or closes after the pin.  Only the *pinned* read
+    #: paths carry this guarantee -- current-view iteration and the
+    #: valid-time indexes do not.
+    supports_concurrent_reads = True
+
     def __init__(
         self,
         maintain_vt_index: bool = True,

@@ -103,3 +103,19 @@ def arm(engine, **kwargs) -> FaultyFile:
     wrapper = FaultyFile(engine._handle, **kwargs)
     engine._handle = wrapper
     return wrapper
+
+
+def disarm(engine) -> bool:
+    """Remove a fault plan, restoring the bare handle.
+
+    Returns whether a wrapper was actually removed.  A fault that
+    already *fired* on the write path usually disarms itself -- the
+    engine's tail repair reopens the file with a fresh handle -- so
+    this is for un-fired plans (and fsync-kind faults, which never
+    replace the handle).
+    """
+    handle = engine._handle
+    if isinstance(handle, FaultyFile):
+        engine._handle = handle._handle
+        return True
+    return False

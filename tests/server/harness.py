@@ -1,0 +1,51 @@
+"""Shared plumbing for the server test suites.
+
+Every suite runs a real :class:`TemporalServer` on an ephemeral
+loopback port inside the test's own event loop (the repo's test
+harness has no pytest-asyncio; tests are sync functions that
+``asyncio.run`` one coroutine).  The context managers here guarantee
+the server is stopped -- and the process-global metrics state
+restored -- even when an assertion fails mid-flight.
+"""
+
+from __future__ import annotations
+
+from contextlib import asynccontextmanager
+from typing import AsyncIterator, Optional, Sequence
+
+from repro.database import TemporalDatabase
+from repro.observability import metrics as _metrics
+from repro.relation.temporal_relation import TemporalRelation
+from repro.server import ServerClient, ServerConfig, TemporalServer
+
+
+@asynccontextmanager
+async def running_server(
+    config: Optional[ServerConfig] = None,
+    relations: Sequence[TemporalRelation] = (),
+    database: Optional[TemporalDatabase] = None,
+) -> AsyncIterator[TemporalServer]:
+    """A started server (ephemeral port), stopped on exit.
+
+    The metrics registry is cleared on entry so counter assertions see
+    only this server's activity.
+    """
+    server = TemporalServer(config or ServerConfig(port=0), database=database)
+    for relation in relations:
+        server.attach_relation(relation)
+    _metrics.reset()
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+@asynccontextmanager
+async def connected_client(server: TemporalServer) -> AsyncIterator[ServerClient]:
+    client = ServerClient(server.config.host, server.port)
+    await client.connect()
+    try:
+        yield client
+    finally:
+        await client.close()

@@ -1,0 +1,144 @@
+"""Satellite 4: bounded-queue backpressure on the ingest path.
+
+The writer queue is the server's only admission-control point: when it
+fills, further ingest answers ``429 Too Many Requests`` with a
+``Retry-After`` hint instead of buffering without bound.  These tests
+freeze the writer (the test-only gate), fill the queue deliberately,
+and assert the whole contract -- the 429s, the header, the rejected
+counter, the queue-depth gauge, and a clean resume once the queue
+drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.observability import metrics as _metrics
+from repro.server import ServerConfig
+from tests.server.harness import connected_client, running_server
+
+# With the gate down the writer task still dequeues (and then parks on
+# the gate), so total in-flight capacity is queue_limit + 1.
+QUEUE_LIMIT = 2
+CAPACITY = QUEUE_LIMIT + 1
+
+
+def _snapshot():
+    return _metrics.registry().snapshot()
+
+
+def test_full_queue_answers_429_with_retry_after() -> None:
+    async def scenario() -> None:
+        config = ServerConfig(port=0, queue_limit=QUEUE_LIMIT)
+        async with running_server(config) as server:
+            async with connected_client(server) as client:
+                await client.create_relation({"name": "r", "time_varying": ["v"]})
+                server.pause_writer()
+
+                statuses = []
+                for index in range(CAPACITY + 3):
+                    response = await client.bulk(
+                        "r", [["a", index, {"v": index}]], wait=False
+                    )
+                    statuses.append(response.status)
+                    if response.status == 429:
+                        assert response.headers.get("retry-after") == "1"
+                        assert "writer queue" in response.json()["error"]
+                assert statuses == [202] * CAPACITY + [429] * 3
+
+                # Reads are admission-exempt: they never queue behind
+                # the writer, so a stalled ingest path cannot starve
+                # them.  (The paused writer holds epoch 0.)
+                current = await client.current("r")
+                assert current.status == 200
+                assert current.json()["epoch"]["version"] == 0
+                assert current.json()["count"] == 0
+
+                metrics = _snapshot()
+                assert metrics["counters"]["server.backpressure.rejected"] == 3
+                assert metrics["gauges"]["server.writer_queue_depth"] == QUEUE_LIMIT
+
+                server.resume_writer()
+                # A waited write behind the backlog proves the drain.
+                final = await client.bulk("r", [["z", 99, {"v": 99}]])
+                assert final.status == 200, final.body
+                assert final.json()["epoch"]["version"] == CAPACITY + 1
+
+                drained = await client.current("r")
+                assert drained.json()["count"] == CAPACITY + 1
+
+                metrics = _snapshot()
+                assert metrics["gauges"]["server.writer_queue_depth"] == 0
+                # No further rejections after the drain.
+                assert metrics["counters"]["server.backpressure.rejected"] == 3
+
+    asyncio.run(scenario())
+
+
+def test_waited_writes_also_bounce_when_full() -> None:
+    """``wait=true`` callers hit the same admission gate -- the server
+    rejects rather than parking unbounded futures behind a slow
+    writer."""
+
+    async def scenario() -> None:
+        config = ServerConfig(port=0, queue_limit=QUEUE_LIMIT)
+        async with running_server(config) as server:
+            async with connected_client(server) as filler:
+                await filler.create_relation({"name": "r", "time_varying": ["v"]})
+                server.pause_writer()
+                for index in range(CAPACITY):
+                    queued = await filler.bulk(
+                        "r", [["a", index, {"v": index}]], wait=False
+                    )
+                    assert queued.status == 202
+
+                async with connected_client(server) as other:
+                    bounced = await other.bulk("r", [["b", 0, {"v": 0}]])
+                    assert bounced.status == 429
+                    assert bounced.headers.get("retry-after") == "1"
+
+                server.resume_writer()
+                settled = await filler.bulk("r", [["c", 0, {"v": 0}]])
+                assert settled.status == 200
+                assert settled.json()["epoch"]["version"] == CAPACITY + 1
+
+    asyncio.run(scenario())
+
+
+def test_resume_after_repeated_pressure_cycles() -> None:
+    """Backpressure is stateless: rejecting never wedges the queue."""
+
+    async def scenario() -> None:
+        config = ServerConfig(port=0, queue_limit=QUEUE_LIMIT)
+        async with running_server(config) as server:
+            async with connected_client(server) as client:
+                await client.create_relation({"name": "r", "time_varying": ["v"]})
+                committed = 0
+                for _cycle in range(3):
+                    server.pause_writer()
+                    accepted = 0
+                    saw_429 = False
+                    for index in range(CAPACITY + 2):
+                        response = await client.bulk(
+                            "r", [["a", index, {"v": index}]], wait=False
+                        )
+                        if response.status == 202:
+                            accepted += 1
+                        else:
+                            assert response.status == 429
+                            saw_429 = True
+                    assert saw_429
+                    server.resume_writer()
+                    # One waited write flushes the cycle's backlog.
+                    flush = await client.bulk("r", [["f", 0, {"v": 0}]])
+                    assert flush.status == 200
+                    committed += accepted + 1
+                    state = await client.current("r")
+                    assert state.json()["count"] == committed
+                    assert state.json()["epoch"]["version"] == committed
+
+                metrics = _snapshot()
+                assert metrics["gauges"]["server.writer_queue_depth"] == 0
+                assert metrics["counters"]["server.backpressure.rejected"] >= 3
+
+    asyncio.run(scenario())

@@ -1,0 +1,243 @@
+"""Satellite 1: one writer, many readers, zero consistency violations.
+
+The server's read model promises that every response is a snapshot of
+*some committed epoch* -- never a torn view of a half-applied batch.
+These tests drive a single writer task alongside >= 8 concurrent
+readers over real sockets and verify the promise mechanically:
+
+* the writer records the exact canonical state after every committed
+  batch, keyed by the epoch version the ack reported;
+* each reader records ``(endpoint, parameter, epoch, rows)``
+  observations without asserting inline (a reader can observe an epoch
+  before the writer coroutine has processed its own ack);
+* after the run, every observation must equal the recorded state at
+  its epoch -- whole-state for ``current``/``rollback``, the vt-filter
+  of it for ``timeslice``.
+
+Workloads come from the shared Hypothesis strategies
+(:func:`tests.strategies.insert_rows`), so the batches exercise the
+same shapes as the library-level property suites.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.server import ServerClient, ServerConfig
+from tests.server.harness import connected_client, running_server
+from tests.strategies import insert_rows
+
+MICRO = 1_000_000
+
+READERS = 8
+READS_PER_READER = 6
+
+Observation = Tuple[str, Any, int, List[Dict[str, Any]]]
+
+
+def _canonical(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return sorted(rows, key=lambda row: (row["tt_start"], row["surrogate"]))
+
+
+def _wire_rows(batch) -> List[List[Any]]:
+    """``insert_rows`` output -> wire form (microsecond vt integers)."""
+    return [[obj, vt.microseconds, attrs] for obj, vt, attrs in batch]
+
+
+async def _writer(
+    client: ServerClient,
+    batches,
+    expected: Dict[int, List[Dict[str, Any]]],
+    done: asyncio.Event,
+) -> None:
+    """Ingest every batch, recording the full state per committed epoch."""
+    state: List[Dict[str, Any]] = []
+    try:
+        for batch in batches:
+            response = await client.bulk("readings", _wire_rows(batch))
+            assert response.status == 200, response.body
+            body = response.json()
+            state = _canonical(state + body["elements"])
+            expected[body["epoch"]["version"]] = list(state)
+    finally:
+        done.set()
+
+
+async def _reader(
+    client: ServerClient,
+    vt_pool: List[int],
+    observations: List[Observation],
+    done: asyncio.Event,
+    index: int,
+) -> None:
+    """Cycle read endpoints until the writer finishes (>= a fixed floor)."""
+    reads = 0
+    while reads < READS_PER_READER or not done.is_set():
+        kind = ("current", "timeslice", "rollback")[(index + reads) % 3]
+        if kind == "current":
+            response = await client.current("readings")
+            parameter: Any = None
+        elif kind == "timeslice":
+            parameter = vt_pool[(index * 7 + reads) % len(vt_pool)]
+            response = await client.timeslice("readings", parameter)
+        else:
+            # Far beyond any committed stamp: clamped to the pin, so it
+            # must equal the full state at the served epoch.
+            parameter = 10**15
+            response = await client.rollback("readings", parameter)
+        assert response.status == 200, response.body
+        body = response.json()
+        observations.append((kind, parameter, body["epoch"]["version"], body["rows"]))
+        reads += 1
+        if reads > 500:  # safety valve; the writer should finish long before
+            break
+        await asyncio.sleep(0)
+
+
+def _verify(
+    observations: List[Observation], expected: Dict[int, List[Dict[str, Any]]]
+) -> None:
+    assert observations, "readers made no observations"
+    for kind, parameter, version, rows in observations:
+        assert version in expected, (
+            f"{kind} served epoch {version}, which no committed batch produced "
+            f"(committed: {sorted(expected)})"
+        )
+        snapshot = expected[version]
+        if kind == "timeslice":
+            reference = [row for row in snapshot if row["vt"] == parameter]
+        else:
+            reference = snapshot
+        assert _canonical(rows) == _canonical(reference), (
+            f"{kind}({parameter!r}) at epoch {version} returned a state no "
+            f"committed epoch ever held"
+        )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    batches=st.lists(
+        insert_rows(min_size=1, max_size=8), min_size=2, max_size=5
+    )
+)
+def test_concurrent_readers_see_only_committed_epochs(batches) -> None:
+    async def scenario() -> None:
+        async with running_server() as server:
+            async with connected_client(server) as admin:
+                created = await admin.create_relation(
+                    {"name": "readings", "time_varying": ["reading"]}
+                )
+                assert created.status == 200
+                expected: Dict[int, List[Dict[str, Any]]] = {0: []}
+                observations: List[Observation] = []
+                done = asyncio.Event()
+                vt_pool = sorted(
+                    {vt.microseconds for batch in batches for _, vt, _ in batch}
+                )
+
+                reader_clients = [
+                    ServerClient(server.config.host, server.port)
+                    for _ in range(READERS)
+                ]
+                for client in reader_clients:
+                    await client.connect()
+                try:
+                    tasks = [
+                        asyncio.ensure_future(
+                            _reader(client, vt_pool, observations, done, index)
+                        )
+                        for index, client in enumerate(reader_clients)
+                    ]
+                    await _writer(admin, batches, expected, done)
+                    await asyncio.gather(*tasks)
+                finally:
+                    for client in reader_clients:
+                        await client.close()
+
+                _verify(observations, expected)
+                # The writer committed every batch: final epoch holds the
+                # union of all rows.
+                final = await admin.current("readings")
+                assert final.json()["count"] == sum(len(batch) for batch in batches)
+
+    asyncio.run(scenario())
+
+
+def test_poison_batch_rejected_whole_under_concurrent_reads() -> None:
+    """A constraint-violating batch commits nothing and bumps no epoch.
+
+    The relation declares ``retroactive`` (vt <= tt); a batch with a
+    far-future vt must be rejected atomically (409) while readers keep
+    observing only the committed states around it.
+    """
+
+    async def scenario() -> None:
+        async with running_server() as server:
+            async with connected_client(server) as admin:
+                await admin.create_relation(
+                    {
+                        "name": "readings",
+                        "time_varying": ["reading"],
+                        "specializations": ["retroactive"],
+                    }
+                )
+                expected: Dict[int, List[Dict[str, Any]]] = {0: []}
+                observations: List[Observation] = []
+                done = asyncio.Event()
+
+                async def writer() -> None:
+                    state: List[Dict[str, Any]] = []
+                    try:
+                        for round_number in range(4):
+                            good = await admin.bulk(
+                                "readings", [["alpha", 0, {"reading": round_number}]]
+                            )
+                            assert good.status == 200
+                            state = _canonical(state + good.json()["elements"])
+                            expected[good.json()["epoch"]["version"]] = list(state)
+
+                            poison = await admin.bulk(
+                                "readings",
+                                [
+                                    ["beta", 0, {"reading": -1}],
+                                    ["beta", 10**15, {"reading": -2}],
+                                ],
+                            )
+                            assert poison.status == 409, poison.body
+                            # Nothing from the poison batch committed.
+                            check = await admin.current("readings")
+                            assert _canonical(check.json()["rows"]) == state
+                    finally:
+                        done.set()
+
+                reader_clients = [
+                    ServerClient(server.config.host, server.port) for _ in range(READERS)
+                ]
+                for client in reader_clients:
+                    await client.connect()
+                try:
+                    tasks = [
+                        asyncio.ensure_future(
+                            _reader(client, [0], observations, done, index)
+                        )
+                        for index, client in enumerate(reader_clients)
+                    ]
+                    await writer()
+                    await asyncio.gather(*tasks)
+                finally:
+                    for client in reader_clients:
+                        await client.close()
+
+                _verify(observations, expected)
+                # Exactly the four good batches committed.
+                assert sorted(expected) == [0, 1, 2, 3, 4]
+
+    asyncio.run(scenario())
