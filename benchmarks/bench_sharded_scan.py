@@ -1,0 +1,228 @@
+"""Sharded scan benchmark: scatter-gather scaling and envelope pruning.
+
+Measures the tentpole claims of the sharded engine on the
+bench_segment_pruning workload shape (undeclared events, no valid-time
+index, zone maps + shard envelopes as the only access paths) with the
+valid times *shuffled* against transaction order -- the adversarial
+case for zone maps (every segment's valid-time span covers every
+probe, so segment pruning buys nothing) and the showcase for range
+sharding (each shard owns one valid-time span, so its envelope is
+tight even though no segment's is):
+
+1. a point timeslice over 8 range-partitioned shards examines >= 4x
+   fewer elements than the same data on 1 shard (near-linear scan
+   scaling: the probe's valid time lands in exactly one shard's
+   envelope, so ~7/8 of the candidate range is never touched);
+2. shard pruning is *exact*: every shard whose (tt, vt) envelope does
+   not intersect the probe is skipped -- a point probe routes to 1
+   shard and prunes the other 7, and the planner's ``explain()``
+   accounting agrees with the ``storage.shards.*`` counters;
+3. sharded results are byte-identical to the single-store answer, with
+   a hash-partitioned topology cross-checked against the range one.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_scan.py            # full (100k)
+    PYTHONPATH=src python benchmarks/bench_sharded_scan.py --quick    # CI smoke (10k)
+
+The script exits non-zero when a claim fails, so CI can use it as a
+regression gate; ``--emit-json`` also diffs the machine-independent
+numbers against ``benchmarks/thresholds.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.chronos.clock import SimulatedWallClock
+from repro.chronos.timestamp import Timestamp
+from repro.observability import metrics
+from repro.observability.timing import best_of
+from repro.query import Planner, Scan, ValidTimeslice
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
+from repro.storage.sharded import HashPartitioner, RangePartitioner, ShardedEngine
+from repro.workloads.base import seeded
+
+SHARDS = 8
+
+
+def build(count: int, segment_size: Optional[int], engine) -> TemporalRelation:
+    """Events every 10 s with valid times shuffled against tt order.
+
+    A seeded permutation makes every segment's valid-time span cover
+    the whole history (zone maps cannot prune) while each valid time
+    still occurs exactly once (the probe returns one row).
+    """
+    schema = TemporalSchema(name="r")
+    clock = SimulatedWallClock(start=0)
+    relation = TemporalRelation(schema, clock=clock, keep_backlog=False, engine=engine)
+    order = list(range(count))
+    seeded(1992).shuffle(order)
+    with relation.bulk() as batch:
+        for i in range(count):
+            clock.advance_to(Timestamp(10 * i))
+            batch.insert(f"o{i % 64}", Timestamp(10 * order[i]), {})
+    return relation
+
+
+def range_engine(count: int, shards: int, segment_size: Optional[int]) -> ShardedEngine:
+    span = 10 * count * 1_000_000  # vt span in microseconds
+    boundaries = [span * j // shards for j in range(1, shards)]
+    return ShardedEngine(
+        shard_count=shards,
+        partitioner=RangePartitioner(boundaries),
+        maintain_vt_index=False,
+        segment_size=segment_size,
+    )
+
+
+def run_timeslice(relation: TemporalRelation, probe: Timestamp) -> Dict[str, Any]:
+    query = ValidTimeslice(Scan(relation), probe)
+    plan = Planner(relation).plan(query)
+    results = plan.execute()
+    out: Dict[str, Any] = {
+        "strategy": plan.strategy,
+        "examined": plan.examined,
+        "returned": len(results),
+        "planned_ms": best_of(lambda: Planner(relation).plan(query).execute()),
+        "rows": [repr(element) for element in results],
+    }
+    if plan.shard_stats is not None:
+        out["shards_routed"] = plan.shard_stats.routed
+        out["shards_pruned"] = plan.shard_stats.pruned
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: 10k elements"
+    )
+    parser.add_argument(
+        "--emit-json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="write BENCH_sharded_scan.json and gate the results "
+        "against benchmarks/thresholds.json",
+    )
+    args = parser.parse_args(argv)
+    count = 10_000 if args.quick else 100_000
+    segment_size = 512 if args.quick else None
+    probe = Timestamp(10 * (count // 2))
+
+    if args.emit_json is not None:
+        metrics.enable()
+        metrics.reset()
+
+    print(f"sharded timeslice, {count} elements, probe at vt={probe}:")
+
+    single = build(
+        count,
+        segment_size,
+        MemoryEngine(maintain_vt_index=False, segment_size=segment_size),
+    )
+    single_data = run_timeslice(single, probe)
+    print(
+        f"  1 shard : {single_data['strategy']}, examined "
+        f"{single_data['examined']}, {single_data['planned_ms']:.3f} ms"
+    )
+
+    sharded = build(count, segment_size, range_engine(count, SHARDS, segment_size))
+    sharded_data = run_timeslice(sharded, probe)
+    print(
+        f"  {SHARDS} shards: {sharded_data['strategy']}, examined "
+        f"{sharded_data['examined']}, {sharded_data['planned_ms']:.3f} ms, "
+        f"shards {sharded_data['shards_routed']} routed / "
+        f"{sharded_data['shards_pruned']} pruned"
+    )
+
+    hashed = build(
+        count,
+        segment_size,
+        ShardedEngine(
+            shard_count=SHARDS,
+            partitioner=HashPartitioner(SHARDS),
+            maintain_vt_index=False,
+            segment_size=segment_size,
+        ),
+    )
+    hashed_data = run_timeslice(hashed, probe)
+    print(
+        f"  hash x{SHARDS}: {hashed_data['strategy']}, examined "
+        f"{hashed_data['examined']}, shards {hashed_data['shards_routed']} "
+        f"routed / {hashed_data['shards_pruned']} pruned"
+    )
+
+    scan_scaling = single_data["examined"] / max(sharded_data["examined"], 1)
+    time_scaling = single_data["planned_ms"] / max(sharded_data["planned_ms"], 1e-9)
+    pruning_exact = (
+        sharded_data["shards_routed"] == 1
+        and sharded_data["shards_pruned"] == SHARDS - 1
+    )
+    identical = (
+        sharded_data["rows"] == single_data["rows"]
+        and hashed_data["rows"] == single_data["rows"]
+    )
+    print(
+        f"  scan scaling {scan_scaling:.1f}x examined, {time_scaling:.1f}x "
+        f"wall-clock; pruning exact={pruning_exact}; identical={identical}"
+    )
+
+    results: Dict[str, Any] = {
+        "count": count,
+        "shards": SHARDS,
+        "single": {k: v for k, v in single_data.items() if k != "rows"},
+        "range_sharded": {k: v for k, v in sharded_data.items() if k != "rows"},
+        "hash_sharded": {k: v for k, v in hashed_data.items() if k != "rows"},
+        "scan_scaling": scan_scaling,
+        "time_scaling": time_scaling,
+        "shard_pruning_exact": 1.0 if pruning_exact else 0.0,
+        "results_identical": 1.0 if identical else 0.0,
+    }
+
+    failed = False
+    if scan_scaling < 4.0:
+        print(f"FAIL: scan_scaling {scan_scaling:.1f}x below the 4x target")
+        failed = True
+    if not pruning_exact:
+        print(
+            f"FAIL: point probe routed {sharded_data['shards_routed']} shard(s) "
+            f"and pruned {sharded_data['shards_pruned']} -- expected 1 routed, "
+            f"{SHARDS - 1} pruned"
+        )
+        failed = True
+    if not identical:
+        print("FAIL: sharded results differ from the single-store answer")
+        failed = True
+
+    if args.emit_json is not None:
+        from report import check_thresholds, write_bench_json
+
+        write_bench_json(
+            "sharded_scan",
+            results,
+            parameters={"quick": args.quick, "count": count, "shards": SHARDS},
+            directory=args.emit_json,
+        )
+        metrics.disable()
+        benchmark = "sharded_scan_quick" if args.quick else "sharded_scan"
+        for line in check_thresholds(results, benchmark):
+            print(f"FAIL: {line}")
+            failed = True
+
+    if not failed:
+        print("all sharded-scan targets met")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

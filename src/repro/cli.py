@@ -146,6 +146,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for durable engines created via POST /relations",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "partition created relations across N shards with "
+            "specialization-aware scatter-gather (default 0: unsharded)"
+        ),
+    )
+    serve.add_argument(
         "--no-metrics",
         action="store_true",
         help="leave the metrics registry disabled",
@@ -288,6 +297,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         metrics=not arguments.no_metrics,
         data_dir=arguments.data_dir,
         close_engines=True,
+        shards=arguments.shards,
     )
     server = TemporalServer(config)
     for name in arguments.workload or ():

@@ -51,6 +51,10 @@ class ExplainReport:
     #: the late-materialization ratio).
     columnar_positions_examined: Optional[int] = None
     columnar_elements_materialized: Optional[int] = None
+    #: Shard-routing accounting; None unless the relation lives on a
+    #: sharded engine (shards visited vs skipped on envelope evidence).
+    shards_routed: Optional[int] = None
+    shards_pruned: Optional[int] = None
 
     def render(self) -> str:
         lines: List[str] = []
@@ -75,6 +79,11 @@ class ExplainReport:
                     f"columnar  : {self.columnar_positions_examined} positions "
                     f"examined, {self.columnar_elements_materialized} elements "
                     "materialized"
+                )
+            if self.shards_routed is not None:
+                lines.append(
+                    f"shards    : {self.shards_routed} routed, "
+                    f"{self.shards_pruned} pruned by envelopes"
                 )
         lines.append("spans     :")
         lines.append(self.trace.render())
@@ -156,6 +165,11 @@ def explain_query(
                         columnar_positions=plan.segment_stats.positions_examined,
                         columnar_materialized=plan.segment_stats.materialized,
                     )
+            if plan.shard_stats is not None:
+                operator_span.annotate(
+                    shards_routed=plan.shard_stats.routed,
+                    shards_pruned=plan.shard_stats.pruned,
+                )
         span.annotate(returned=len(results))
     report.examined = plan.examined
     report.returned = len(results)
@@ -166,4 +180,7 @@ def explain_query(
         if plan.segment_stats.columnar:
             report.columnar_positions_examined = plan.segment_stats.positions_examined
             report.columnar_elements_materialized = plan.segment_stats.materialized
+    if plan.shard_stats is not None:
+        report.shards_routed = plan.shard_stats.routed
+        report.shards_pruned = plan.shard_stats.pruned
     return report

@@ -36,7 +36,13 @@ from repro.storage.columnar import (
     positions_valid_at,
 )
 from repro.storage.indexes import TransactionTimeIndex
-from repro.storage.segments import SegmentedStore, ZoneMap, parallel_map_segments
+from repro.storage.segments import (
+    NEG_SENTINEL,
+    POS_SENTINEL,
+    SegmentedStore,
+    ZoneMap,
+    parallel_map_segments,
+)
 
 Result = Tuple[List[Element], int]
 
@@ -48,6 +54,75 @@ def _tt_index(relation: TemporalRelation) -> Optional[TransactionTimeIndex]:
     # Any engine exposing a transaction_index (memory, logfile mirror)
     # gets the specialized transaction-order strategies.
     return getattr(relation.engine, "transaction_index", None)
+
+
+def _sharded_engine(relation: TemporalRelation):
+    """The relation's :class:`~repro.storage.sharded.ShardedEngine`, or None.
+
+    Duck-typed on the ``is_sharded`` flag so this module never imports
+    the sharded engine (which lazily imports relations back).
+    """
+    engine = relation.engine
+    if getattr(engine, "is_sharded", False):
+        return engine
+    return None
+
+
+@dataclass
+class ShardStats:
+    """Envelope-routing accounting for one query execution.
+
+    ``routed`` + ``pruned`` counts shard visits the query's engine reads
+    decided; ``pruned`` shards were skipped because their (tt, vt)
+    envelope could not intersect the probe (or they were empty).
+    """
+
+    routed: int = 0
+    pruned: int = 0
+
+
+def _scatter_gather(
+    engine,
+    relation: TemporalRelation,
+    per_shard: Callable[[TemporalRelation, Optional[SegmentStats]], Result],
+    match,
+    stats: Optional[SegmentStats] = None,
+    descending: bool = False,
+) -> Result:
+    """Run one operator scatter-gather over the routed shards.
+
+    The specialization the planner licensed globally holds on every
+    shard (orderings survive tt-subsequences), so *per_shard* is the
+    same specialized operator recursing into a per-shard relation view.
+    Envelope routing first drops shards the probe cannot touch; the
+    surviving shards run through ``parallel_map_segments`` and the
+    gather merges by the globally unique ``tt_start`` -- ascending, or
+    descending for operators whose single-store output walks backwards.
+    Per-shard segment statistics accumulate into *stats* via private
+    locals, so counts stay exact with parallelism on.
+    """
+    views = engine.subrelations(relation.schema)
+    routed = engine.route_shards(match)
+
+    def work(index: int) -> Tuple[List[Element], int, Optional[SegmentStats]]:
+        local = SegmentStats() if stats is not None else None
+        results, examined = per_shard(views[index], local)
+        return results, examined, local
+
+    merged: List[Element] = []
+    examined_total = 0
+    for results, examined, local in parallel_map_segments(work, routed, threshold=1):
+        merged.extend(results)
+        examined_total += examined
+        if stats is not None and local is not None:
+            stats.scanned += local.scanned
+            stats.pruned += local.pruned
+            if local.columnar:
+                stats.columnar = True
+            stats.positions_examined += local.positions_examined
+            stats.materialized += local.materialized
+    merged.sort(key=lambda element: element.tt_start.microseconds, reverse=descending)
+    return merged, examined_total
 
 
 def columnar_active(relation: TemporalRelation) -> bool:
@@ -216,6 +291,21 @@ def rollback_prefix(
     """Rollback via the append-ordered index: binary search bounds the
     candidate prefix, then zone maps skip fully-dead segments (every
     element closed at or before *tt* -- e.g. vacuum-bait history runs)."""
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        if isinstance(tt, Timestamp):
+            tt_micro = tt.microseconds
+        elif tt.is_positive:  # FOREVER: the current state
+            tt_micro = POS_SENTINEL
+        else:  # NEGATIVE_INFINITY: empty prefix
+            return [], 0
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: rollback_prefix(view, tt, stats=local),
+            lambda envelope: envelope.alive_at(tt_micro),
+            stats,
+        )
     index = _tt_index(relation)
     if index is None:
         results = list(relation.engine.as_of(tt))
@@ -250,6 +340,19 @@ def timeslice_degenerate(relation: TemporalRelation, vt: Timestamp) -> Result:
     lookup on the transaction-time index (Section 3.1's remark that a
     degenerate relation "can be advantageously treated as a rollback
     relation")."""
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        target = vt.microseconds
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: timeslice_degenerate(view, vt),
+            lambda envelope: (
+                envelope.live > 0
+                and envelope.tt_lo <= target <= envelope.tt_hi
+                and envelope.may_contain_vt(target, target)
+            ),
+        )
     index = _tt_index(relation)
     if index is None:
         raise ValueError("degenerate timeslice requires the in-memory tt index")
@@ -271,6 +374,21 @@ def timeslice_degenerate_granular(
     granularity tick, so the scan covers exactly one tick of the
     transaction-time index.
     """
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        tick_lo = vt.floor_to(granularity).microseconds
+        tick_hi = tick_lo + granularity.microseconds - 1
+        target = vt.microseconds
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: timeslice_degenerate_granular(view, vt, granularity),
+            lambda envelope: (
+                envelope.live > 0
+                and not (envelope.tt_hi < tick_lo or envelope.tt_lo > tick_hi)
+                and envelope.may_contain_vt(target, target)
+            ),
+        )
     index = _tt_index(relation)
     if index is None:
         raise ValueError("degenerate timeslice requires the in-memory tt index")
@@ -302,6 +420,24 @@ def timeslice_bounded_window(
     window bounds the segment range first; zone maps then skip
     segments with no live element or no valid time covering *vt*.
     """
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        target = vt.microseconds
+        win_lo = NEG_SENTINEL if upper_offset is None else target - upper_offset
+        win_hi = POS_SENTINEL if lower_offset is None else target - lower_offset
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: timeslice_bounded_window(
+                view, vt, lower_offset, upper_offset, stats=local
+            ),
+            lambda envelope: (
+                envelope.live > 0
+                and not (envelope.tt_hi < win_lo or envelope.tt_lo > win_hi)
+                and envelope.may_contain_vt(target, target)
+            ),
+            stats,
+        )
     index = _tt_index(relation)
     if index is None:
         raise ValueError("bounded-window timeslice requires the in-memory tt index")
@@ -339,6 +475,30 @@ def overlap_bounded_window(
     relations: an element with valid time in ``[a, b)`` must have been
     stored in ``[a - upper, b - lower)``.  Zone maps additionally skip
     segments whose valid-time coverage misses the window."""
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        w_start = window.start
+        w_end = window.end
+        if not (isinstance(w_start, Timestamp) and isinstance(w_end, Timestamp)):
+            results = list(relation.engine.valid_overlapping(window))
+            return results, len(results)
+        vt_first = w_start.microseconds
+        vt_last = w_end.microseconds - 1  # the window is half-open
+        win_lo = NEG_SENTINEL if upper_offset is None else vt_first - upper_offset
+        win_hi = POS_SENTINEL if lower_offset is None else w_end.microseconds - lower_offset
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: overlap_bounded_window(
+                view, window, lower_offset, upper_offset, stats=local
+            ),
+            lambda envelope: (
+                envelope.live > 0
+                and not (envelope.tt_hi < win_lo or envelope.tt_lo > win_hi)
+                and envelope.may_contain_vt(vt_first, vt_last)
+            ),
+            stats,
+        )
     index = _tt_index(relation)
     if index is None:
         raise ValueError("bounded-window overlap requires the in-memory tt index")
@@ -384,6 +544,17 @@ def timeslice_monotone_events(
     valid times are sorted along the transaction order, so the matching
     run is found by binary search -- "valid time can be approximated
     with transaction time" (Section 3.2)."""
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        target = vt.microseconds
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: timeslice_monotone_events(view, vt, descending),
+            lambda envelope: (
+                envelope.live > 0 and envelope.may_contain_vt(target, target)
+            ),
+        )
     index = _tt_index(relation)
     if index is None:
         raise ValueError("monotone timeslice requires the in-memory tt index")
@@ -422,6 +593,20 @@ def timeslice_sequential_intervals(relation: TemporalRelation, vt: Timestamp) ->
     """Sequential interval relations: intervals are disjoint and ordered,
     so at most one (current) interval contains the point; binary search
     for the last interval starting at or before it."""
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        target = vt.microseconds
+        # Single-store output walks backwards from the insertion point,
+        # so the gather preserves the descending-tt discipline.
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: timeslice_sequential_intervals(view, vt),
+            lambda envelope: (
+                envelope.live > 0 and envelope.may_contain_vt(target, target)
+            ),
+            descending=True,
+        )
     index = _tt_index(relation)
     if index is None:
         raise ValueError("sequential timeslice requires the in-memory tt index")
@@ -468,6 +653,18 @@ def timeslice_segment_pruned(
     still a full transaction-range pass, but whole segments drop out on
     zone-map evidence (no live elements, or valid-time coverage that
     misses *vt*) before any element is examined."""
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        target = vt.microseconds
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: timeslice_segment_pruned(view, vt, stats=local),
+            lambda envelope: (
+                envelope.live > 0 and envelope.may_contain_vt(target, target)
+            ),
+            stats,
+        )
     index = _tt_index(relation)
     if index is None:
         raise ValueError("segment-pruned timeslice requires a transaction index")
@@ -597,6 +794,25 @@ def bitemporal_prefix(
     Zone maps prune segments that were entirely dead at *tt* or whose
     valid-time coverage misses *vt*.
     """
+    sharded = _sharded_engine(relation)
+    if sharded is not None:
+        target = vt.microseconds
+        if isinstance(tt, Timestamp):
+            tt_micro = tt.microseconds
+        elif tt.is_positive:  # FOREVER: limit state = current state
+            tt_micro = POS_SENTINEL
+        else:
+            return [], 0
+        return _scatter_gather(
+            sharded,
+            relation,
+            lambda view, local: bitemporal_prefix(view, vt, tt, stats=local),
+            lambda envelope: (
+                envelope.alive_at(tt_micro)
+                and envelope.may_contain_vt(target, target)
+            ),
+            stats,
+        )
     index = _tt_index(relation)
     if index is None:
         results = list(relation.engine.valid_at(vt, as_of_tt=tt))

@@ -65,6 +65,10 @@ class PlannedQuery:
     decisions: List[str] = field(default_factory=list)
     examined: int = field(default=0, init=False)
     segment_stats: Optional[operators.SegmentStats] = None
+    #: Present when the relation lives on a sharded engine: how many
+    #: shards the execution routed to versus pruned on envelope
+    #: evidence.  Filled in by the planner's thunk wrapper per execute.
+    shard_stats: Optional[operators.ShardStats] = None
 
     def execute(self) -> list:
         if self.segment_stats is not None:
@@ -179,6 +183,11 @@ class Planner:
         index = getattr(engine, "transaction_index", None)
         if index is not None:
             return (id(engine), index.store.mutations)
+        counter = getattr(engine, "mutation_count", None)
+        if callable(counter):
+            # Sharded engines keep their own monotone epoch: a
+            # rebalance preserves len() but must invalidate the cache.
+            return (id(engine), counter())
         return (id(engine), len(engine))
 
     def _compute_offset_region(self) -> Optional[OffsetRegion]:
@@ -204,7 +213,14 @@ class Planner:
 
     @property
     def _has_memory_index(self) -> bool:
-        return getattr(self.relation.engine, "transaction_index", None) is not None
+        engine = self.relation.engine
+        if getattr(engine, "transaction_index", None) is not None:
+            return True
+        # A sharded engine whose every shard carries the tt index
+        # licenses the same specialized strategies: global orderings
+        # hold on any tt-subsequence, so each shard runs the
+        # specialized operator and the gather re-merges by tt.
+        return bool(getattr(engine, "shards_have_tt_index", False))
 
     # -- planning -----------------------------------------------------------------------
 
@@ -222,6 +238,29 @@ class Planner:
             decisions.append(
                 "columnar: stamp-column kernel with late materialization "
                 "(REPRO_COLUMNAR=0 selects the object path)"
+            )
+        engine = self.relation.engine
+        if getattr(engine, "is_sharded", False):
+            # Wrap the thunk to diff the engine's monotone routing
+            # totals around execution -- shard accounting reaches
+            # ``explain()`` without threading a parameter through every
+            # operator signature.
+            shard_stats = operators.ShardStats()
+            inner = plan._thunk
+
+            def counted_thunk() -> Tuple[list, int]:
+                routed_before, pruned_before = engine.routing_totals()
+                outcome = inner()
+                routed_after, pruned_after = engine.routing_totals()
+                shard_stats.routed = routed_after - routed_before
+                shard_stats.pruned = pruned_after - pruned_before
+                return outcome
+
+            plan._thunk = counted_thunk
+            plan.shard_stats = shard_stats
+            decisions.append(
+                f"sharded: scatter-gather over {engine.shard_count} shards; "
+                "per-shard envelopes prune non-intersecting shards"
             )
         decisions.append(f"chosen: {plan.strategy} -- {plan.explanation}")
         plan.decisions = decisions

@@ -26,6 +26,7 @@ Reading:
 from __future__ import annotations
 
 import gc
+import os
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -67,6 +68,22 @@ InsertRow = Union[
 ]
 
 
+def _default_engine() -> StorageEngine:
+    """The engine a relation gets when none is passed.
+
+    ``REPRO_SHARDS=N`` (N >= 2) makes every default-constructed relation
+    sharded -- the CI leg that runs the whole suite against a sharded
+    topology -- otherwise a plain :class:`MemoryEngine`.
+    """
+    if os.environ.get("REPRO_SHARDS"):
+        from repro.storage.sharded import ShardedEngine, configured_shard_count
+
+        count = configured_shard_count()
+        if count >= 2:
+            return ShardedEngine(shard_count=count)
+    return MemoryEngine()
+
+
 class TemporalRelation:
     """One temporal relation with enforced specializations."""
 
@@ -76,17 +93,24 @@ class TemporalRelation:
         clock: Optional[TransactionClock] = None,
         engine: Optional[StorageEngine] = None,
         keep_backlog: bool = True,
+        adopt_existing: bool = True,
     ) -> None:
         self.schema = schema
         self.clock = clock if clock is not None else LogicalClock(granularity=schema.granularity)
-        self.engine = engine if engine is not None else MemoryEngine()
+        self.engine = engine if engine is not None else _default_engine()
         self.constraints = ConstraintSet(schema.specializations, mode=schema.enforcement)
         self._surrogates = SurrogateGenerator()
         self._backlog = Backlog() if keep_backlog else None
         self._version = 0
         self._statistics: Optional[Dict[str, int]] = None
         self._statistics_epoch: Optional[Tuple[int, int]] = None
-        if engine is not None and len(engine):
+        # ``adopt_existing=False`` builds a read-only view over storage
+        # someone else governs (the sharded engine's per-shard planner
+        # views): no clock/surrogate re-seeding, and crucially no
+        # constraint re-observation -- regularity-style specializations
+        # need not hold on a shard's tt-subsequence even though the
+        # ordering specializations always do.
+        if adopt_existing and engine is not None and len(engine):
             self._adopt_existing()
 
     def _adopt_existing(self) -> None:
@@ -403,6 +427,9 @@ class TemporalRelation:
         index = getattr(self.engine, "transaction_index", None)
         if index is not None:
             return index.store.live_count()
+        counter = getattr(self.engine, "live_count", None)
+        if callable(counter):
+            return counter()
         return sum(1 for _ in self.engine.current())
 
     def as_of(self, tt: TimePoint) -> List[Element]:
@@ -516,6 +543,11 @@ class TemporalRelation:
         index = getattr(self.engine, "transaction_index", None)
         if index is not None:
             return (id(self.engine), index.store.mutations)
+        counter = getattr(self.engine, "mutation_count", None)
+        if callable(counter):
+            # Sharded engines: the epoch advances on rebalances too,
+            # which preserve len() but invalidate everything derived.
+            return (id(self.engine), counter())
         return (id(self.engine), len(self.engine))
 
     def statistics(self) -> Dict[str, int]:

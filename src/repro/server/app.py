@@ -87,6 +87,11 @@ class ServerConfig:
     #: Close relation engines on shutdown (the CLI wants this; tests
     #: that own their engines usually do not).
     close_engines: bool = False
+    #: Partition relations created via ``POST /relations`` across this
+    #: many shards (``repro serve --shards N``); 0 or 1 disables
+    #: sharding.  Applies to memory and logfile engines; sqlite keeps
+    #: its single thread-affine connection.
+    shards: int = 0
 
 
 @dataclass
@@ -489,6 +494,10 @@ class TemporalServer:
         import os
 
         if kind == "memory":
+            if self.config.shards >= 2:
+                from repro.storage.sharded import ShardedEngine
+
+                return ShardedEngine(shard_count=self.config.shards)
             return MemoryEngine()
         if kind in ("logfile", "sqlite"):
             if self.config.data_dir is None:
@@ -499,6 +508,14 @@ class TemporalServer:
             os.makedirs(self.config.data_dir, exist_ok=True)
             path = os.path.join(self.config.data_dir, f"{name}.{kind}")
             if kind == "logfile":
+                if self.config.shards >= 2:
+                    from repro.storage.sharded import ShardedEngine
+
+                    # One WAL per shard under a relation-named directory.
+                    return ShardedEngine(
+                        shard_count=self.config.shards,
+                        data_dir=os.path.join(self.config.data_dir, f"{name}.shards"),
+                    )
                 return LogFileEngine(path)
             from repro.storage.sqlite_backend import SQLiteEngine
 
@@ -663,4 +680,7 @@ class TemporalServer:
             payload["examined"] = report.examined
             payload["returned"] = report.returned
             payload["rows"] = protocol.rows_to_json(report.results)
+            if report.shards_routed is not None:
+                payload["shards_routed"] = report.shards_routed
+                payload["shards_pruned"] = report.shards_pruned
         return Response.json(payload)

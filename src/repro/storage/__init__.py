@@ -26,7 +26,10 @@ implements the representations the paper names:
   segment scans;
 * :mod:`repro.storage.wal` -- the framed, checksummed write-ahead-log
   record layout used by :class:`~repro.storage.logfile.LogFileEngine`,
-  with torn-tail recovery (``.corrupt`` quarantine + truncation).
+  with torn-tail recovery (``.corrupt`` quarantine + truncation);
+* :mod:`repro.storage.sharded` -- horizontal sharding over N backing
+  engines (hash or vt-range partitioned) with specialization-aware
+  scatter-gather routing and crash-safe rebalancing.
 """
 
 from repro.storage.backlog import Backlog, Operation, OperationKind
@@ -41,6 +44,12 @@ from repro.storage.segments import (
     ZoneMap,
     parallel_enabled,
     parallel_map_segments,
+)
+from repro.storage.sharded import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardedEngine,
+    configured_shard_count,
 )
 from repro.storage.snapshot import SnapshotCache
 from repro.storage.sqlite_backend import SQLiteEngine
@@ -64,6 +73,10 @@ __all__ = [
     "ZoneMap",
     "parallel_enabled",
     "parallel_map_segments",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ShardedEngine",
+    "configured_shard_count",
     "SnapshotCache",
     "SQLiteEngine",
 ]

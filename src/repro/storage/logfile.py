@@ -469,6 +469,15 @@ class LogFileEngine(StorageEngine):
 
     # -- mutation -----------------------------------------------------------------
 
+    def validate_extend(self, elements: Iterable[Element]) -> None:
+        """Raise iff :meth:`extend` would reject the batch; mutates nothing.
+
+        Multi-engine coordinators (the sharded engine's cross-shard
+        all-or-nothing extend) validate every sub-batch before any
+        engine writes.
+        """
+        self._mirror.validate_extend(elements)
+
     def append(self, element: Element) -> None:
         self._mirror.validate_append(element)  # raises before any I/O
         self._commit(self._encode_batch([self._insert_record(element)]))
