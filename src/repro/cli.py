@@ -115,6 +115,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report only; leave the file (and no sidecar) untouched",
     )
 
+    compact = commands.add_parser(
+        "compact",
+        help=(
+            "demote sealed history to compressed cold segment files and "
+            "fold pending closes into them (see docs/storage.md)"
+        ),
+    )
+    compact.add_argument(
+        "path",
+        help="a write-ahead log file, or a sharded data directory (one WAL per shard)",
+    )
+    compact.add_argument(
+        "--tier-dir",
+        default=None,
+        help=(
+            "directory for the compressed segment files (default: "
+            "<path>.tier beside the log / inside the data directory)"
+        ),
+    )
+    compact.add_argument(
+        "--segment-size",
+        type=int,
+        default=None,
+        help="segment size for the replayed store (default: REPRO_SEGMENT_SIZE)",
+    )
+
     serve = commands.add_parser(
         "serve", help="run the asyncio HTTP/JSON server (see docs/server.md)"
     )
@@ -146,6 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for durable engines created via POST /relations",
     )
     serve.add_argument(
+        "--tier-dir",
+        default=None,
+        help=(
+            "root directory for compressed cold segment files; each created "
+            "relation tiers into <name>.tier under it"
+        ),
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -173,6 +207,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "workload": _cmd_workload,
         "explain": _cmd_explain,
         "recover": _cmd_recover,
+        "compact": _cmd_compact,
         "serve": _cmd_serve,
         "demo": _cmd_demo,
     }[arguments.command]
@@ -284,6 +319,50 @@ def _cmd_recover(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(arguments: argparse.Namespace) -> int:
+    """Exit 0 after compacting; 2 when the path is unreadable."""
+    import os
+
+    from repro.storage.logfile import LogFileEngine
+    from repro.storage.sharded import MANIFEST_NAME, ShardedEngine
+
+    path = arguments.path
+    if os.path.isdir(path):
+        if not os.path.exists(os.path.join(path, MANIFEST_NAME)):
+            print(f"{path} is not a sharded data directory (no {MANIFEST_NAME})",
+                  file=sys.stderr)
+            return 2
+        tier_dir = arguments.tier_dir if arguments.tier_dir is not None else path
+        engine = ShardedEngine(
+            data_dir=path, segment_size=arguments.segment_size, tier_dir=tier_dir
+        )
+        stores = [shard.transaction_index.store for shard in engine.shards]
+        labels = [f"shard {index}" for index in range(len(stores))]
+    elif os.path.isfile(path):
+        tier_dir = arguments.tier_dir if arguments.tier_dir is not None else path + ".tier"
+        engine = LogFileEngine(
+            path, segment_size=arguments.segment_size, tier_dir=tier_dir
+        )
+        stores = [engine.transaction_index.store]
+        labels = [path]
+    else:
+        print(f"cannot read {path}: no such file or directory", file=sys.stderr)
+        return 2
+    try:
+        for label, store in zip(labels, stores):
+            report = store.compact()
+            stats = store.statistics()
+            print(
+                f"{label}: demoted {report['demoted']} segment(s), "
+                f"rewrote {report['rewritten']} patched file(s), "
+                f"{report['cold']} cold "
+                f"({stats.get('tier_bytes_written', 0)} bytes written)"
+            )
+    finally:
+        engine.close()
+    return 0
+
+
 def _cmd_serve(arguments: argparse.Namespace) -> int:
     import asyncio
 
@@ -298,6 +377,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         data_dir=arguments.data_dir,
         close_engines=True,
         shards=arguments.shards,
+        tier_dir=arguments.tier_dir,
     )
     server = TemporalServer(config)
     for name in arguments.workload or ():

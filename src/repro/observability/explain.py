@@ -51,6 +51,9 @@ class ExplainReport:
     #: the late-materialization ratio).
     columnar_positions_examined: Optional[int] = None
     columnar_elements_materialized: Optional[int] = None
+    #: Tiered-storage accounting; None unless some scanned segments were
+    #: served from the compressed cold tier.
+    tier_cold_segments: Optional[int] = None
     #: Shard-routing accounting; None unless the relation lives on a
     #: sharded engine (shards visited vs skipped on envelope evidence).
     shards_routed: Optional[int] = None
@@ -79,6 +82,11 @@ class ExplainReport:
                     f"columnar  : {self.columnar_positions_examined} positions "
                     f"examined, {self.columnar_elements_materialized} elements "
                     "materialized"
+                )
+            if self.tier_cold_segments is not None:
+                lines.append(
+                    f"tier      : {self.tier_cold_segments} segment(s) served "
+                    "from compressed cold storage"
                 )
             if self.shards_routed is not None:
                 lines.append(
@@ -165,6 +173,10 @@ def explain_query(
                         columnar_positions=plan.segment_stats.positions_examined,
                         columnar_materialized=plan.segment_stats.materialized,
                     )
+                if plan.segment_stats.cold_segments:
+                    operator_span.annotate(
+                        tier_cold_segments=plan.segment_stats.cold_segments
+                    )
             if plan.shard_stats is not None:
                 operator_span.annotate(
                     shards_routed=plan.shard_stats.routed,
@@ -180,6 +192,8 @@ def explain_query(
         if plan.segment_stats.columnar:
             report.columnar_positions_examined = plan.segment_stats.positions_examined
             report.columnar_elements_materialized = plan.segment_stats.materialized
+        if plan.segment_stats.cold_segments:
+            report.tier_cold_segments = plan.segment_stats.cold_segments
     if plan.shard_stats is not None:
         report.shards_routed = plan.shard_stats.routed
         report.shards_pruned = plan.shard_stats.pruned

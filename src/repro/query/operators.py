@@ -121,6 +121,7 @@ def _scatter_gather(
                 stats.columnar = True
             stats.positions_examined += local.positions_examined
             stats.materialized += local.materialized
+            stats.cold_segments += local.cold_segments
     merged.sort(key=lambda element: element.tt_start.microseconds, reverse=descending)
     return merged, examined_total
 
@@ -139,6 +140,16 @@ def columnar_active(relation: TemporalRelation) -> bool:
         and index.store.columns is not None
         and columnar_enabled()
     )
+
+
+def tiered_active(relation: TemporalRelation) -> bool:
+    """Does this relation's store have cold (demoted) segments?
+
+    Advertised by the planner so ``explain`` can say when a query may be
+    served partly from compressed segment files rather than memory.
+    """
+    index = _tt_index(relation)
+    return index is not None and index.store.cold_base > 0
 
 
 @dataclass
@@ -161,6 +172,9 @@ class SegmentStats:
     columnar: bool = False
     positions_examined: int = 0
     materialized: int = 0
+    #: Work units served from the cold tier (compressed segment files)
+    #: rather than in-memory state -- the tiered-storage accounting.
+    cold_segments: int = 0
 
 
 def _scan_segments(
@@ -211,26 +225,30 @@ def _scan_segments(
         lo = max(start, head_start)
         if lo < stop:
             units.append((lo, stop))
+    cold_base = store.cold_base
     if stats is not None:
         stats.scanned += len(units)
         stats.pruned += pruned
-    elements = store.elements_list()
+        if cold_base:
+            stats.cold_segments += sum(1 for lo, _hi in units if lo < cold_base)
 
-    columns = store.columns
-    if kernel is not None and columns is not None and columnar_enabled():
-        stamp_columns = columns  # narrowed for the closure
+    if kernel is not None and store.columns is not None and columnar_enabled():
 
-        def column_work(unit: Tuple[int, int]) -> Tuple[List[int], int]:
+        def column_work(unit: Tuple[int, int]) -> Tuple[int, List[int], int]:
             lo, hi = unit
-            return kernel(stamp_columns, lo, hi), hi - lo
+            # Hot units run on the store's sidecar; a cold unit gets its
+            # segment's lazily-decoded column set, in segment-local
+            # coordinates (units never span the cold/hot boundary).
+            columns, base = store.kernel_view(lo, hi)
+            return base, kernel(columns, lo - base, hi - base), hi - lo
 
         matches: List[Element] = []
         examined = 0
         materialized = 0
-        for positions, touched in parallel_map_segments(column_work, units):
+        for base, positions, touched in parallel_map_segments(column_work, units):
             # Late materialization: objects are fetched only for the
             # positions the kernel kept, in position (= tt) order.
-            matches.extend(elements[position] for position in positions)
+            matches.extend(store.fetch_elements(base, positions))
             examined += touched
             materialized += len(positions)
         if stats is not None:
@@ -242,8 +260,7 @@ def _scan_segments(
     def work(unit: Tuple[int, int]) -> Result:
         lo, hi = unit
         kept = []
-        for position in range(lo, hi):
-            element = elements[position]
+        for element in store.elements_range(lo, hi):
             if element_match(element):
                 kept.append(element)
         return kept, hi - lo

@@ -98,6 +98,10 @@ class PlannedQuery:
                 registry.counter("query.columnar_elements_materialized").inc(
                     self.segment_stats.materialized
                 )
+            if self.segment_stats.cold_segments:
+                registry.counter("query.tier_cold_segments").inc(
+                    self.segment_stats.cold_segments
+                )
         return results
 
 
@@ -238,6 +242,12 @@ class Planner:
             decisions.append(
                 "columnar: stamp-column kernel with late materialization "
                 "(REPRO_COLUMNAR=0 selects the object path)"
+            )
+        if plan.segment_stats is not None and operators.tiered_active(self.relation):
+            decisions.append(
+                "tiered: cold segments served from compressed segment files "
+                "(lazy per-column decode; REPRO_TIERED=0 keeps everything "
+                "in memory)"
             )
         engine = self.relation.engine
         if getattr(engine, "is_sharded", False):

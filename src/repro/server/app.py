@@ -92,6 +92,10 @@ class ServerConfig:
     #: sharding.  Applies to memory and logfile engines; sqlite keeps
     #: its single thread-affine connection.
     shards: int = 0
+    #: Root directory for compressed cold segment files (``repro serve
+    #: --tier-dir``): each created relation tiers into ``<name>.tier``
+    #: under it.  None leaves tiering to the ``REPRO_TIERED`` default.
+    tier_dir: Optional[str] = None
 
 
 @dataclass
@@ -490,15 +494,26 @@ class TemporalServer:
             status=200,
         )
 
+    def _relation_tier_dir(self, name: str) -> Optional[str]:
+        """Relation *name*'s cold-segment root under ``--tier-dir``."""
+        import os
+
+        if self.config.tier_dir is None:
+            return None
+        tier_dir = os.path.join(self.config.tier_dir, f"{name}.tier")
+        os.makedirs(tier_dir, exist_ok=True)
+        return tier_dir
+
     def _build_engine(self, kind: Any, name: str):
         import os
 
+        tier_dir = self._relation_tier_dir(name)
         if kind == "memory":
             if self.config.shards >= 2:
                 from repro.storage.sharded import ShardedEngine
 
-                return ShardedEngine(shard_count=self.config.shards)
-            return MemoryEngine()
+                return ShardedEngine(shard_count=self.config.shards, tier_dir=tier_dir)
+            return MemoryEngine(tier_dir=tier_dir)
         if kind in ("logfile", "sqlite"):
             if self.config.data_dir is None:
                 raise ProtocolError(
@@ -515,8 +530,9 @@ class TemporalServer:
                     return ShardedEngine(
                         shard_count=self.config.shards,
                         data_dir=os.path.join(self.config.data_dir, f"{name}.shards"),
+                        tier_dir=tier_dir,
                     )
-                return LogFileEngine(path)
+                return LogFileEngine(path, tier_dir=tier_dir)
             from repro.storage.sqlite_backend import SQLiteEngine
 
             return SQLiteEngine(path)

@@ -146,6 +146,38 @@ class StampColumns:
         self.vt_stop[position] = vt_hi
         self.live[position] = 1 if element.is_current else 0
 
+    def cut_tt_right(self, tt: int, lo: int, hi: int) -> int:
+        """First position in ``[lo, hi)`` with ``tt_start > tt``.
+
+        ``tt_start`` is globally sorted, so this is a plain bisect here;
+        the cold-tier subclass overrides it to binary-search the
+        compressed delta blocks on disk instead, which is why the
+        transaction-time kernels route through this method rather than
+        bisecting the array attribute directly (touching the attribute
+        would force a full column decode).
+        """
+        return bisect_right(self.tt_start, tt, lo, hi)
+
+    def without_prefix(self, count: int) -> "StampColumns":
+        """A copy with the first *count* rows dropped (tier demotion of
+        the cold prefix): surviving rows keep their relative order, and
+        sorted-projection cache entries entirely inside the surviving
+        suffix shift down with them."""
+        trimmed = StampColumns()
+        trimmed.tt_start = self.tt_start[count:]
+        trimmed.tt_stop = self.tt_stop[count:]
+        trimmed.vt_start = self.vt_start[count:]
+        trimmed.vt_stop = self.vt_stop[count:]
+        trimmed.live = self.live[count:]
+        trimmed.unit_only = self.unit_only
+        for (lo, hi), (starts, order) in self._sorted_cache.items():
+            if lo >= count:
+                trimmed._sorted_cache[(lo - count, hi - count)] = (
+                    starts,
+                    [i - count for i in order],
+                )
+        return trimmed
+
     def sorted_starts(self, lo: int, hi: int) -> Tuple[array, List[int]]:
         """``vt_start`` over ``[lo, hi)`` sorted, with the permutation.
 
@@ -228,9 +260,13 @@ def positions_overlapping(
 
 def positions_stored_at(columns: StampColumns, lo: int, hi: int, tt: int) -> List[int]:
     """Rows whose existence interval contains *tt* (rollback predicate)."""
+    # tt_start is sorted: rows with tt_start <= tt are a prefix.  The
+    # cut runs through the column set so cold segments can answer it
+    # from the compressed delta blocks without decoding tt_start.
+    cut = columns.cut_tt_right(tt, lo, hi)
+    if cut <= lo:
+        return []
     tt_hi = columns.tt_stop
-    # tt_start is sorted: rows with tt_start <= tt are a prefix.
-    cut = bisect_right(columns.tt_start, tt, lo, hi)
     return [i for i in range(lo, cut) if tt < tt_hi[i]]
 
 
@@ -238,10 +274,12 @@ def positions_bitemporal(
     columns: StampColumns, lo: int, hi: int, tt: int, vt: int
 ) -> List[int]:
     """Rows stored during *tt* whose valid time contains *vt*."""
+    cut = columns.cut_tt_right(tt, lo, hi)
+    if cut <= lo:
+        return []
     tt_hi = columns.tt_stop
     vt_lo = columns.vt_start
     vt_hi = columns.vt_stop
-    cut = bisect_right(columns.tt_start, tt, lo, hi)
     return [
         i
         for i in range(lo, cut)

@@ -24,6 +24,7 @@ from repro.chronos.duration import CalendricDuration, Duration
 from repro.chronos.timestamp import TimePoint, Timestamp
 from repro.relation.element import Element
 from repro.storage.segments import SegmentedStore
+from repro.storage.tiered import TierManager
 
 
 class TransactionTimeIndex:
@@ -35,8 +36,15 @@ class TransactionTimeIndex:
     materialized current-state view, parallel scans).
     """
 
-    def __init__(self, segment_size: Optional[int] = None) -> None:
-        self._store = SegmentedStore(segment_size=segment_size)
+    def __init__(
+        self,
+        segment_size: Optional[int] = None,
+        tier_dir: Optional[str] = None,
+        tier_manager: Optional["TierManager"] = None,
+    ) -> None:
+        self._store = SegmentedStore(
+            segment_size=segment_size, tier_dir=tier_dir, tier_manager=tier_manager
+        )
 
     @property
     def store(self) -> SegmentedStore:
@@ -63,7 +71,7 @@ class TransactionTimeIndex:
     def prefix_through(self, tt: TimePoint) -> Iterator[Element]:
         """Elements inserted at or before *tt* (rollback candidates)."""
         if isinstance(tt, Timestamp):
-            yield from self._store.elements_list()[: self.position_of_tt(tt)]
+            yield from self._store.elements_range(0, self.position_of_tt(tt))
         elif tt.is_positive:  # FOREVER
             yield from self._store
         # NEGATIVE_INFINITY: empty prefix
@@ -72,7 +80,7 @@ class TransactionTimeIndex:
         """Elements with ``low <= tt_start <= high``."""
         start = self._store.position_left(low.microseconds)
         stop = self._store.position_right(high.microseconds)
-        yield from self._store.elements_list()[start:stop]
+        yield from self._store.elements_range(start, stop)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -355,10 +355,16 @@ class LogFileEngine(StorageEngine):
     #: :class:`MemoryEngine`).
     supports_concurrent_reads = True
 
-    def __init__(self, path: str, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = True,
+        segment_size: Optional[int] = None,
+        tier_dir: Optional[str] = None,
+    ) -> None:
         self._path = path
         self._fsync = fsync
-        self._mirror = MemoryEngine()
+        self._mirror = MemoryEngine(segment_size=segment_size, tier_dir=tier_dir)
         self._failed = False
         self.last_recovery: Optional[RecoveryReport] = None
         self._format = "v1"
@@ -563,6 +569,7 @@ class LogFileEngine(StorageEngine):
             if not self._failed:
                 self._sync()
             self._handle.close()
+        self._mirror.close()
 
     def __enter__(self) -> "LogFileEngine":
         return self

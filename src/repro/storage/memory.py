@@ -17,6 +17,7 @@ from repro.relation.element import Element
 from repro.storage.base import StorageEngine
 from repro.storage.indexes import TransactionTimeIndex, ValidTimeEventIndex
 from repro.storage.interval_tree import IntervalTree
+from repro.storage.tiered import TierManager
 
 
 class MemoryEngine(StorageEngine):
@@ -35,12 +36,20 @@ class MemoryEngine(StorageEngine):
         self,
         maintain_vt_index: bool = True,
         segment_size: Optional[int] = None,
+        tier_dir: Optional[str] = None,
+        tier_manager: Optional["TierManager"] = None,
     ) -> None:
-        self._tt_index = TransactionTimeIndex(segment_size=segment_size)
+        self._tt_index = TransactionTimeIndex(
+            segment_size=segment_size, tier_dir=tier_dir, tier_manager=tier_manager
+        )
         self._positions: Dict[int, int] = {}
         self._maintain_vt_index = maintain_vt_index
         self._vt_events: Optional[ValidTimeEventIndex] = None
         self._vt_intervals: Optional[IntervalTree[int]] = None
+
+    def close(self) -> None:
+        """Release tier resources held by the segmented store."""
+        self._tt_index.store.close()
 
     # -- validation without mutation ----------------------------------------------
     #

@@ -40,6 +40,8 @@ from repro.chronos.interval import Interval
 from repro.chronos.timestamp import Timestamp
 from repro.relation.element import Element
 from repro.storage.columnar import StampColumns, columnar_enabled
+from repro.storage.segfile import SegmentFileError
+from repro.storage.tiered import TierManager, tiered_enabled
 
 #: Sentinel microsecond coordinates for unbounded endpoints (the same
 #: convention the SQLite and log-file codecs use).
@@ -177,7 +179,7 @@ class Segment:
     has ``zone = None`` and is always scanned.
     """
 
-    __slots__ = ("ordinal", "start", "stop", "zone", "_elements")
+    __slots__ = ("ordinal", "start", "stop", "zone", "_elements", "_store")
 
     def __init__(
         self,
@@ -185,13 +187,15 @@ class Segment:
         start: int,
         stop: int,
         zone: Optional[ZoneMap],
-        elements: List[Element],
+        elements: Optional[List[Element]],
+        store: Optional["SegmentedStore"] = None,
     ) -> None:
         self.ordinal = ordinal
         self.start = start
         self.stop = stop
         self.zone = zone
         self._elements = elements  # the store's backing list, not a copy
+        self._store = store  # set instead of elements for cold segments
 
     @property
     def sealed(self) -> bool:
@@ -202,6 +206,10 @@ class Segment:
 
     def __iter__(self) -> Iterator[Element]:
         elements = self._elements
+        if elements is None:
+            # Cold segment: materialize through the tier manager.
+            yield from self._store.elements_range(self.start, self.stop)  # type: ignore[union-attr]
+            return
         for position in range(self.start, self.stop):
             yield elements[position]
 
@@ -222,13 +230,35 @@ class SegmentedStore:
       the owning zone map's ``live`` / ``max_closed_tt_stop``.
     """
 
-    def __init__(self, segment_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        segment_size: Optional[int] = None,
+        tier_dir: Optional[str] = None,
+        tier_manager: Optional[TierManager] = None,
+    ) -> None:
         self.segment_size = segment_size if segment_size else configured_segment_size()
         if self.segment_size < 2:
             raise ValueError("segment size must be at least 2")
         self._tts: List[int] = []
-        self._elements: List[Element] = []
+        #: Cold positions hold ``None``; their elements live in segment
+        #: files and materialize through the tier manager on demand.
+        self._elements: List[Optional[Element]] = []
         self._zones: List[ZoneMap] = []
+        #: The tier manager, or None for a flat (all in memory) store.
+        #: ``REPRO_TIERED=0`` forces flat, ``=1`` forces tiered (into a
+        #: private temp directory unless a tier_dir/manager was given),
+        #: unset defers to the constructor arguments.
+        forced = tiered_enabled()
+        self.tiering: Optional[TierManager] = None
+        if forced is not False:
+            if tier_manager is not None:
+                self.tiering = tier_manager
+            elif tier_dir is not None or forced:
+                self.tiering = TierManager(tier_dir)
+        #: Sealed segments already demoted to the cold tier -- always a
+        #: position prefix of the store (cold grows from the left, the
+        #: head stays hot on the right).
+        self._cold = 0
         #: The materialized current-state view: surrogate -> position,
         #: insertion-ordered (appends arrive in transaction order, so
         #: iterating the dict yields the current state in tt order).
@@ -317,10 +347,18 @@ class SegmentedStore:
         Keeps the owning sealed segment's zone map and the current-state
         view in step with the change.
         """
-        old = self._elements[position]
-        self._elements[position] = element
-        if self.columns is not None:
-            self.columns.rewrite(position, element)
+        cold_base = self.cold_base
+        if position < cold_base:
+            # Cold row: the close becomes a patch pinned by the tier
+            # manager until the next compaction rewrite folds it in.
+            old = self.element_at(position)
+            size = self.segment_size
+            self.tiering.patch(position // size, position % size, element)  # type: ignore[union-attr]
+        else:
+            old = self._elements[position]  # type: ignore[assignment]
+            self._elements[position] = element
+            if self.columns is not None:
+                self.columns.rewrite(position - cold_base, element)
         self.mutations += 1
         was_live = old.is_current
         is_live = element.is_current
@@ -354,9 +392,150 @@ class SegmentedStore:
 
     def _seal_full_blocks(self) -> None:
         size = self.segment_size
+        sealed_any = False
         while (len(self._zones) + 1) * size <= len(self._elements):
             start = len(self._zones) * size
             self._zones.append(self._build_zone(start, start + size))
+            sealed_any = True
+        if sealed_any and self.tiering is not None:
+            # Keep a small reserve of recently sealed segments hot (the
+            # most-closed-against, most-queried history) and demote the
+            # rest of the sealed prefix to compressed files.
+            self._demote_prefix(len(self._zones) - self.tiering.hot_reserve)
+
+    # -- tier demotion ----------------------------------------------------------------
+
+    @property
+    def cold_base(self) -> int:
+        """First hot position (cold segments are always a prefix)."""
+        return self._cold * self.segment_size
+
+    def _segment_column_lists(self, start: int, stop: int) -> Dict[str, Sequence[int]]:
+        """The stamp-column rows for hot positions ``[start, stop)``."""
+        columns = self.columns
+        if columns is not None:
+            lo = start - self.cold_base
+            hi = stop - self.cold_base
+            return {
+                "tt_start": columns.tt_start[lo:hi],
+                "tt_stop": columns.tt_stop[lo:hi],
+                "vt_start": columns.vt_start[lo:hi],
+                "vt_stop": columns.vt_stop[lo:hi],
+                "live": list(columns.live[lo:hi]),
+            }
+        staging = StampColumns()
+        staging.extend(self._elements[start:stop])  # type: ignore[arg-type]
+        return {
+            "tt_start": staging.tt_start,
+            "tt_stop": staging.tt_stop,
+            "vt_start": staging.vt_start,
+            "vt_stop": staging.vt_stop,
+            "live": list(staging.live),
+        }
+
+    def _demote_prefix(self, through: int) -> None:
+        """Demote sealed segments ``[self._cold, through)`` to the cold
+        tier.  Best-effort: a failed file write (disk full, unwritable
+        directory) leaves the segment hot -- callers on the durable
+        write path must never see demotion raise."""
+        tiering = self.tiering
+        if tiering is None:
+            return
+        size = self.segment_size
+        while self._cold < min(through, len(self._zones)):
+            start = self._cold * size
+            stop = start + size
+            elements = self._elements[start:stop]
+            columns = self._segment_column_lists(start, stop)
+            unit_only = all(
+                hi == lo + 1
+                for lo, hi in zip(columns["vt_start"], columns["vt_stop"])
+            )
+            zone = self._zones[self._cold]
+            try:
+                tiering.demote(
+                    self._cold,
+                    elements,  # type: ignore[arg-type]
+                    columns,
+                    unit_only,
+                    zone={
+                        "tt_lo": zone.tt_lo,
+                        "tt_hi": zone.tt_hi,
+                        "vt_lo": zone.vt_lo,
+                        "vt_hi": zone.vt_hi,
+                    },
+                )
+            except (OSError, TypeError, ValueError, SegmentFileError):
+                break
+            for position in range(start, stop):
+                self._elements[position] = None
+            if self.columns is not None:
+                self.columns = self.columns.without_prefix(size)
+            self._cold += 1
+        tiering.publish_gauges(len(self._zones) - self._cold + 1)
+
+    def compact(self) -> Dict[str, int]:
+        """Demote every sealed segment and fold patches into fresh files.
+
+        The compaction entry point vacuum and ``repro compact`` drive:
+        seal-eligible history moves to the compressed cold tier (hot
+        reserve included) and every patched cold file is rewritten
+        crash-safely (write-new, fsync, rename), dropping its pinned
+        patch elements.  No-op on flat stores.
+        """
+        tiering = self.tiering
+        if tiering is None:
+            return {"demoted": 0, "rewritten": 0, "cold": 0}
+        before = self._cold
+        self._demote_prefix(len(self._zones))
+        rewritten = tiering.rewrite_patched(self)
+        return {
+            "demoted": self._cold - before,
+            "rewritten": rewritten,
+            "cold": self._cold,
+        }
+
+    def detach_tiering(self) -> Optional[TierManager]:
+        """Materialize the cold tier back into memory and release the
+        tier manager, returning it.
+
+        Vacuum's handoff: the rebuilt store inherits the manager (and
+        with it every unchanged segment file), while the retired store
+        -- still reachable by callers holding the old engine -- becomes
+        a plain in-memory store that no longer depends on files the
+        rebuild is about to reuse or unlink.  Cheap after a full scan:
+        every cold segment's elements are already decoded and cached.
+        """
+        tiering = self.tiering
+        if tiering is None:
+            return None
+        if self._cold:
+            size = self.segment_size
+            cold_base = self.cold_base
+            rehydrated: List[Element] = []
+            for ordinal in range(self._cold):
+                rehydrated.extend(tiering.elements(ordinal))
+            self._elements[:cold_base] = rehydrated  # type: ignore[assignment]
+            if self.columns is not None:
+                prefix = StampColumns()
+                prefix.extend(rehydrated)
+                hot = self.columns
+                merged = StampColumns()
+                merged.tt_start = prefix.tt_start + hot.tt_start
+                merged.tt_stop = prefix.tt_stop + hot.tt_stop
+                merged.vt_start = prefix.vt_start + hot.vt_start
+                merged.vt_stop = prefix.vt_stop + hot.vt_stop
+                merged.live = prefix.live + hot.live
+                merged.unit_only = prefix.unit_only and hot.unit_only
+                for (lo, hi), (starts, order) in hot._sorted_cache.items():
+                    merged._sorted_cache[(lo + cold_base, hi + cold_base)] = (
+                        starts,
+                        [position + cold_base for position in order],
+                    )
+                self.columns = merged
+            self._cold = 0
+        self.tiering = None
+        return tiering
 
     def _build_zone(self, start: int, stop: int) -> ZoneMap:
         elements = self._elements
@@ -412,9 +591,13 @@ class SegmentedStore:
     def sealed_segments(self) -> Iterator[Segment]:
         size = self.segment_size
         elements = self._elements
+        cold = self._cold
         for ordinal, zone in enumerate(self._zones):
             start = ordinal * size
-            yield Segment(ordinal, start, start + size, zone, elements)
+            if ordinal < cold:
+                yield Segment(ordinal, start, start + size, zone, None, self)
+            else:
+                yield Segment(ordinal, start, start + size, zone, elements)  # type: ignore[arg-type]
 
     def segments(self) -> List[Segment]:
         """All segments in position order, the head (possibly empty) last."""
@@ -442,17 +625,80 @@ class SegmentedStore:
     # -- element access ------------------------------------------------------------
 
     def element_at(self, position: int) -> Element:
-        return self._elements[position]
+        if position < self.cold_base:
+            size = self.segment_size
+            return self.tiering.element_at(position // size, position % size)  # type: ignore[union-attr]
+        return self._elements[position]  # type: ignore[return-value]
 
     def elements_list(self) -> List[Element]:
-        """The backing list (read-only by convention; no copy)."""
-        return self._elements
+        """The backing list (read-only by convention; no copy).
+
+        With cold segments present this materializes the whole run --
+        scan-shaped callers should prefer :meth:`elements_range` /
+        :meth:`fetch_elements`, which touch only what they need.
+        """
+        if self._cold:
+            return self.elements_range(0, len(self._elements))
+        return self._elements  # type: ignore[return-value]
+
+    def elements_range(self, lo: int, hi: int) -> List[Element]:
+        """Elements for positions ``[lo, hi)``, cold segments decoded
+        per segment through the tier manager's cache."""
+        cold_base = self.cold_base
+        if lo >= cold_base or lo >= hi:
+            return self._elements[lo:hi]  # type: ignore[return-value]
+        size = self.segment_size
+        out: List[Element] = []
+        tiering = self.tiering
+        while lo < min(hi, cold_base):
+            ordinal = lo // size
+            start = ordinal * size
+            take = min(hi, start + size)
+            segment_elements = tiering.elements(ordinal)  # type: ignore[union-attr]
+            out.extend(segment_elements[lo - start : take - start])
+            lo = take
+        if lo < hi:
+            out.extend(self._elements[lo:hi])  # type: ignore[arg-type]
+        return out
+
+    def fetch_elements(self, base: int, positions: Sequence[int]) -> List[Element]:
+        """Materialize kernel survivors: *positions* are local to *base*
+        (the pairing :meth:`kernel_view` hands out)."""
+        if base >= self.cold_base:
+            elements = self._elements
+            return [elements[base + position] for position in positions]  # type: ignore[misc]
+        tiering = self.tiering
+        ordinal = base // self.segment_size
+        return [tiering.element_at(ordinal, position) for position in positions]  # type: ignore[union-attr]
+
+    def kernel_view(self, lo: int, hi: int):
+        """The column set and base offset covering unit ``[lo, hi)``.
+
+        Hot units share the store's sidecar (rows are position minus
+        ``cold_base``); a cold unit gets its segment's lazily-decoded
+        column set (rows are segment-local).  Units never span the
+        cold/hot boundary: operators clip to segment bounds and the
+        boundary is always a segment boundary.
+        """
+        if lo >= self.cold_base:
+            return self.columns, self.cold_base
+        ordinal = lo // self.segment_size
+        return self.tiering.columns(ordinal), ordinal * self.segment_size  # type: ignore[union-attr]
 
     def __len__(self) -> int:
         return len(self._elements)
 
     def __iter__(self) -> Iterator[Element]:
-        return iter(self._elements)
+        if not self._cold:
+            return iter(self._elements)  # type: ignore[arg-type]
+
+        def generate() -> Iterator[Element]:
+            tiering = self.tiering
+            for ordinal in range(self._cold):
+                yield from tiering.elements(ordinal)  # type: ignore[union-attr]
+            yield from self._elements[self.cold_base :]  # type: ignore[misc]
+
+        return generate()
 
     # -- the materialized current-state view -----------------------------------------
 
@@ -467,22 +713,34 @@ class SegmentedStore:
 
     def _view(self) -> Dict[int, int]:
         if not self._view_valid:
+            current: Dict[int, int] = {}
+            cold_base = self.cold_base
+            if self._cold:
+                # Cold segments: decode only the live bitmap, then
+                # materialize just the live rows (typically few after
+                # the closes that motivated demotion in the first place).
+                size = self.segment_size
+                tiering = self.tiering
+                for ordinal in range(self._cold):
+                    start = ordinal * size
+                    for local in tiering.live_locals(ordinal):  # type: ignore[union-attr]
+                        element = tiering.element_at(ordinal, local)  # type: ignore[union-attr]
+                        current[element.element_surrogate] = start + local
             if self.columns is not None and columnar_enabled():
                 # Current-state feed kernel: walk the live bitmap and
                 # materialize only the survivors' surrogates, instead of
                 # probing ``is_current`` on every historical object.
                 elements = self._elements
-                self._current = {
-                    elements[position].element_surrogate: position
-                    for position, alive in enumerate(self.columns.live)
-                    if alive
-                }
+                for row, alive in enumerate(self.columns.live):
+                    if alive:
+                        position = cold_base + row
+                        current[elements[position].element_surrogate] = position  # type: ignore[union-attr]
             else:
-                self._current = {
-                    element.element_surrogate: position
-                    for position, element in enumerate(self._elements)
-                    if element.is_current
-                }
+                for position in range(cold_base, len(self._elements)):
+                    element = self._elements[position]
+                    if element.is_current:  # type: ignore[union-attr]
+                        current[element.element_surrogate] = position  # type: ignore[union-attr]
+            self._current = current
             self._view_valid = True
         return self._current
 
@@ -492,15 +750,29 @@ class SegmentedStore:
 
     def iter_current(self) -> Iterator[Element]:
         """The current state in transaction order, O(live) via the view."""
+        if self._cold:
+            for position in self._view().values():
+                yield self.element_at(position)
+            return
         elements = self._elements
         for position in self._view().values():
-            yield elements[position]
+            yield elements[position]  # type: ignore[misc]
 
     # -- introspection -------------------------------------------------------------
 
     def statistics(self) -> Dict[str, int]:
-        return {
+        stats = {
             "segments_sealed": len(self._zones),
             "segment_size": self.segment_size,
             "live_elements": self._live_total,
         }
+        if self.tiering is not None:
+            stats.update(self.tiering.statistics())
+            stats["segments_cold"] = self._cold
+        return stats
+
+    def close(self) -> None:
+        """Release tier resources (decoded caches, mappings; a manager
+        that owns a temporary directory deletes it)."""
+        if self.tiering is not None:
+            self.tiering.close()

@@ -330,10 +330,16 @@ class ShardedEngine(StorageEngine):
         segment_size: Optional[int] = None,
         data_dir: Optional[str] = None,
         fsync: bool = True,
+        tier_dir: Optional[str] = None,
     ) -> None:
         self._maintain_vt_index = maintain_vt_index
         self._segment_size = segment_size
         self._data_dir = data_dir
+        #: Root for per-shard cold-segment directories; each shard tiers
+        #: into ``shard-NNN.tier`` under it (sibling of the shard WALs
+        #: when this is the data_dir).  None leaves tiering to the
+        #: ``REPRO_TIERED`` default (forced-on stores use temp dirs).
+        self._tier_dir = tier_dir
         self._fsync = fsync
         self._manifest_path = os.path.join(data_dir, MANIFEST_NAME) if data_dir else None
         if shards is not None:
@@ -351,7 +357,7 @@ class ShardedEngine(StorageEngine):
                 raise ValueError("shard_count must be at least 1")
             count = shard_count
             self._partitioner = partitioner if partitioner is not None else HashPartitioner(count)
-            self._shards = [self._build_memory_shard() for _ in range(count)]
+            self._shards = [self._build_memory_shard(index) for index in range(count)]
         if self._partitioner.shard_count != count:
             raise ValueError(
                 f"partitioner covers {self._partitioner.shard_count} shards "
@@ -366,9 +372,13 @@ class ShardedEngine(StorageEngine):
         self._epoch = 0
         self._routed_total = 0
         self._pruned_total = 0
-        self._envelope_cache: Optional[Tuple[Tuple[Tuple[int, int], ...], List[ShardEnvelope]]] = (
+        #: Per-shard envelope memo: ``(epoch, envelope)`` or None, one
+        #: slot per shard.  Memoized per shard (not as one all-or-nothing
+        #: list) so a mutation or rebalance recomputes only the shards it
+        #: actually touched.
+        self._envelope_memo: List[Optional[Tuple[Tuple[int, int], ShardEnvelope]]] = [
             None
-        )
+        ] * count
         self._subrel_cache: Optional[Tuple[Tuple[int, ...], List["TemporalRelation"]]] = None
         self._rebuild_route()
         # Epoch-pinned reads scatter over append-only per-shard state, so
@@ -377,10 +387,18 @@ class ShardedEngine(StorageEngine):
             getattr(shard, "supports_concurrent_reads", False) for shard in self._shards
         )
 
-    def _build_memory_shard(self) -> MemoryEngine:
+    def _build_memory_shard(self, index: int) -> MemoryEngine:
         return MemoryEngine(
-            maintain_vt_index=self._maintain_vt_index, segment_size=self._segment_size
+            maintain_vt_index=self._maintain_vt_index,
+            segment_size=self._segment_size,
+            tier_dir=self._shard_tier_dir(index),
         )
+
+    def _shard_tier_dir(self, index: int) -> Optional[str]:
+        """Shard *index*'s cold-segment directory (None if untiered)."""
+        if self._tier_dir is None:
+            return None
+        return os.path.join(self._tier_dir, f"shard-{index:03d}.tier")
 
     # -- durable open / recovery ----------------------------------------------------
 
@@ -431,7 +449,12 @@ class ShardedEngine(StorageEngine):
                 count = shard_count
             self._append_manifest({"op": "create", "format": 1, "spec": self._partitioner.spec()})
         self._shards = [
-            LogFileEngine(os.path.join(data_dir, shard_file_name(index)), fsync=self._fsync)
+            LogFileEngine(
+                os.path.join(data_dir, shard_file_name(index)),
+                fsync=self._fsync,
+                segment_size=self._segment_size,
+                tier_dir=self._shard_tier_dir(index),
+            )
             for index in range(count)
         ]
         return count
@@ -625,13 +648,22 @@ class ShardedEngine(StorageEngine):
         return (self._routed_total, self._pruned_total)
 
     def envelopes(self) -> List[ShardEnvelope]:
-        """Per-shard (tt, vt) envelopes, cached per shard mutation epoch."""
-        key = tuple(self._shard_epoch(shard) for shard in self._shards)
-        cached = self._envelope_cache
-        if cached is not None and cached[0] == key:
-            return cached[1]
-        envelopes = [self._compute_envelope(shard) for shard in self._shards]
-        self._envelope_cache = (key, envelopes)
+        """Per-shard (tt, vt) envelopes, memoized per shard mutation epoch.
+
+        Each shard's envelope is cached against that shard's own epoch,
+        so mutating (or rebalancing) one shard recomputes one envelope --
+        the untouched shards answer from their memo.
+        """
+        envelopes: List[ShardEnvelope] = []
+        for index, shard in enumerate(self._shards):
+            epoch = self._shard_epoch(shard)
+            memo = self._envelope_memo[index]
+            if memo is not None and memo[0] == epoch:
+                envelopes.append(memo[1])
+                continue
+            envelope = self._compute_envelope(shard)
+            self._envelope_memo[index] = (epoch, envelope)
+            envelopes.append(envelope)
         return envelopes
 
     @staticmethod
@@ -751,25 +783,38 @@ class ShardedEngine(StorageEngine):
         members: List[List[Element]] = [[] for _ in self._shards]
         for element in self._merge(shard.scan() for shard in self._shards):
             members[new_partitioner.shard_of(element)].append(element)
-        affected: List[int] = []
-        moved = 0
-        for index, shard in enumerate(self._shards):
-            current = [element.element_surrogate for element in shard.scan()]
-            target = [element.element_surrogate for element in members[index]]
-            if current != target:
-                affected.append(index)
-                moved += len(set(target) - set(current))
+        # The move record, derived from the pre-move routing table: no
+        # second scan over shards that did not gain or lose anything.
+        # Per-shard order cannot change while membership is unchanged
+        # (both sides are the same tt-sorted subsequence), so a shard is
+        # affected exactly when some element's assignment changed.
+        route_updates: Dict[int, int] = {}
+        affected_set = set()
+        for index, group in enumerate(members):
+            for element in group:
+                previous = self._route[element.element_surrogate]
+                if previous != index:
+                    route_updates[element.element_surrogate] = index
+                    affected_set.add(previous)
+                    affected_set.add(index)
+        affected = sorted(affected_set)
+        moved = len(route_updates)
         if self._data_dir is not None:
             self._rebalance_durable(new_partitioner, members, affected)
         else:
             for index in affected:
-                rebuilt = self._build_memory_shard()
+                rebuilt = self._build_memory_shard(index)
                 rebuilt.extend(members[index])
                 self._shards[index] = rebuilt
         self._partitioner = new_partitioner
-        self._rebuild_route()
+        # Incremental maintenance from the move record: only the moved
+        # surrogates re-route and only the affected shards' envelope
+        # memos drop (``_max_tt`` is untouched -- a rebalance re-homes
+        # elements, it does not add or close any).
+        self._route.update(route_updates)
+        for index in affected:
+            self._envelope_memo[index] = None
         self._epoch += 1
-        self._envelope_cache = None
         self._subrel_cache = None
         self.supports_concurrent_reads = all(
             getattr(shard, "supports_concurrent_reads", False) for shard in self._shards
@@ -805,7 +850,16 @@ class ShardedEngine(StorageEngine):
                 close()
             live_path = os.path.join(self._data_dir, shard_file_name(index))
             os.replace(live_path + ".staged", live_path)
-            self._shards[index] = LogFileEngine(live_path, fsync=self._fsync)
+            # Reopening with the shard's tier directory is safe across a
+            # rebalance: adoption verifies immutable columns byte-for-byte
+            # against the replayed WAL, so stale pre-move segment files
+            # are detected and rewritten, never served.
+            self._shards[index] = LogFileEngine(
+                live_path,
+                fsync=self._fsync,
+                segment_size=self._segment_size,
+                tier_dir=self._shard_tier_dir(index),
+            )
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -816,7 +870,7 @@ class ShardedEngine(StorageEngine):
         self._shards = list(shards)
         self._rebuild_route()
         self._epoch += 1
-        self._envelope_cache = None
+        self._envelope_memo = [None] * len(self._shards)
         self._subrel_cache = None
         self.supports_concurrent_reads = all(
             getattr(shard, "supports_concurrent_reads", False) for shard in self._shards

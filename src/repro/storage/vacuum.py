@@ -72,11 +72,22 @@ def vacuum_engine(engine: StorageEngine, horizon: Timestamp) -> "tuple[StorageEn
             partitioner=engine.partitioner,  # type: ignore[attr-defined]
         )
         return compacted_sharded, VacuumReport(horizon=horizon, kept=kept, purged=purged)
+    index = getattr(engine, "transaction_index", None)
+    old_store = index.store if index is not None else None
+    # Epoch key for the carry-over below: anything derived from the old
+    # store is only reusable if the store is unchanged when installed.
+    epoch = old_store.mutations if old_store is not None else None
     survivors = []
     purged = 0
-    for element in engine.scan():
+    #: Position of the first purged element -- everything before it is
+    #: byte-identical in the rebuilt store, which is what licenses
+    #: carrying caches and cold segment files across the rebuild.
+    first_purged: Optional[int] = None
+    for position, element in enumerate(engine.scan()):
         if isinstance(element.tt_stop, Timestamp) and element.tt_stop <= horizon:
             purged += 1
+            if first_purged is None:
+                first_purged = position
             continue
         survivors.append(element)
     # Preserve the source engine's configuration: vacuuming must change
@@ -84,15 +95,57 @@ def vacuum_engine(engine: StorageEngine, horizon: Timestamp) -> "tuple[StorageEn
     # extend below also rebuilds the stamp-column sidecar from the
     # survivors -- vacuum is what compacts deleted rows out of the
     # columns, since logical deletes only clear live bits in place).
-    index = getattr(engine, "transaction_index", None)
+    tier_manager = None
+    if old_store is not None and old_store.tiering is not None:
+        size = old_store.segment_size
+        boundary = len(old_store) if first_purged is None else first_purged
+        # Cold segments entirely inside the unchanged prefix keep their
+        # files, decoded caches, and patches across the rebuild; the
+        # manager forgets (and unlinks) everything vacuum invalidated.
+        cold_unchanged = min(old_store._cold, boundary // size)
+        # Hand the manager to the rebuilt store.  The retired store is
+        # rehydrated into plain memory first (cheap -- the scan above
+        # decoded everything), so callers still holding the old engine
+        # keep full read access without touching the reused files.
+        tier_manager = old_store.detach_tiering()
+        tier_manager.begin_rebuild(range(cold_unchanged))
     compacted = MemoryEngine(
         maintain_vt_index=getattr(engine, "has_vt_index", True),
-        segment_size=index.store.segment_size if index is not None else None,
+        segment_size=old_store.segment_size if old_store is not None else None,
+        tier_manager=tier_manager,
     )
     compacted.extend(survivors)
+    new_store = compacted.transaction_index.store
+    if (
+        old_store is not None
+        and tier_manager is None
+        and old_store.mutations == epoch
+        and old_store.cold_base == 0
+        and new_store.cold_base == 0
+        and old_store.columns is not None
+        and new_store.columns is not None
+    ):
+        # Flat stores: sorted-vt projections for position ranges wholly
+        # inside the unchanged prefix describe identical rows in the new
+        # store -- carry them instead of rebuilding them on first query.
+        # (Cold segments carry theirs through the tier manager above.)
+        boundary = len(old_store) if first_purged is None else first_purged
+        fresh_cache = new_store.columns._sorted_cache
+        for key, entry in old_store.columns._sorted_cache.items():
+            if key[1] <= boundary:
+                fresh_cache[key] = entry
+    if tier_manager is not None:
+        # A retained ordinal the rebuilt store kept hot (its hot
+        # reserve) must not linger in the manager: later hot mutations
+        # would silently stale the retained file.  Trim to what the
+        # rebuild actually demoted, then fold post-demotion closes
+        # (patches) into fresh segment files -- write-new, fsync,
+        # rename: the compaction rewrite vacuum drives.
+        tier_manager.begin_rebuild(range(new_store._cold))
+        tier_manager.rewrite_patched(new_store)
     # Compaction changed history wholesale; drop the materialized
     # current-state view so it rebuilds lazily on the next current().
-    compacted.transaction_index.store.invalidate_view()
+    new_store.invalidate_view()
     return compacted, VacuumReport(horizon=horizon, kept=len(survivors), purged=purged)
 
 
