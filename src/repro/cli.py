@@ -194,6 +194,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="leave the metrics registry disabled",
     )
 
+    watch = commands.add_parser(
+        "watch",
+        help=(
+            "tail a served relation's delta stream (long-poll "
+            "/relations/<name>/subscribe; see docs/views.md)"
+        ),
+    )
+    watch.add_argument("relation", help="the relation name on the server")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8787)
+    watch.add_argument(
+        "--since",
+        type=int,
+        default=None,
+        help=(
+            "epoch cursor (microseconds) to resume from -- e.g. the "
+            "'tt' of a snapshot read's epoch; default: from now"
+        ),
+    )
+    watch.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help="long-poll rounds before exiting (default 0: until interrupted)",
+    )
+    watch.add_argument(
+        "--poll-timeout",
+        type=float,
+        default=25.0,
+        help="per-round long-poll timeout in seconds (default 25)",
+    )
+
     commands.add_parser("demo", help="a one-screen tour")
     return parser
 
@@ -209,6 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "recover": _cmd_recover,
         "compact": _cmd_compact,
         "serve": _cmd_serve,
+        "watch": _cmd_watch,
         "demo": _cmd_demo,
     }[arguments.command]
     return handler(arguments)
@@ -399,6 +432,55 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shut down")
     return 0
+
+
+def _cmd_watch(arguments: argparse.Namespace) -> int:
+    """Tail a relation's epoch-stamped delta stream as JSON lines.
+
+    On ``resync`` (the cursor fell behind the server's journal floor,
+    e.g. across a server restart) the watcher re-anchors at the
+    server's current pin and says so -- the reconciliation recipe from
+    ``docs/views.md``, performed live.
+    """
+    import asyncio
+    import json
+
+    from repro.server.client import ServerClient
+
+    async def run() -> int:
+        client = ServerClient(arguments.host, arguments.port)
+        await client.connect()
+        cursor = arguments.since
+        rounds = 0
+        try:
+            while True:
+                response = await client.subscribe(
+                    arguments.relation, since=cursor, timeout=arguments.poll_timeout
+                )
+                if not response.ok:
+                    print(f"error {response.status}: {response.body!r}", file=sys.stderr)
+                    return 1
+                body = response.json()
+                if body.get("resync"):
+                    cursor = body["epoch"]["tt"]
+                    print(
+                        json.dumps({"resync": True, "cursor": cursor}),
+                        flush=True,
+                    )
+                else:
+                    for delta in body["deltas"]:
+                        print(json.dumps(delta, sort_keys=True), flush=True)
+                    cursor = body["cursor"]
+                rounds += 1
+                if arguments.rounds and rounds >= arguments.rounds:
+                    return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_demo(_arguments: argparse.Namespace) -> int:

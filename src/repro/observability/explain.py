@@ -147,12 +147,34 @@ def explain_query(
         plan = Planner(relation).plan(core)
         span.annotate(strategy=plan.strategy)
 
+    decisions = list(plan.decisions)
+    if relation.has_views:
+        # Standing views ride the mutation stream instead of rescans;
+        # surface each one's compiled maintenance plan alongside the
+        # query plan it spares. Inserted ahead of the planner's final
+        # "chosen: ..." line, which callers rely on staying last.
+        view_lines = [
+            "standing view {name!r}: kind={kind}, plan={plan}, "
+            "{size} row(s), {deltas} delta(s) applied".format(
+                name=summary["name"],
+                kind=summary["kind"],
+                plan=summary["plan"],
+                size=summary["size"],
+                deltas=summary["deltas_applied"],
+            )
+            for summary in relation.views.describe()
+        ]
+        if decisions and decisions[-1].startswith("chosen:"):
+            decisions[-1:-1] = view_lines
+        else:
+            decisions.extend(view_lines)
+
     report = ExplainReport(
         statement=statement,
         algebra=algebra,
         strategy=plan.strategy,
         explanation=plan.explanation,
-        decisions=list(plan.decisions),
+        decisions=decisions,
         trace=trace,
         executed=execute,
     )

@@ -43,6 +43,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.epoch import EpochPin
+    from repro.views.standing import ViewRegistry
 
 from repro.chronos.clock import LogicalClock, TimerSource, TransactionClock
 from repro.chronos.interval import Interval
@@ -104,6 +105,7 @@ class TemporalRelation:
         self._version = 0
         self._statistics: Optional[Dict[str, int]] = None
         self._statistics_epoch: Optional[Tuple[int, int]] = None
+        self._views: Optional["ViewRegistry"] = None
         # ``adopt_existing=False`` builds a read-only view over storage
         # someone else governs (the sharded engine's per-shard planner
         # views): no clock/surrogate re-seeding, and crucially no
@@ -112,6 +114,12 @@ class TemporalRelation:
         # ordering specializations always do.
         if adopt_existing and engine is not None and len(engine):
             self._adopt_existing()
+        # ``REPRO_VIEWS=1``: every relation keeps a registered current
+        # view, so the whole suite exercises delta emission and the
+        # view-invalidation seams (the CI fast-matrix leg). Namespaced
+        # so it never collides with a caller's own registrations.
+        if os.environ.get("REPRO_VIEWS"):
+            self.views.register_current(name="__env_current__")
 
     def _adopt_existing(self) -> None:
         """Re-seed surrogates, the clock, and constraint monitors from
@@ -167,6 +175,8 @@ class TemporalRelation:
         if self._backlog is not None:
             self._backlog.record_insert(element)
         self._bump_version()
+        if self._views is not None:
+            self._views.record_insert(element)
         if _metrics.enabled():
             _metrics.registry().counter("relation.inserts").inc()
         return element
@@ -252,6 +262,8 @@ class TemporalRelation:
         if self._backlog is not None:
             self._backlog.record_insert_many(elements)
         self._bump_version()
+        if self._views is not None:
+            self._views.record_insert_many(elements)
         if _metrics.enabled():
             registry = _metrics.registry()
             registry.counter("relation.batches").inc()
@@ -291,6 +303,8 @@ class TemporalRelation:
         if self._backlog is not None:
             self._backlog.record_delete(element_surrogate, tt)
         self._bump_version()
+        if self._views is not None:
+            self._views.record_close(closed)
         return closed
 
     def modify(
@@ -335,11 +349,13 @@ class TemporalRelation:
             user_times=user,
         )
         self.constraints.observe(replacement)
-        self.engine.close_element(element_surrogate, tt)
+        closed = self.engine.close_element(element_surrogate, tt)
         self.engine.append(replacement)
         if self._backlog is not None:
             self._backlog.record_modification(element_surrogate, replacement)
         self._bump_version()
+        if self._views is not None:
+            self._views.record_modify(closed, replacement)
         return replacement
 
     def _check_sequenced_key(
@@ -465,6 +481,27 @@ class TemporalRelation:
         """The full bitemporal element set."""
         return list(self.engine.scan())
 
+    @property
+    def views(self) -> "ViewRegistry":
+        """This relation's standing-view registry (created lazily).
+
+        Until first touched, the relation carries no registry at all
+        and the mutators skip delta emission entirely -- zero overhead
+        for relations that never register a view.  See
+        :mod:`repro.views.standing` and ``docs/views.md``.
+        """
+        if self._views is None:
+            from repro.views.standing import ViewRegistry
+
+            self._views = ViewRegistry(self)
+        return self._views
+
+    @property
+    def has_views(self) -> bool:
+        """Whether a registry exists *and* holds at least one view
+        (without instantiating one as a side effect)."""
+        return self._views is not None and len(self._views) > 0
+
     def backlog(self) -> Backlog:
         """The operation-log view (kept incrementally when enabled)."""
         if self._backlog is None:
@@ -530,8 +567,13 @@ class TemporalRelation:
         must call this: it bumps the version so every version-keyed
         cache -- the relation's own statistics, planner snapshots,
         prepared-query plans -- re-derives against the new engine.
+        Standing views re-derive too, but their delta journal stands:
+        the swap preserved the logical state, so subscribers miss
+        nothing.
         """
         self._bump_version()
+        if self._views is not None:
+            self._views.note_engine_replaced()
 
     def _engine_epoch(self) -> Tuple[int, int]:
         """Identity + mutation count of the storage underneath.

@@ -129,8 +129,26 @@ class TemporalServer:
         self._writer_task: Optional["asyncio.Task[None]"] = None
         self._connections: set = set()
         self._shutting_down = False
+        #: Per-relation wakeups for long-polling delta subscribers.
+        self._delta_conds: Dict[str, asyncio.Condition] = {}
         for name in self.database.names():
-            self._pins[name] = self.database.relation(name).pin_epoch()
+            relation = self.database.relation(name)
+            self._pins[name] = relation.pin_epoch()
+            self._track_deltas(relation)
+
+    @staticmethod
+    def _track_deltas(relation: TemporalRelation) -> None:
+        """Instantiate the relation's view registry so every server-side
+        write is journaled from the first commit.
+
+        After a restart over a recovered WAL the fresh registry's
+        journal floor sits at the recovered pin (the clock was reserved
+        past every adopted stamp), so a subscriber reconnecting with a
+        pre-crash cursor is never replayed already-delivered deltas: it
+        either resumes exactly at the floor or is told to resync
+        against a snapshot.
+        """
+        relation.views  # noqa: B018 - lazy property, touched for effect
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -169,8 +187,11 @@ class TemporalServer:
             self._server.close()
             await self._server.wait_closed()
         # Drain the writer queue (release any test-held pause first: a
-        # paused writer must not turn shutdown into a deadlock).
+        # paused writer must not turn shutdown into a deadlock), and
+        # wake every long-polling subscriber so it answers and leaves.
         self._writer_gate.set()
+        for name in list(self._delta_conds):
+            await self._notify_subscribers(name)
         try:
             await asyncio.wait_for(self._queue.join(), timeout=self.config.drain_timeout)
         except asyncio.TimeoutError:
@@ -219,6 +240,7 @@ class TemporalServer:
         """Register a pre-built relation and publish its first pin."""
         self.database.attach(relation)
         self._pins[relation.schema.name] = relation.pin_epoch()
+        self._track_deltas(relation)
 
     # -- the writer task --------------------------------------------------------------
 
@@ -241,6 +263,7 @@ class TemporalServer:
                         self._pins[op.relation_name] = relation.pin_epoch()
                         self._writer_metrics(op, error=False)
                         outcome = (elements, None)
+                        await self._notify_subscribers(op.relation_name)
                     if not op.future.done():
                         op.future.set_result(outcome)
             finally:
@@ -302,6 +325,20 @@ class TemporalServer:
                 "epoch": pin.to_json(),
             }
         )
+
+    # -- delta subscriptions ----------------------------------------------------------
+
+    def _delta_condition(self, name: str) -> asyncio.Condition:
+        condition = self._delta_conds.get(name)
+        if condition is None:
+            condition = self._delta_conds[name] = asyncio.Condition()
+        return condition
+
+    async def _notify_subscribers(self, name: str) -> None:
+        condition = self._delta_conds.get(name)
+        if condition is not None:
+            async with condition:
+                condition.notify_all()
 
     # -- pinned reads -----------------------------------------------------------------
 
@@ -427,15 +464,30 @@ class TemporalServer:
                 ("POST", "bulk"): ("bulk", self._handle_bulk),
                 ("POST", "delete"): ("delete", self._handle_delete),
                 ("POST", "explain"): ("explain", self._handle_explain),
+                ("POST", "views"): ("register_view", self._handle_register_view),
                 ("GET", "current"): ("current", self._handle_current),
                 ("GET", "timeslice"): ("timeslice", self._handle_timeslice),
                 ("GET", "overlap"): ("overlap", self._handle_overlap),
                 ("GET", "rollback"): ("rollback", self._handle_rollback),
+                ("GET", "views"): ("views", self._handle_list_views),
+                ("GET", "subscribe"): ("subscribe", self._handle_subscribe),
             }
             entry = table.get((method, verb))
             if entry is not None:
                 label, handler = entry
                 return label, self._with_name(name, handler)
+        if (
+            len(parts) == 4
+            and parts[0] == "relations"
+            and parts[2] == "views"
+            and method == "GET"
+        ):
+            name, view_name = parts[1], parts[3]
+
+            async def bound(request: Request) -> Response:
+                return await self._handle_read_view(request, name, view_name)
+
+            return "view", bound
         return "unknown", self._handle_unknown
 
     @staticmethod
@@ -489,6 +541,7 @@ class TemporalServer:
         async with self._write_lock:
             relation = self.database.create_relation(create.schema, engine=engine)
             self._pins[create.schema.name] = relation.pin_epoch()
+            self._track_deltas(relation)
         return Response.json(
             {"created": create.schema.name, "epoch": self._pins[create.schema.name].to_json()},
             status=200,
@@ -664,6 +717,125 @@ class TemporalServer:
         tt = pin.clamp(Timestamp(self._micro_param(request, "tt"), "microsecond"))
         elements = await self._pinned_read(relation, pin, lambda: list(relation.as_of(tt)))
         return self._rows_response(pin, elements)
+
+    # -- standing views + subscriptions -----------------------------------------------
+
+    async def _handle_list_views(self, request: Request, name: str) -> Response:
+        relation = self.database.relation(name)
+        pin = self._pins[name]
+        async with self._write_lock:
+            registry = relation.views
+            listing = registry.describe()
+            journal = {"floor": registry.journal_floor, "last": registry.last_epoch}
+        return Response.json(
+            {"views": listing, "journal": journal, "epoch": pin.to_json()}
+        )
+
+    async def _handle_register_view(self, request: Request, name: str) -> Response:
+        relation = self.database.relation(name)
+        decoded = protocol.RegisterViewRequest.from_json(request.json())
+        # Registration materializes the view from the engine, so it
+        # runs serialized with the writer, like TQL.
+        async with self._write_lock:
+            registry = relation.views
+            if decoded.kind == "current":
+                view = registry.register_current(decoded.name)
+            elif decoded.kind == "timeslice":
+                assert decoded.vt is not None
+                view = registry.register_timeslice(decoded.name, decoded.vt)
+            else:
+                assert decoded.window is not None
+                view = registry.register_overlap(decoded.name, decoded.window)
+            summary = view.describe()
+        return Response.json({"registered": summary, "epoch": self._pins[name].to_json()})
+
+    async def _handle_read_view(
+        self, request: Request, name: str, view_name: str
+    ) -> Response:
+        relation = self.database.relation(name)
+        pin = self._pins[name]
+        # Maintained snapshots (and any lazy recompute they trigger)
+        # touch planner-grade engine surfaces -- serialized, like TQL.
+        async with self._write_lock:
+            view = relation.views.get(view_name)
+            elements = view.snapshot()
+            summary = view.describe()
+        if _metrics.enabled():
+            _metrics.registry().counter("server.rows_served").inc(len(elements))
+        return Response.json(
+            {
+                "view": summary,
+                "rows": protocol.elements_to_json(elements),
+                "count": len(elements),
+                "epoch": pin.to_json(),
+            }
+        )
+
+    async def _handle_subscribe(self, request: Request, name: str) -> Response:
+        """Long-poll the relation's delta stream.
+
+        ``since`` is the subscriber's cursor (a committed epoch
+        microsecond -- the ``tt_micro`` of a snapshot's pin, or the
+        ``epoch`` of the previous feed; omitted means "from now").  The
+        response carries every journaled delta past the cursor, or
+        blocks up to ``timeout`` seconds for one to land.  A cursor
+        behind the journal floor answers ``resync: true`` with the
+        current pin: the subscriber must take a snapshot read and
+        resubscribe from that pin's epoch.
+        """
+        relation = self.database.relation(name)
+        registry = relation.views
+        if "since" in request.query:
+            since = self._micro_param(request, "since")
+        else:
+            since = registry.last_epoch
+        try:
+            timeout = float(request.query.get("timeout", "25"))
+        except ValueError:
+            raise ProtocolError("query parameter 'timeout' must be a number") from None
+        timeout = max(0.0, min(timeout, 60.0))
+        condition = self._delta_condition(name)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        if _metrics.enabled():
+            _metrics.registry().counter("server.subscribe.polls").inc()
+        while True:
+            async with self._write_lock:
+                feed = registry.deltas_since(since)
+            if feed.resync:
+                if _metrics.enabled():
+                    _metrics.registry().counter("server.subscribe.resyncs").inc()
+                return Response.json(
+                    {
+                        "resync": True,
+                        "deltas": [],
+                        "count": 0,
+                        "epoch": self._pins[name].to_json(),
+                    }
+                )
+            if feed.deltas or self._shutting_down:
+                break
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            async with condition:
+                try:
+                    await asyncio.wait_for(condition.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+        if _metrics.enabled():
+            _metrics.registry().counter("server.subscribe.deltas_served").inc(
+                len(feed.deltas)
+            )
+        return Response.json(
+            {
+                "resync": False,
+                "deltas": protocol.deltas_to_json(feed.deltas),
+                "count": len(feed.deltas),
+                "cursor": feed.epoch,
+                "epoch": self._pins[name].to_json(),
+            }
+        )
 
     # -- TQL + explain ----------------------------------------------------------------
 

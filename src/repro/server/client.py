@@ -175,6 +175,32 @@ class ServerClient:
             "GET", f"/relations/{quote(relation)}/rollback", query={"tt": tt}
         )
 
+    async def register_view(
+        self, relation: str, spec: Dict[str, Any]
+    ) -> ClientResponse:
+        return await self.request(
+            "POST", f"/relations/{quote(relation)}/views", payload=spec
+        )
+
+    async def views(self, relation: str) -> ClientResponse:
+        return await self.request("GET", f"/relations/{quote(relation)}/views")
+
+    async def view(self, relation: str, name: str) -> ClientResponse:
+        return await self.request(
+            "GET", f"/relations/{quote(relation)}/views/{quote(name)}"
+        )
+
+    async def subscribe(
+        self, relation: str, since: Optional[int] = None, timeout: float = 25.0
+    ) -> ClientResponse:
+        """One long-poll round against the relation's delta stream."""
+        query: Dict[str, Any] = {"timeout": timeout}
+        if since is not None:
+            query["since"] = since
+        return await self.request(
+            "GET", f"/relations/{quote(relation)}/subscribe", query=query
+        )
+
     async def query(self, tql: str) -> ClientResponse:
         return await self.request("POST", "/query", payload={"tql": tql})
 

@@ -56,6 +56,26 @@ def elements_to_json(elements: Sequence[Element]) -> List[Dict[str, Any]]:
     return [element_to_json(element) for element in ordered]
 
 
+def delta_to_json(delta: Any) -> Dict[str, Any]:
+    """One standing-view delta in wire form.
+
+    ``epoch`` is the mutation's committed transaction-time microsecond
+    (the same coordinate an :class:`~repro.storage.epoch.EpochPin`
+    names), so a subscriber reconciles a snapshot read at pin *E* by
+    applying exactly the deltas with ``epoch > E``.
+    """
+    return {
+        "kind": delta.kind,
+        "epoch": delta.epoch,
+        "element": element_to_json(delta.element),
+    }
+
+
+def deltas_to_json(deltas: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Wire form of a delta feed, in journal (commit) order."""
+    return [delta_to_json(delta) for delta in deltas]
+
+
 def rows_to_json(rows: Sequence[Any]) -> List[Any]:
     """Wire form of a TQL result: elements, projections, or counts.
 
@@ -264,6 +284,56 @@ class StatementRequest:
         if not isinstance(execute, bool):
             raise ProtocolError("'execute' must be a boolean")
         return cls(tql=tql, execute=execute)
+
+
+@dataclass
+class RegisterViewRequest:
+    """``POST /relations/{name}/views`` -- register a standing view.
+
+    ``kind`` is ``current``, ``timeslice`` (with a ``vt`` microsecond),
+    or ``overlap`` (with ``start``/``end`` microseconds).  Watch views
+    take arbitrary predicates and are a library-level API only.
+    """
+
+    name: str
+    kind: str
+    vt: Optional[Timestamp] = None
+    window: Optional[Interval] = None
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "RegisterViewRequest":
+        body = _require_object(payload, "view registration")
+        name = body.get("name")
+        if not isinstance(name, str) or not name.strip():
+            raise ProtocolError("a non-empty view 'name' string is required")
+        kind = body.get("kind")
+        if kind == "current":
+            return cls(name=name, kind=kind)
+        if kind == "timeslice":
+            return cls(name=name, kind=kind, vt=Timestamp(_micro(body, "vt"), "microsecond"))
+        if kind == "overlap":
+            start, end = _micro(body, "start"), _micro(body, "end")
+            if end <= start:
+                raise ProtocolError(
+                    f"overlap window must have start < end, got [{start}, {end})"
+                )
+            return cls(
+                name=name,
+                kind=kind,
+                window=Interval(
+                    Timestamp(start, "microsecond"), Timestamp(end, "microsecond")
+                ),
+            )
+        raise ProtocolError(
+            f"unknown view kind {kind!r} (expected 'current', 'timeslice', or 'overlap')"
+        )
+
+
+def _micro(body: Dict[str, Any], name: str) -> int:
+    value = body.get(name)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"{name!r} must be a microsecond integer, got {value!r}")
+    return value
 
 
 def _require_object(payload: Any, what: str) -> Dict[str, Any]:

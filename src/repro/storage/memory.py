@@ -218,19 +218,27 @@ class MemoryEngine(StorageEngine):
             _metrics.registry().counter("storage.memory.vt_index_hits").inc()
         # Resolve positions once per call; the indexes may hold stale
         # (since-closed) copies, so re-read the store by position rather
-        # than paying a full get() per candidate.
+        # than paying a full get() per candidate.  Candidate positions
+        # are sorted before materializing: position order is append
+        # order, so the fast path yields the same canonical tt order as
+        # the scan fallback and the sharded gather.
         positions = self._positions
         tt_index = self._tt_index
+        candidates: List[int] = []
         if self._vt_intervals is not None:
-            for surrogate in self._vt_intervals.stab(vt):
-                element = tt_index.element_at(positions[surrogate])
-                if element.is_current:
-                    yield element
+            candidates.extend(
+                positions[surrogate] for surrogate in self._vt_intervals.stab(vt)
+            )
         if self._vt_events is not None:
-            for candidate in self._vt_events.at(vt):
-                element = tt_index.element_at(positions[candidate.element_surrogate])
-                if element.is_current:
-                    yield element
+            candidates.extend(
+                positions[candidate.element_surrogate]
+                for candidate in self._vt_events.at(vt)
+            )
+        candidates.sort()
+        for position in candidates:
+            element = tt_index.element_at(position)
+            if element.is_current:
+                yield element
 
     def valid_overlapping(
         self, window: Interval, as_of_tt: Optional[TimePoint] = None
@@ -242,23 +250,35 @@ class MemoryEngine(StorageEngine):
             return
         if _metrics.enabled():
             _metrics.registry().counter("storage.memory.vt_index_hits").inc()
+        # Sorted-by-position for the same reason as valid_at: canonical
+        # tt order on every read path, index-accelerated or not.
         positions = self._positions
         tt_index = self._tt_index
+        merged: List[int] = []
         if self._vt_intervals is not None:
-            for surrogate in self._vt_intervals.overlapping(window):
-                element = tt_index.element_at(positions[surrogate])
-                if element.is_current:
-                    yield element
+            merged.extend(
+                positions[surrogate]
+                for surrogate in self._vt_intervals.overlapping(window)
+            )
         if self._vt_events is not None:
             if isinstance(window.start, Timestamp) and isinstance(window.end, Timestamp):
                 candidates = self._vt_events.between(window.start, window.end)
             else:
                 # Unbounded window: the sorted index cannot bracket it.
                 candidates = (e for e in self.scan() if not isinstance(e.vt, Interval))
-            for candidate in candidates:
-                element = tt_index.element_at(positions[candidate.element_surrogate])
-                if element.is_current and window.contains_point(element.vt):
-                    yield element
+            merged.extend(
+                positions[candidate.element_surrogate] for candidate in candidates
+            )
+        merged.sort()
+        for position in merged:
+            element = tt_index.element_at(position)
+            if not element.is_current:
+                continue
+            if isinstance(element.vt, Interval):
+                # The interval tree already guaranteed the overlap.
+                yield element
+            elif window.contains_point(element.vt):
+                yield element
 
     # -- introspection ------------------------------------------------------------------
 

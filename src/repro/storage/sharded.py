@@ -671,6 +671,12 @@ class ShardedEngine(StorageEngine):
         index = getattr(shard, "transaction_index", None)
         if index is not None:
             return (id(shard), index.store.mutations)
+        counter = getattr(shard, "mutation_count", None)
+        if counter is not None:
+            # Engines without a transaction index (e.g. SQLite) expose a
+            # mutation epoch instead; ``len()`` alone would miss deletes,
+            # freezing live counts and max-closed stamps in the memo.
+            return (id(shard), counter())
         return (id(shard), len(shard))
 
     @staticmethod

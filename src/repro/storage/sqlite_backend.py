@@ -118,9 +118,19 @@ class SQLiteEngine(StorageEngine):
         self._connection = sqlite3.connect(path)
         self._connection.executescript(self._SCHEMA)
         self._connection.commit()
+        self._mutations = 0
 
     def close(self) -> None:
         self._connection.close()
+
+    def mutation_count(self) -> int:
+        """Monotone epoch bumped by every committed mutation.
+
+        ``ShardedEngine`` keys its per-shard envelope memos on this;
+        without it a delete (which leaves ``len()`` unchanged) would
+        never refresh a shard's live count / max-closed-tt_stop.
+        """
+        return self._mutations
 
     def __enter__(self) -> "SQLiteEngine":
         return self
@@ -163,6 +173,7 @@ class SQLiteEngine(StorageEngine):
                 f"element surrogate {element.element_surrogate} already stored"
             ) from error
         _with_busy_retry(self._connection.commit)
+        self._mutations += 1
         if _metrics.enabled():
             registry = _metrics.registry()
             registry.counter("storage.sqlite.rows_appended").inc()
@@ -188,6 +199,7 @@ class SQLiteEngine(StorageEngine):
                 "a batch element surrogate is already stored; batch rolled back"
             ) from error
         _with_busy_retry(self._connection.commit)
+        self._mutations += 1
         if _metrics.enabled():
             registry = _metrics.registry()
             registry.counter("storage.sqlite.batch_appends").inc()
@@ -205,6 +217,7 @@ class SQLiteEngine(StorageEngine):
             )
         )
         _with_busy_retry(self._connection.commit)
+        self._mutations += 1
         return closed
 
     # -- lookup -------------------------------------------------------------------

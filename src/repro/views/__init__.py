@@ -1,0 +1,32 @@
+"""Standing queries: registered views maintained from the delta stream.
+
+The paper's thesis -- declared specializations license cheaper plans --
+applies to *maintenance* as well as to querying: PR 3's materialized
+current-state view was one hard-coded instance, and this package is the
+general capability.  See :mod:`repro.views.standing` and
+``docs/views.md``.
+"""
+
+from repro.views.standing import (
+    ConstraintWatchView,
+    CurrentStateView,
+    Delta,
+    DeltaFeed,
+    OverlapView,
+    StandingView,
+    TimesliceView,
+    ViewRegistry,
+    compile_maintenance_plan,
+)
+
+__all__ = [
+    "ConstraintWatchView",
+    "CurrentStateView",
+    "Delta",
+    "DeltaFeed",
+    "OverlapView",
+    "StandingView",
+    "TimesliceView",
+    "ViewRegistry",
+    "compile_maintenance_plan",
+]

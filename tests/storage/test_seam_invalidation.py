@@ -1,0 +1,177 @@
+"""Seam-bug regressions: caches that must notice deletes.
+
+Two historically fragile seams, pinned here:
+
+* **Cold-segment delete patches** (satellite 1).  A logical delete
+  whose victim lives in a compressed cold segment rewrites that
+  segment out-of-line.  Everything derived downstream -- the store's
+  materialized current view, zone-map liveness, the relation's
+  epoch-keyed ``statistics()`` cache, the planner's per-epoch metadata
+  cache, and any registered standing view -- must observe the patch.
+
+* **Sharded envelope memos** (satellite 2).  The router caches one
+  envelope per shard, keyed by that shard's mutation epoch.  A delete
+  changes ``live`` and ``max_closed_tt_stop`` without changing the
+  element count, so shards whose epoch is derived from ``len()``
+  (SQLite shards before the fix) served stale envelopes: emptied
+  shards kept answering ``live > 0`` and current-state probes visited
+  them forever.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chronos.clock import LogicalClock
+from repro.chronos.timestamp import FOREVER, Timestamp
+from repro.query.planner import Planner
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
+from repro.storage.sharded import ShardedEngine
+from repro.storage.sqlite_backend import SQLiteEngine
+
+
+def make_relation(engine) -> TemporalRelation:
+    schema = TemporalSchema(name="seams", time_varying=("reading",))
+    return TemporalRelation(schema, clock=LogicalClock(start=1_000), engine=engine)
+
+
+class TestColdPatchInvalidation:
+    def _grown_cold(self, tier_dir, count=12):
+        """A relation whose history is sealed and migrated cold."""
+        engine = MemoryEngine(segment_size=4, tier_dir=tier_dir)
+        relation = make_relation(engine)
+        with relation.bulk() as batch:
+            for i in range(count):
+                batch.insert(f"o{i}", Timestamp(i), {"reading": i})
+        migrated = engine.transaction_index.store.compact()
+        assert migrated.get("cold", 0) >= 2, migrated
+        return relation, engine
+
+    def test_cold_delete_refreshes_current_view_and_statistics(self):
+        with tempfile.TemporaryDirectory() as tier_dir:
+            relation, engine = self._grown_cold(tier_dir)
+            planner = Planner(relation)
+            # Named to dodge the REPRO_VIEWS=1 auto "current" view.
+            view = relation.views.register_current(name="cold-check")
+            # Warm every cache with the pre-delete state.
+            assert relation.statistics()["live_elements"] == 12
+            assert planner.relation_statistics()["live_elements"] == 12
+            assert len(view.snapshot()) == 12
+
+            victim = min(
+                relation.current(), key=lambda e: e.tt_start.microseconds
+            )  # guaranteed to sit in the oldest (cold) segment
+            relation.delete(victim.element_surrogate)
+
+            survivors = {e.element_surrogate for e in engine.current()}
+            assert victim.element_surrogate not in survivors
+            assert len(survivors) == 11
+            # The epoch-keyed caches saw the patch.
+            assert relation.statistics()["live_elements"] == 11
+            assert planner.relation_statistics()["live_elements"] == 11
+            # And the standing view agrees with recomputation.
+            assert view.snapshot() == view.recompute()
+            assert len(view.snapshot()) == 11
+            # The closed record itself is patched, not ghosted.
+            closed = engine.get(victim.element_surrogate)
+            assert closed.tt_stop is not FOREVER
+
+    def test_cold_patch_visible_without_any_relation_read_between(self):
+        """Statistics computed *only after* the delete (no warm cache to
+        invalidate) must still see the patched liveness."""
+        with tempfile.TemporaryDirectory() as tier_dir:
+            relation, engine = self._grown_cold(tier_dir)
+            for victim in list(relation.current())[:5]:
+                relation.delete(victim.element_surrogate)
+            assert relation.statistics()["live_elements"] == 7
+            # All 12 elements sit in sealed segments (12 = 3 full
+            # segments of 4), so zone-map liveness must sum exactly.
+            zones_live = sum(
+                zone.live for zone in engine.transaction_index.store._zones
+            )
+            assert zones_live == 7
+
+
+class TestShardedEnvelopeInvalidation:
+    def _sqlite_sharded(self, data_dir, shard_count=2) -> ShardedEngine:
+        return ShardedEngine(data_dir=data_dir, shard_count=shard_count)
+
+    def test_sqlite_shard_epoch_advances_on_delete(self):
+        with tempfile.TemporaryDirectory() as data_dir:
+            engine = SQLiteEngine(f"{data_dir}/shard.db")
+            relation = make_relation(engine)
+            stored = relation.insert("alpha", Timestamp(1))
+            before = engine.mutation_count()
+            relation.delete(stored.element_surrogate)
+            assert engine.mutation_count() == before + 1
+            assert len(engine) == 1  # history retained: len() alone is blind
+
+    def test_envelopes_refresh_after_deletes_empty_a_shard(self):
+        with tempfile.TemporaryDirectory() as data_dir:
+            engine = self._sqlite_sharded(data_dir)
+            relation = make_relation(engine)
+            with relation.bulk() as batch:
+                for i in range(10):
+                    batch.insert(f"o{i}", Timestamp(i), {"reading": i})
+            assert sum(env.live for env in engine.envelopes()) == 10
+
+            for element in list(relation.current()):
+                relation.delete(element.element_surrogate)
+
+            envelopes = engine.envelopes()
+            assert [env.live for env in envelopes] == [0] * len(envelopes)
+            # Liveness routing prunes every shard once nothing is live.
+            assert engine.route_shards(lambda env: env.live > 0) == []
+            assert relation.current() == []
+
+    def test_max_closed_tt_stop_tracks_latest_delete(self):
+        with tempfile.TemporaryDirectory() as data_dir:
+            engine = self._sqlite_sharded(data_dir)
+            relation = make_relation(engine)
+            with relation.bulk() as batch:
+                for i in range(6):
+                    batch.insert(f"o{i}", Timestamp(i))
+            closed = relation.delete(relation.current()[0].element_surrogate)
+            stamp = closed.tt_stop.microseconds
+            assert max(
+                env.max_closed_tt_stop for env in engine.envelopes()
+            ) == stamp
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        script=st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"), st.integers(0, 7), st.integers(0, 60)),
+                st.tuples(st.just("delete"), st.integers(0, 63)),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_envelopes_always_match_fresh_computation(self, script):
+        """Hypothesis regression: after any insert/delete interleaving,
+        every memoized envelope equals one computed from scratch."""
+        engine = ShardedEngine(shard_count=3)
+        relation = make_relation(engine)
+        for op in script:
+            if op[0] == "insert":
+                relation.insert(f"o{op[1]}", Timestamp(op[2]))
+            else:
+                live = relation.current()
+                if live:
+                    relation.delete(live[op[1] % len(live)].element_surrogate)
+        memoized = engine.envelopes()
+        for shard, envelope in zip(engine.shards, memoized):
+            elements = list(shard.scan())
+            assert envelope.count == len(elements)
+            assert envelope.live == sum(1 for e in elements if e.is_current)
+            closed = [
+                e.tt_stop.microseconds for e in elements if e.tt_stop is not FOREVER
+            ]
+            if closed:
+                assert envelope.max_closed_tt_stop == max(closed)

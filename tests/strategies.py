@@ -200,3 +200,148 @@ def compliant_vt_ticks(draw, names, count):
 def specialization_declarations(draw):
     """One of the event declaration tuples the planner exploits."""
     return draw(st.sampled_from(EVENT_DECLARATIONS))
+
+
+# -- standing-view differential harness ------------------------------------------
+
+#: View kinds the workload runner can register mid-stream.  ``watch``
+#: is library-only (arbitrary predicate); the other three mirror the
+#: server's registration surface.
+STANDING_VIEW_KINDS = ("current", "timeslice", "overlap", "watch")
+
+
+@st.composite
+def standing_view_ops(draw, min_ops=6, max_ops=24):
+    """A randomized mutation/maintenance script for standing views.
+
+    Each op is a tagged tuple :func:`run_standing_view_workload`
+    interprets against a live relation: inserts (single and batch),
+    deletes and modifies of randomly chosen live elements, view
+    registrations *mid-workload*, and the three maintenance events that
+    historically eat caches -- vacuum (engine replacement), segment
+    compaction (tier migration), and shard rebalancing.  Delete/modify
+    carry an index that the runner resolves modulo the live set, so
+    scripts shrink well and never reference dangling surrogates.
+    """
+    op = st.one_of(
+        st.tuples(st.just("insert"), OBJECTS, SMALL_TICKS, st.integers(1, 12)),
+        st.tuples(
+            st.just("batch"),
+            st.lists(
+                st.tuples(OBJECTS, SMALL_TICKS, st.integers(1, 12)),
+                min_size=1,
+                max_size=5,
+            ),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 63)),
+        st.tuples(st.just("modify"), st.integers(0, 63), SMALL_TICKS, st.integers(1, 12)),
+        st.tuples(st.just("register"), st.sampled_from(STANDING_VIEW_KINDS), SMALL_TICKS),
+        st.tuples(st.just("vacuum"), st.integers(0, 80)),
+        st.tuples(st.just("compact")),
+        st.tuples(st.just("rebalance"), st.integers(0, 1_000)),
+    )
+    return draw(st.lists(op, min_size=min_ops, max_size=max_ops))
+
+
+def _workload_vt(schema, tick, length):
+    """A valid time matching *schema*'s kind from workload coordinates."""
+    if schema.is_event:
+        return Timestamp(tick)
+    return Interval(Timestamp(tick), Timestamp(tick + length))
+
+
+def run_standing_view_workload(relation, ops, check_after_every_op=True):
+    """Drive *ops* against *relation*; differentially check every view.
+
+    Views register mid-workload (per the script); after every op, each
+    registered view's delta-maintained snapshot must equal a
+    from-scratch recomputation over the engine -- byte-identical
+    elements in canonical transaction-time order.  Vacuum, compaction,
+    and rebalance interleave with the mutation stream exactly as a
+    production maintenance schedule would.  Returns the registered
+    views so callers can make end-state assertions.
+    """
+    from repro.storage.sharded import HashPartitioner, ShardedEngine
+    from repro.storage.vacuum import vacuum_relation
+
+    views = []
+    serial = 0
+
+    def check():
+        for view in views:
+            maintained = view.snapshot()
+            recomputed = view.recompute()
+            assert maintained == recomputed, (
+                f"standing view {view.name!r} diverged from recomputation:\n"
+                f"  maintained: {maintained!r}\n"
+                f"  recomputed: {recomputed!r}"
+            )
+
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            relation.insert(op[1], _workload_vt(relation.schema, op[2], op[3]))
+        elif kind == "batch":
+            relation.append_many(
+                [
+                    (obj, _workload_vt(relation.schema, tick, length))
+                    for obj, tick, length in op[1]
+                ]
+            )
+        elif kind == "delete":
+            live = relation.current()
+            if live:
+                relation.delete(live[op[1] % len(live)].element_surrogate)
+        elif kind == "modify":
+            live = relation.current()
+            if live:
+                relation.modify(
+                    live[op[1] % len(live)].element_surrogate,
+                    vt=_workload_vt(relation.schema, op[2], op[3]),
+                )
+        elif kind == "register":
+            serial += 1
+            name = f"standing-{serial}"
+            registry = relation.views
+            if op[1] == "current":
+                views.append(registry.register_current(name))
+            elif op[1] == "timeslice":
+                views.append(registry.register_timeslice(name, Timestamp(op[2])))
+            elif op[1] == "overlap":
+                views.append(
+                    registry.register_overlap(
+                        name, Interval(Timestamp(op[2]), Timestamp(op[2] + 10))
+                    )
+                )
+            else:
+                views.append(
+                    registry.register_watch(
+                        name, lambda element: element.object_surrogate == "alpha"
+                    )
+                )
+        elif kind == "vacuum":
+            vacuum_relation(relation, Timestamp(op[1]))
+        elif kind == "compact":
+            engine = relation.engine
+            shards = (
+                engine.shards if isinstance(engine, ShardedEngine) else [engine]
+            )
+            for shard in shards:
+                index = getattr(shard, "transaction_index", None)
+                if index is not None:
+                    index.store.compact()
+        elif kind == "rebalance":
+            engine = relation.engine
+            if (
+                isinstance(engine, ShardedEngine)
+                and isinstance(engine.partitioner, HashPartitioner)
+            ):
+                bucket = op[1] % engine.partitioner.buckets
+                target = op[1] % len(engine.shards)
+                engine.rebalance(bucket, target)
+        else:  # pragma: no cover - strategy and runner must stay in sync
+            raise AssertionError(f"unknown workload op {op!r}")
+        if check_after_every_op:
+            check()
+    check()
+    return views

@@ -1,0 +1,184 @@
+"""Differential suite: delta-maintained views vs from-scratch recompute.
+
+The invariant the whole subsystem rests on: after *any* interleaving of
+mutations (single inserts, atomic batches, deletes, modifies) with
+maintenance events (vacuum engine swaps, segment compaction into the
+cold tier, shard rebalancing), every registered standing view's
+maintained snapshot equals a from-scratch recomputation over the
+engine -- identical elements, identical canonical transaction-time
+order.  Views register *mid-workload*, so they must also absorb
+pre-existing state correctly.
+
+Runs the same randomized scripts across every engine topology the repo
+ships: flat memory, memory without the valid-time index, small
+segments, small segments spilling to the compressed cold tier, hash
+sharding over memory shards, and hash sharding over SQLite shards.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chronos.clock import LogicalClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.relation.schema import TemporalSchema, ValidTimeKind
+from repro.relation.temporal_relation import TemporalRelation
+from repro.storage.memory import MemoryEngine
+from repro.storage.sharded import ShardedEngine
+from tests.strategies import (
+    compliant_vt_ticks,
+    run_standing_view_workload,
+    specialization_declarations,
+    standing_view_ops,
+)
+
+CLOCK_START = 1_000
+
+
+def make_relation(engine=None, kind=ValidTimeKind.EVENT, specializations=()):
+    schema = TemporalSchema(
+        name="standing",
+        valid_time_kind=kind,
+        time_varying=("reading",),
+        specializations=list(specializations),
+    )
+    return TemporalRelation(
+        schema, clock=LogicalClock(start=CLOCK_START), engine=engine
+    )
+
+
+class TestEventTopologies:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=standing_view_ops())
+    def test_flat_memory(self, ops):
+        run_standing_view_workload(make_relation(MemoryEngine()), ops)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=standing_view_ops())
+    def test_memory_without_vt_index(self, ops):
+        run_standing_view_workload(
+            make_relation(MemoryEngine(maintain_vt_index=False)), ops
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=standing_view_ops())
+    def test_small_segments(self, ops):
+        run_standing_view_workload(
+            make_relation(MemoryEngine(segment_size=4)), ops
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=standing_view_ops())
+    def test_tiered_cold_storage(self, ops):
+        with tempfile.TemporaryDirectory() as tier_dir:
+            engine = MemoryEngine(segment_size=4, tier_dir=tier_dir)
+            try:
+                run_standing_view_workload(make_relation(engine), ops)
+            finally:
+                engine.close()
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=standing_view_ops())
+    def test_hash_sharded_memory(self, ops):
+        run_standing_view_workload(
+            make_relation(ShardedEngine(shard_count=3)), ops
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(ops=standing_view_ops(max_ops=16))
+    def test_hash_sharded_sqlite(self, ops):
+        with tempfile.TemporaryDirectory() as data_dir:
+            engine = ShardedEngine(data_dir=data_dir, shard_count=3)
+            run_standing_view_workload(make_relation(engine), ops)
+
+
+class TestIntervalTopologies:
+    @settings(max_examples=20, deadline=None)
+    @given(ops=standing_view_ops())
+    def test_flat_memory(self, ops):
+        run_standing_view_workload(
+            make_relation(MemoryEngine(), kind=ValidTimeKind.INTERVAL), ops
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=standing_view_ops())
+    def test_hash_sharded_memory(self, ops):
+        run_standing_view_workload(
+            make_relation(ShardedEngine(shard_count=3), kind=ValidTimeKind.INTERVAL),
+            ops,
+        )
+
+
+class TestDeclaredOrderings:
+    """Frontier plans must stay byte-identical to probing.
+
+    The workload stamps compliantly with the declared specialization
+    (REJECT mode would refuse anything else), registers range-shaped
+    views early so the frontier machinery engages, then deletes a
+    sample of live elements -- closes must land even after the insert
+    frontier has passed.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), declaration=specialization_declarations())
+    def test_frontier_plans_match_recompute(self, data, declaration):
+        count = data.draw(st.integers(min_value=4, max_value=24), label="count")
+        ticks = data.draw(compliant_vt_ticks(declaration, count), label="ticks")
+        boundary = data.draw(
+            st.integers(min_value=-30, max_value=80), label="boundary"
+        )
+        # compliant_vt_ticks stamps element i for tt = i, so the clock
+        # must open at 0 for the declarations to hold in REJECT mode.
+        schema = TemporalSchema(
+            name="standing",
+            time_varying=("reading",),
+            specializations=list(declaration),
+        )
+        relation = TemporalRelation(schema, clock=LogicalClock(start=0))
+        registry = relation.views
+        views = [
+            registry.register_timeslice("slice", Timestamp(boundary)),
+            registry.register_overlap(
+                "window", Interval(Timestamp(boundary), Timestamp(boundary + 15))
+            ),
+        ]
+        relation.append_many(
+            [(f"o{i % 3}", Timestamp(tick)) for i, tick in enumerate(ticks)]
+        )
+        live = relation.current()
+        for victim in live[:: max(1, len(live) // 4)]:
+            relation.delete(victim.element_surrogate)
+        for view in views:
+            assert view.snapshot() == view.recompute(), view.name
+
+
+class TestCrossTopologyAgreement:
+    """One script, every topology: all views agree across engines.
+
+    Byte-identity across topologies is the server's canonical-codec
+    promise extended to standing views; the wire form makes the
+    comparison exact.
+    """
+
+    @settings(max_examples=8, deadline=None)
+    @given(ops=standing_view_ops(max_ops=14))
+    def test_same_script_same_answers(self, ops):
+        import json
+
+        from repro.server.protocol import elements_to_json
+
+        def run(engine):
+            relation = make_relation(engine)
+            views = run_standing_view_workload(
+                relation, ops, check_after_every_op=False
+            )
+            return [
+                json.dumps(elements_to_json(view.snapshot()), sort_keys=True)
+                for view in views
+            ]
+
+        flat = run(MemoryEngine())
+        assert run(MemoryEngine(segment_size=4)) == flat
+        assert run(ShardedEngine(shard_count=3)) == flat
