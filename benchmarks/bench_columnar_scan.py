@@ -41,6 +41,9 @@ from typing import Any, Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+#: BENCH_*.json destination when --emit-json names no directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 from repro.chronos.clock import SimulatedWallClock
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import Timestamp
@@ -147,7 +150,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--emit-json",
         nargs="?",
-        const=".",
+        const=REPO_ROOT,
         default=None,
         metavar="DIR",
         help="write BENCH_columnar_scan.json and gate the results "

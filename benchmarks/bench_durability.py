@@ -29,6 +29,9 @@ from typing import Any, Dict, List
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+#: BENCH_*.json destination when --emit-json names no directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 from repro.chronos.timestamp import Timestamp
 from repro.observability import metrics
 from repro.observability.timing import timed
@@ -129,7 +132,7 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--emit-json",
         nargs="?",
-        const=".",
+        const=REPO_ROOT,
         default=None,
         metavar="DIR",
         help="run with metrics enabled, write BENCH_durability.json, and "

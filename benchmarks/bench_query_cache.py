@@ -1,0 +1,246 @@
+"""Epoch-keyed query caching: repeated queries vs the uncached path.
+
+The caching claim (docs/caching.md): between commits a relation is
+immutable, so the second identical query should cost a dictionary
+lookup, not a scan.  Three surfaces are measured:
+
+* ``tql`` -- the same TQL statement executed repeatedly through
+  ``tql.execute`` (parse + plan + result caches all engaged) vs the
+  same loop under ``REPRO_RESULT_CACHE=0``;
+* ``timeslice`` -- a repeated ``ValidTimeslice`` through the planner
+  (plan + result caches) vs uncached;
+* ``server`` -- hot repeated GETs against a live
+  :class:`~repro.server.app.TemporalServer` with the response cache on
+  vs off (``cache_entries=0``), reporting mean and p99 latency.
+
+Repeated library queries must be >= 10x faster cached, the answers must
+be identical to the uncached path, and the server's hot-read p99 must
+improve.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_query_cache.py           # full (120k)
+    PYTHONPATH=src python benchmarks/bench_query_cache.py --quick   # CI smoke (40k)
+
+The script exits non-zero when a claim fails; ``--emit-json`` also
+gates the results against ``benchmarks/thresholds.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+#: BENCH_*.json destination when --emit-json names no directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.chronos.clock import LogicalClock
+from repro.chronos.timestamp import Timestamp
+from repro.query import Planner, Scan, ValidTimeslice
+from repro.query import tql
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.server import ServerClient, ServerConfig, TemporalServer
+from repro.storage.memory import MemoryEngine
+from repro.workloads.base import seeded
+
+REPEATS = 50
+SERVER_READS = 200
+
+
+def build_relation(count: int) -> TemporalRelation:
+    """A general relation (no vt index, no declarations): the uncached
+    timeslice is an honest full scan, which is exactly the work the
+    cache claims to spare."""
+    schema = TemporalSchema(name="cachebench", time_varying=("reading",))
+    relation = TemporalRelation(
+        schema,
+        clock=LogicalClock(start=1),
+        engine=MemoryEngine(maintain_vt_index=False),
+        keep_backlog=False,
+    )
+    rng = seeded(1992)
+    span = 2 * count
+    relation.append_many(
+        (
+            (f"obj-{i}", Timestamp(rng.randint(0, span)), {"reading": i})
+            for i in range(count)
+        )
+    )
+    return relation
+
+
+def timed_loop(fn, repeats: int = REPEATS) -> Tuple[float, Any]:
+    """Total seconds for *repeats* calls, plus the last answer."""
+    last = None
+    started = time.perf_counter()
+    for _ in range(repeats):
+        last = fn()
+    return time.perf_counter() - started, last
+
+
+def library_phase(count: int) -> Dict[str, Any]:
+    relation = build_relation(count)
+    probe = relation.all_elements()[count // 2].vt
+    # Bare TQL time literals are seconds; the probe is second-granular.
+    statement = f"SELECT * FROM cachebench VALID AT {probe.microseconds // 1_000_000}"
+    query = ValidTimeslice(Scan(relation), probe)
+
+    os.environ["REPRO_RESULT_CACHE"] = "0"
+    tql_off_s, tql_off_rows = timed_loop(lambda: tql.execute(statement, relation))
+    slice_off_s, slice_off_rows = timed_loop(
+        lambda: Planner(relation).plan(query).execute()
+    )
+
+    os.environ["REPRO_RESULT_CACHE"] = "256"
+    tql.execute(statement, relation)  # prime: the one honest miss
+    Planner(relation).plan(query).execute()
+    tql_on_s, tql_on_rows = timed_loop(lambda: tql.execute(statement, relation))
+    slice_on_s, slice_on_rows = timed_loop(
+        lambda: Planner(relation).plan(query).execute()
+    )
+
+    identical = tql_off_rows == tql_on_rows and slice_off_rows == slice_on_rows
+    return {
+        "tql_uncached_ms": tql_off_s * 1_000,
+        "tql_cached_ms": tql_on_s * 1_000,
+        "tql_speedup": tql_off_s / max(tql_on_s, 1e-9),
+        "timeslice_uncached_ms": slice_off_s * 1_000,
+        "timeslice_cached_ms": slice_on_s * 1_000,
+        "timeslice_speedup": slice_off_s / max(slice_on_s, 1e-9),
+        "results_identical": 1.0 if identical else 0.0,
+    }
+
+
+async def _server_reads(count: int, cache_entries: int) -> Tuple[List[float], bytes]:
+    relation = build_relation(count)
+    probe = relation.all_elements()[count // 2].vt
+    config = ServerConfig(port=0, metrics=False, cache_entries=cache_entries)
+    server = TemporalServer(config)
+    server.attach_relation(relation)
+    await server.start()
+    latencies: List[float] = []
+    body = b""
+    try:
+        client = ServerClient(config.host, server.port)
+        await client.connect()
+        try:
+            await client.timeslice("cachebench", vt=probe.microseconds)  # warm
+            for _ in range(SERVER_READS):
+                started = time.perf_counter()
+                response = await client.timeslice(
+                    "cachebench", vt=probe.microseconds
+                )
+                latencies.append(time.perf_counter() - started)
+                body = response.body
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+    return latencies, body
+
+
+def server_phase(count: int) -> Dict[str, Any]:
+    os.environ["REPRO_RESULT_CACHE"] = "256"  # keep the kill-switch open
+    off_lat, off_body = asyncio.run(_server_reads(count, cache_entries=0))
+    on_lat, on_body = asyncio.run(_server_reads(count, cache_entries=256))
+    off_lat.sort()
+    on_lat.sort()
+
+    def p99(sorted_lat: List[float]) -> float:
+        return sorted_lat[min(len(sorted_lat) - 1, int(len(sorted_lat) * 0.99))]
+
+    off_mean = sum(off_lat) / len(off_lat)
+    on_mean = sum(on_lat) / len(on_lat)
+    return {
+        "server_uncached_mean_ms": off_mean * 1_000,
+        "server_cached_mean_ms": on_mean * 1_000,
+        "server_uncached_p99_ms": p99(off_lat) * 1_000,
+        "server_cached_p99_ms": p99(on_lat) * 1_000,
+        "server_hot_read_speedup": off_mean / max(on_mean, 1e-9),
+        "server_p99_speedup": p99(off_lat) / max(p99(on_lat), 1e-9),
+        "server_bodies_identical": 1.0 if off_body == on_body else 0.0,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: 40k elements"
+    )
+    parser.add_argument(
+        "--emit-json",
+        nargs="?",
+        const=REPO_ROOT,
+        default=None,
+        metavar="DIR",
+        help="write BENCH_query_cache.json and gate the results against "
+        "benchmarks/thresholds.json",
+    )
+    args = parser.parse_args(argv)
+    count = 40_000 if args.quick else 120_000
+
+    print(f"epoch-keyed query caching, {count} elements, {REPEATS} repeats:")
+    results: Dict[str, Any] = {"count": count, "repeats": REPEATS}
+    results.update(library_phase(count))
+    print(
+        "  tql:       {tql_uncached_ms:.1f} ms -> {tql_cached_ms:.1f} ms "
+        "({tql_speedup:.0f}x)".format(**results)
+    )
+    print(
+        "  timeslice: {timeslice_uncached_ms:.1f} ms -> "
+        "{timeslice_cached_ms:.1f} ms ({timeslice_speedup:.0f}x)".format(**results)
+    )
+    results.update(server_phase(count))
+    print(
+        "  server:    mean {server_uncached_mean_ms:.2f} ms -> "
+        "{server_cached_mean_ms:.2f} ms ({server_hot_read_speedup:.1f}x), "
+        "p99 {server_uncached_p99_ms:.2f} ms -> {server_cached_p99_ms:.2f} ms"
+        .format(**results)
+    )
+
+    failed = False
+    for metric, target in (("tql_speedup", 10.0), ("timeslice_speedup", 10.0)):
+        if results[metric] < target * 0.8:  # same 20% noise margin as CI
+            print(f"FAIL: {metric} {results[metric]:.1f}x below the {target:.0f}x target")
+            failed = True
+    if results["results_identical"] != 1.0:
+        print("FAIL: cached answers diverged from the uncached path")
+        failed = True
+    if results["server_bodies_identical"] != 1.0:
+        print("FAIL: cached server bodies diverged from the uncached path")
+        failed = True
+    if results["server_hot_read_speedup"] < 1.0:
+        print(
+            "FAIL: server hot reads slower with the response cache "
+            f"({results['server_hot_read_speedup']:.2f}x)"
+        )
+        failed = True
+
+    if args.emit_json is not None:
+        from report import check_thresholds, write_bench_json
+
+        write_bench_json(
+            "query_cache",
+            results,
+            parameters={"quick": args.quick, "count": count},
+            directory=args.emit_json,
+        )
+        benchmark = "query_cache_quick" if args.quick else "query_cache"
+        for line in check_thresholds(results, benchmark):
+            print(f"FAIL: {line}")
+            failed = True
+
+    if not failed:
+        print("all query-cache targets met")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,9 @@ from typing import Any, Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+#: BENCH_*.json destination when --emit-json names no directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 from repro.chronos.clock import SimulatedWallClock
 from repro.chronos.timestamp import Timestamp
 from repro.observability import metrics
@@ -212,7 +215,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--emit-json",
         nargs="?",
-        const=".",
+        const=REPO_ROOT,
         default=None,
         metavar="DIR",
         help="write BENCH_segment_pruning.json and gate the results "

@@ -46,6 +46,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+#: BENCH_*.json destination when --emit-json names no directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 from repro.observability import metrics
 from repro.server import ServerClient, ServerConfig, TemporalServer
 
@@ -335,7 +338,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--emit-json",
         nargs="?",
-        const=".",
+        const=REPO_ROOT,
         default=None,
         metavar="DIR",
         help="run with metrics enabled, write BENCH_server_load.json, and "

@@ -35,6 +35,9 @@ from typing import Any, Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+#: BENCH_*.json destination when --emit-json names no directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 from repro.chronos.clock import LogicalClock
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import Timestamp
@@ -80,7 +83,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--emit-json",
         nargs="?",
-        const=".",
+        const=REPO_ROOT,
         default=None,
         metavar="DIR",
         help="write BENCH_standing_views.json and gate the results "

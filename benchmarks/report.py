@@ -51,6 +51,11 @@ from repro.workloads.base import seeded
 #: The JSON schema version of every BENCH_*.json file this suite writes.
 BENCH_JSON_SCHEMA_VERSION = 1
 
+#: Default BENCH_*.json destination: the repository root, regardless of
+#: the invoking working directory -- so every emitter drops artifacts
+#: in one predictable place CI can upload wholesale.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 THRESHOLDS_PATH = os.path.join(os.path.dirname(__file__), "thresholds.json")
 
 #: The committed seed run (``--quick --emit-json`` output, renamed);
@@ -65,14 +70,19 @@ def write_bench_json(
     name: str,
     results: Dict[str, Any],
     parameters: Optional[Dict[str, Any]] = None,
-    directory: str = ".",
+    directory: Optional[str] = None,
 ) -> str:
     """Write ``BENCH_<name>.json`` and return its path.
 
-    The payload embeds the current metrics-registry snapshot, so a CI
-    artifact carries the engine/planner/constraint counters alongside
-    the wall-clock numbers.
+    *directory* of ``None`` normalizes to the repository root, so a
+    bench script run from any working directory lands its artifact
+    where CI's upload step looks.  The payload embeds the current
+    metrics-registry snapshot, so a CI artifact carries the
+    engine/planner/constraint counters alongside the wall-clock
+    numbers.
     """
+    if directory is None:
+        directory = REPO_ROOT
     payload = {
         "schema_version": BENCH_JSON_SCHEMA_VERSION,
         "benchmark": name,
@@ -378,10 +388,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--emit-json",
         nargs="?",
-        const=".",
+        const=REPO_ROOT,
         default=None,
         metavar="DIR",
-        help="write BENCH_report.json (to DIR, default the current directory)",
+        help="write BENCH_report.json (to DIR, default the repository root)",
     )
     parser.add_argument(
         "--check-baseline",

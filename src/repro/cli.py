@@ -189,6 +189,23 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="response-cache entry budget (default 256)",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=16 * 1024 * 1024,
+        help="response-cache byte budget (default 16 MiB)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the epoch-keyed response cache",
+    )
+    serve.add_argument(
         "--no-metrics",
         action="store_true",
         help="leave the metrics registry disabled",
@@ -411,6 +428,8 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         close_engines=True,
         shards=arguments.shards,
         tier_dir=arguments.tier_dir,
+        cache_entries=0 if arguments.no_cache else arguments.cache_entries,
+        cache_bytes=arguments.cache_bytes,
     )
     server = TemporalServer(config)
     for name in arguments.workload or ():

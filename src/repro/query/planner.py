@@ -42,6 +42,7 @@ from repro.core.taxonomy.event_isolated import Degenerate, EventSpecialization
 from repro.core.taxonomy.interval_inter import IntervalGloballySequential
 from repro.core.taxonomy.regions import OffsetRegion
 from repro.query import ast, operators
+from repro.query import cache as _query_cache
 from repro.query.executor import NaiveExecutor
 from repro.relation.temporal_relation import TemporalRelation
 
@@ -69,6 +70,10 @@ class PlannedQuery:
     #: shards the execution routed to versus pruned on envelope
     #: evidence.  Filled in by the planner's thunk wrapper per execute.
     shard_stats: Optional[operators.ShardStats] = None
+    #: Set by the result-cache wrapper per execute: the epoch key the
+    #: answer was served from when the last execution was a cache hit,
+    #: ``None`` when it actually ran.  ``explain`` surfaces it.
+    result_cache_epoch: Optional[tuple] = field(default=None, init=False)
 
     def execute(self) -> list:
         if self.segment_stats is not None:
@@ -180,19 +185,16 @@ class Planner:
         return self._stats_cache
 
     def _engine_epoch(self) -> Tuple[int, int]:
-        """Identity of the engine plus its segmented store's monotone
-        mutation counter (falls back to the element count for engines
-        without one)."""
+        """Identity of the engine plus its monotone mutation counter.
+
+        Every engine implements :meth:`StorageEngine.mutation_count`
+        (deletes and rebalances advance it even though they preserve
+        ``len()``), so there is deliberately no element-count fallback:
+        it was delete-blind and could serve stale cached state after an
+        in-place delete.
+        """
         engine = self.relation.engine
-        index = getattr(engine, "transaction_index", None)
-        if index is not None:
-            return (id(engine), index.store.mutations)
-        counter = getattr(engine, "mutation_count", None)
-        if callable(counter):
-            # Sharded engines keep their own monotone epoch: a
-            # rebalance preserves len() but must invalidate the cache.
-            return (id(engine), counter())
-        return (id(engine), len(engine))
+        return (id(engine), engine.mutation_count())
 
     def _compute_offset_region(self) -> Optional[OffsetRegion]:
         region: Optional[OffsetRegion] = None
@@ -229,6 +231,83 @@ class Planner:
     # -- planning -----------------------------------------------------------------------
 
     def plan(self, query: ast.QueryNode) -> PlannedQuery:
+        """Plan *query*, consulting the epoch-keyed plan cache first.
+
+        A cached plan is keyed on (fingerprint, relation version,
+        engine epoch, env toggles): any mutation -- or a mode flip like
+        ``REPRO_COLUMNAR`` -- changes the key and re-plans.  Plans are
+        safe to share across planner instances: thunks close over the
+        relation, and ``execute()`` resets per-run accounting.
+        """
+        cache = _query_cache.relation_cache(self.relation)
+        fp = None
+        epoch = None
+        if cache is not None:
+            fp = _query_cache.fingerprint(query, self.relation)
+            if fp is not None:
+                epoch = _query_cache.epoch_key(self.relation)
+                cached = cache.get_plan(fp, epoch)
+                if cached is not None:
+                    if _metrics.enabled():
+                        _metrics.registry().counter(
+                            f"query.planned.{cached.strategy}"
+                        ).inc()
+                    return cached
+        plan = self._build_plan(query)
+        if cache is not None and fp is not None and epoch is not None:
+            self._attach_result_cache(plan, cache, fp, epoch[-1])
+            cache.put_plan(fp, epoch, plan)
+        return plan
+
+    def _attach_result_cache(
+        self,
+        plan: PlannedQuery,
+        cache: "_query_cache.RelationQueryCache",
+        fp: tuple,
+        env: tuple,
+    ) -> None:
+        """Wrap the plan's thunk (outermost) with the result cache.
+
+        The mutation coordinate (version, engine identity, mutation
+        count) is computed at *execute* time, so a plan reused across
+        commits stores and serves per-epoch answers.  The environment
+        component is bound at plan time: the wrapped thunk itself was
+        compiled under these toggles, so a mode flip re-plans (new env,
+        new plan-cache key) rather than re-keying this thunk.  Hits
+        hand back a fresh list (the stored answer is frozen) and zero
+        the shard accounting -- nothing was routed.
+        """
+        relation = self.relation
+        inner = plan._thunk
+
+        def cached_thunk() -> Tuple[list, int]:
+            results_cache = cache.results()
+            if results_cache is None:
+                plan.result_cache_epoch = None
+                return inner()
+            engine = relation.engine
+            epoch = (relation.version, id(engine), engine.mutation_count(), env)
+            key = (fp, epoch)
+            hit = results_cache.get(key)
+            if hit is not None:
+                plan.result_cache_epoch = epoch
+                if plan.shard_stats is not None:
+                    plan.shard_stats.routed = 0
+                    plan.shard_stats.pruned = 0
+                stored, examined = hit
+                return list(stored), examined
+            plan.result_cache_epoch = None
+            results, examined = inner()
+            results_cache.put(
+                key,
+                (tuple(results), examined),
+                nbytes=_query_cache.result_footprint(results),
+            )
+            return results, examined
+
+        plan._thunk = cached_thunk
+
+    def _build_plan(self, query: ast.QueryNode) -> PlannedQuery:
         decisions: List[str] = []
         plan = self._try_plan(query, decisions)
         if plan is None:

@@ -31,6 +31,7 @@ from repro.chronos.granularity import Granularity
 from repro.chronos.interval import Interval
 from repro.chronos.timestamp import Timestamp
 from repro.query import ast
+from repro.query import cache as _cache
 from repro.query.planner import Planner
 from repro.relation.element import Element
 from repro.relation.temporal_relation import TemporalRelation
@@ -309,9 +310,18 @@ class _Parser:
         raise TQLError(f"expected a literal, got {token.text!r}")
 
 
-def parse(text: str) -> ParsedQuery:
-    """Parse one TQL statement."""
+def _parse_uncached(text: str) -> ParsedQuery:
     return _Parser(_tokenize(text)).parse()
+
+
+def parse(text: str) -> ParsedQuery:
+    """Parse one TQL statement.
+
+    Results are memoized process-wide: a :class:`ParsedQuery` is never
+    mutated after parsing, so repeated statements share one instance.
+    ``REPRO_RESULT_CACHE=0`` bypasses the cache entirely.
+    """
+    return _cache.cached_parse(text, _parse_uncached)
 
 
 # -- compilation and execution ----------------------------------------------------------

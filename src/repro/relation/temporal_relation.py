@@ -42,6 +42,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.cache import RelationQueryCache
     from repro.storage.epoch import EpochPin
     from repro.views.standing import ViewRegistry
 
@@ -106,6 +107,7 @@ class TemporalRelation:
         self._statistics: Optional[Dict[str, int]] = None
         self._statistics_epoch: Optional[Tuple[int, int]] = None
         self._views: Optional["ViewRegistry"] = None
+        self._query_cache: Optional["RelationQueryCache"] = None
         # ``adopt_existing=False`` builds a read-only view over storage
         # someone else governs (the sharded engine's per-shard planner
         # views): no clock/surrogate re-seeding, and crucially no
@@ -502,6 +504,18 @@ class TemporalRelation:
         (without instantiating one as a side effect)."""
         return self._views is not None and len(self._views) > 0
 
+    @property
+    def query_cache(self) -> Optional["RelationQueryCache"]:
+        """This relation's epoch-keyed query cache (created lazily).
+
+        ``None`` while ``REPRO_RESULT_CACHE=0`` -- planning and
+        execution then follow the uncached path exactly.  See
+        ``docs/caching.md``.
+        """
+        from repro.query.cache import relation_cache
+
+        return relation_cache(self)
+
     def backlog(self) -> Backlog:
         """The operation-log view (kept incrementally when enabled)."""
         if self._backlog is None:
@@ -582,15 +596,10 @@ class TemporalRelation:
         swap, a bulk ``extend()`` straight into the engine), which the
         version counter alone cannot see.
         """
-        index = getattr(self.engine, "transaction_index", None)
-        if index is not None:
-            return (id(self.engine), index.store.mutations)
-        counter = getattr(self.engine, "mutation_count", None)
-        if callable(counter):
-            # Sharded engines: the epoch advances on rebalances too,
-            # which preserve len() but invalidate everything derived.
-            return (id(self.engine), counter())
-        return (id(self.engine), len(self.engine))
+        # Every engine carries a monotone mutation_count() (deletes and
+        # rebalances advance it even though they preserve len(), so
+        # there is deliberately no element-count fallback).
+        return (id(self.engine), self.engine.mutation_count())
 
     def statistics(self) -> Dict[str, int]:
         """Planner-visible metadata, recomputed at most once per epoch.

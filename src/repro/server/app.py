@@ -46,7 +46,9 @@ from repro.chronos.timestamp import Timestamp
 from repro.core.constraints import ConstraintViolation
 from repro.database import TemporalDatabase
 from repro.observability import metrics as _metrics
+from repro.query import cache as _qcache
 from repro.query.tql import TQLError
+from repro.query import tql as _tql
 from repro.relation.element import Element
 from repro.relation.errors import ElementNotFound, KeyViolation, SchemaError
 from repro.relation.temporal_relation import TemporalRelation
@@ -96,6 +98,14 @@ class ServerConfig:
     #: --tier-dir``): each created relation tiers into ``<name>.tier``
     #: under it.  None leaves tiering to the ``REPRO_TIERED`` default.
     tier_dir: Optional[str] = None
+    #: Response-cache entry budget (``repro serve --cache-entries``).
+    #: Keys are (endpoint, params, pinned epoch), so a cached body is
+    #: exactly what re-evaluating under that pin would produce; writes
+    #: advance the pin and stale entries age out by LRU.  0 disables
+    #: (``--no-cache``), as does ``REPRO_RESULT_CACHE=0``.
+    cache_entries: int = 256
+    #: Response-cache byte budget (``repro serve --cache-bytes``).
+    cache_bytes: int = 16 * 1024 * 1024
 
 
 @dataclass
@@ -129,6 +139,16 @@ class TemporalServer:
         self._writer_task: Optional["asyncio.Task[None]"] = None
         self._connections: set = set()
         self._shutting_down = False
+        #: Epoch-keyed response cache: canonical JSON bodies keyed on
+        #: (relation, endpoint, params, pin).  Entries for superseded
+        #: pins simply stop being asked for; LRU evicts them.
+        self._response_cache: Optional[_qcache.LRUCache] = None
+        if self.config.cache_entries > 0 and _qcache.caching_enabled():
+            self._response_cache = _qcache.LRUCache(
+                self.config.cache_entries,
+                max_bytes=self.config.cache_bytes,
+                layer="server",
+            )
         #: Per-relation wakeups for long-polling delta subscribers.
         self._delta_conds: Dict[str, asyncio.Condition] = {}
         for name in self.database.names():
@@ -675,14 +695,54 @@ class TemporalServer:
             }
         )
 
+    # -- response cache ---------------------------------------------------------------
+    #
+    # Read responses are pure functions of (endpoint, params, pinned
+    # epoch): epoch pinning makes the cache race-free without locks,
+    # because a body computed under a pin is stored under that same
+    # pin's key even if the writer advances the published pin
+    # meanwhile -- the stale entry is simply never asked for again.
+    # Bodies are canonical JSON (Response.json sorts keys), so a hit is
+    # byte-identical to re-evaluation; only the X-Repro-Cache header
+    # tells the two apart.
+
+    def _cache_key(
+        self, name: str, endpoint: str, pin: EpochPin, *params: Any
+    ) -> Optional[tuple]:
+        if self._response_cache is None:
+            return None
+        return (name, endpoint, params, pin.tt_micro, pin.elements, pin.version)
+
+    def _cache_get(self, key: Optional[tuple]) -> Optional[Response]:
+        if key is None or self._response_cache is None:
+            return None
+        hit = self._response_cache.get(key)
+        if hit is None:
+            return None
+        body, rows = hit
+        if _metrics.enabled():
+            _metrics.registry().counter("server.rows_served").inc(rows)
+        return Response(status=200, body=body, headers={"X-Repro-Cache": "hit"})
+
+    def _cache_put(self, key: Optional[tuple], response: Response, rows: int) -> Response:
+        if key is None or self._response_cache is None or response.status != 200:
+            return response
+        self._response_cache.put(key, (response.body, rows), nbytes=len(response.body))
+        response.headers["X-Repro-Cache"] = "miss"
+        return response
+
     async def _handle_current(self, request: Request, name: str) -> Response:
         relation, pin = self._reader_context(name)
+        key = self._cache_key(name, "current", pin)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
         # Pinned current state == rollback to the pin: stored-at-pin
         # elements whose existence interval is still open at the pin.
         elements = await self._pinned_read(
             relation, pin, lambda: list(relation.as_of(pin.as_of))
         )
-        return self._rows_response(pin, elements)
+        return self._cache_put(key, self._rows_response(pin, elements), len(elements))
 
     async def _handle_timeslice(self, request: Request, name: str) -> Response:
         relation, pin = self._reader_context(name)
@@ -690,10 +750,14 @@ class TemporalServer:
         as_of = pin.as_of
         if "as_of" in request.query:
             as_of = pin.clamp(Timestamp(self._micro_param(request, "as_of"), "microsecond"))
+        key = self._cache_key(name, "timeslice", pin, vt.microseconds, as_of.microseconds)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
         elements = await self._pinned_read(
             relation, pin, lambda: list(relation.valid_at(vt, as_of_tt=as_of))
         )
-        return self._rows_response(pin, elements)
+        return self._cache_put(key, self._rows_response(pin, elements), len(elements))
 
     async def _handle_overlap(self, request: Request, name: str) -> Response:
         relation, pin = self._reader_context(name)
@@ -707,16 +771,24 @@ class TemporalServer:
         as_of = pin.as_of
         if "as_of" in request.query:
             as_of = pin.clamp(Timestamp(self._micro_param(request, "as_of"), "microsecond"))
+        key = self._cache_key(name, "overlap", pin, start, end, as_of.microseconds)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
         elements = await self._pinned_read(
             relation, pin, lambda: list(relation.valid_overlapping(window, as_of_tt=as_of))
         )
-        return self._rows_response(pin, elements)
+        return self._cache_put(key, self._rows_response(pin, elements), len(elements))
 
     async def _handle_rollback(self, request: Request, name: str) -> Response:
         relation, pin = self._reader_context(name)
         tt = pin.clamp(Timestamp(self._micro_param(request, "tt"), "microsecond"))
+        key = self._cache_key(name, "rollback", pin, tt.microseconds)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
         elements = await self._pinned_read(relation, pin, lambda: list(relation.as_of(tt)))
-        return self._rows_response(pin, elements)
+        return self._cache_put(key, self._rows_response(pin, elements), len(elements))
 
     # -- standing views + subscriptions -----------------------------------------------
 
@@ -841,15 +913,31 @@ class TemporalServer:
 
     async def _handle_query(self, request: Request) -> Response:
         statement = protocol.StatementRequest.from_json(request.json())
+        target: Optional[str] = None
+        if self._response_cache is not None:
+            try:
+                target = _tql.parse(statement.tql).relation_name
+            except TQLError:
+                pass  # let execute() report the parse error uncached
         # The planner's strategy surface (current-state views, vt
         # indexes, columnar kernels) is not pinned-safe, so TQL runs
         # serialized with the writer -- and chooses exactly the
         # strategies the embedded library would.
         async with self._write_lock:
+            # The pin must be read under the lock: the writer advances
+            # pins while holding it, so reading outside could store a
+            # post-write body under a pre-write pin's key.
+            key = None
+            if target is not None and target in self._pins:
+                key = self._cache_key(target, "query", self._pins[target], statement.tql)
+                cached = self._cache_get(key)
+                if cached is not None:
+                    return cached
             rows = self.database.execute(statement.tql)
         if _metrics.enabled():
             _metrics.registry().counter("server.rows_served").inc(len(rows))
-        return Response.json({"rows": protocol.rows_to_json(rows), "count": len(rows)})
+        response = Response.json({"rows": protocol.rows_to_json(rows), "count": len(rows)})
+        return self._cache_put(key, response, len(rows))
 
     async def _handle_explain(self, request: Request, name: str) -> Response:
         statement = protocol.StatementRequest.from_json(request.json())

@@ -30,6 +30,12 @@ class ClientResponse:
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
+    @property
+    def cache_status(self) -> Optional[str]:
+        """``"hit"`` / ``"miss"`` from ``X-Repro-Cache``; ``None`` when
+        the server ran with its response cache disabled."""
+        return self.headers.get("x-repro-cache")
+
 
 class ServerClient:
     """One keep-alive connection to a :class:`TemporalServer`."""

@@ -106,6 +106,19 @@ class StorageEngine(abc.ABC):
     def __len__(self) -> int:
         """Number of stored elements (including logically deleted ones)."""
 
+    @abc.abstractmethod
+    def mutation_count(self) -> int:
+        """Monotone counter advancing on *every* state change.
+
+        Appends, batch extends, logical deletes (which preserve
+        ``len()``), and structural maintenance such as a shard
+        rebalance all advance it.  ``(id(engine), mutation_count())``
+        is the storage half of every epoch key -- statistics snapshots,
+        plan/result caches, shard-envelope memos -- so an engine that
+        under-counts serves stale answers.  ``len()`` is deliberately
+        not an acceptable substitute: it is delete-blind.
+        """
+
     # -- temporal access (reference implementations; engines may override) -----------
 
     def current(self) -> Iterator[Element]:

@@ -524,6 +524,9 @@ class LogFileEngine(StorageEngine):
     def has_vt_index(self) -> bool:
         return self._mirror.has_vt_index
 
+    def mutation_count(self) -> int:
+        return self._mirror.mutation_count()
+
     def index_statistics(self):
         return self._mirror.index_statistics()
 

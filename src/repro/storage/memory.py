@@ -286,6 +286,12 @@ class MemoryEngine(StorageEngine):
     def transaction_index(self) -> TransactionTimeIndex:
         return self._tt_index
 
+    def mutation_count(self) -> int:
+        """The segmented store's mutation counter: appends, extends,
+        and delete patches (including cold-segment ones) all advance
+        it."""
+        return self._tt_index.store.mutations
+
     @property
     def event_index(self) -> Optional[ValidTimeEventIndex]:
         return self._vt_events

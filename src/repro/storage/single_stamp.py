@@ -40,6 +40,7 @@ class SingleStampEngine(StorageEngine):
         self._rows: List[_Row] = []
         self._tts: List[int] = []
         self._positions: Dict[int, int] = {}
+        self._mutations = 0
 
     # -- mutation -----------------------------------------------------------------
 
@@ -60,6 +61,7 @@ class SingleStampEngine(StorageEngine):
             raise ValueError("transaction times must be strictly increasing")
         self._positions[element.element_surrogate] = len(self._rows)
         self._tts.append(tt_micro)
+        self._mutations += 1
         self._rows.append(
             (
                 element.element_surrogate,
@@ -113,6 +115,7 @@ class SingleStampEngine(StorageEngine):
             self._positions[row[0]] = base + offset
         self._tts.extend(row[2] for row in encoded)
         self._rows.extend(encoded)
+        self._mutations += 1
         return len(encoded)
 
     def close_element(self, element_surrogate: int, tt_stop: Timestamp) -> Element:
@@ -127,6 +130,7 @@ class SingleStampEngine(StorageEngine):
         if tt_stop.microseconds <= row[2]:
             raise ValueError("deletion time must follow insertion time")
         self._rows[position] = row[:3] + (tt_stop.microseconds,) + row[4:]
+        self._mutations += 1
         return self._materialize(self._rows[position])
 
     # -- lookup -------------------------------------------------------------------
@@ -142,6 +146,11 @@ class SingleStampEngine(StorageEngine):
 
     def __len__(self) -> int:
         return len(self._rows)
+
+    def mutation_count(self) -> int:
+        """Monotone epoch: deletes patch rows in place (``len()`` is
+        blind to them) but must still invalidate epoch-keyed caches."""
+        return self._mutations
 
     # -- temporal access: one binary search serves both dimensions ------------------
 

@@ -1,0 +1,481 @@
+"""Epoch-keyed query caching: units and the cache-on/off differential.
+
+Two halves:
+
+* unit coverage of the machinery -- LRU entry/byte budgets and
+  eviction, parse-cache memoization and its ``REPRO_RESULT_CACHE=0``
+  bypass, plan-cache reuse and epoch rollover, result-cache hits that
+  stay frozen, ``mutation_count()`` monotonicity on every engine;
+* a Hypothesis differential: a randomized mutation/maintenance/query
+  script runs against flat, unindexed, segmented, tiered, and sharded
+  topologies, and at every query point the cache-enabled answer (tiny
+  budgets, constant eviction pressure) must be byte-identical -- via
+  the server's canonical codec -- to the same query under
+  ``REPRO_RESULT_CACHE=0``.  Vacuum engine swaps, segment compaction,
+  shard rebalancing, and out-of-band ``extend()`` straight into the
+  engine all interleave: every one must roll the epoch.
+"""
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chronos.clock import LogicalClock, SimulatedWallClock
+from repro.chronos.interval import Interval
+from repro.chronos.timestamp import Timestamp
+from repro.query import Planner, Scan, ValidOverlap, ValidTimeslice, tql
+from repro.query import cache as qcache
+from repro.query.ast import CurrentState, Rollback
+from repro.relation.element import Element
+from repro.relation.schema import TemporalSchema
+from repro.relation.temporal_relation import TemporalRelation
+from repro.server.protocol import elements_to_json
+from repro.storage.logfile import LogFileEngine
+from repro.storage.memory import MemoryEngine
+from repro.storage.sharded import HashPartitioner, ShardedEngine
+from repro.storage.single_stamp import SingleStampEngine
+from repro.storage.sqlite_backend import SQLiteEngine
+from repro.storage.vacuum import vacuum_relation
+from tests.strategies import OBJECTS, SMALL_TICKS
+
+CLOCK_START = 1_000
+
+
+@contextmanager
+def cache_env(value):
+    """Temporarily pin REPRO_RESULT_CACHE (a budget, '0', or None)."""
+    old = os.environ.get("REPRO_RESULT_CACHE")
+    if value is None:
+        os.environ.pop("REPRO_RESULT_CACHE", None)
+    else:
+        os.environ["REPRO_RESULT_CACHE"] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_RESULT_CACHE", None)
+        else:
+            os.environ["REPRO_RESULT_CACHE"] = old
+
+
+def make_relation(engine=None, specializations=()):
+    schema = TemporalSchema(
+        name="cached",
+        time_varying=("reading",),
+        specializations=list(specializations),
+    )
+    return TemporalRelation(
+        schema, clock=LogicalClock(start=CLOCK_START), engine=engine
+    )
+
+
+def fill(relation, count=12):
+    relation.append_many(
+        [(f"o{i % 3}", Timestamp(i * 5), {"reading": i}) for i in range(count)]
+    )
+    return relation
+
+
+# -- the LRU ------------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_entry_budget_evicts_oldest(self):
+        cache = qcache.LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = qcache.LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_byte_budget_evicts_under_pressure(self):
+        cache = qcache.LRUCache(100, max_bytes=100)
+        cache.put("a", "x", nbytes=40)
+        cache.put("b", "y", nbytes=40)
+        cache.put("c", "z", nbytes=40)  # 120 > 100: "a" must go
+        assert cache.get("a") is None
+        assert cache.get("b") == "y"
+        assert cache.bytes == 80
+
+    def test_oversized_value_is_rejected_not_cached(self):
+        cache = qcache.LRUCache(100, max_bytes=100)
+        cache.put("small", "s", nbytes=10)
+        cache.put("huge", "h", nbytes=1_000)
+        assert cache.get("huge") is None
+        assert cache.get("small") == "s"  # untouched by the rejection
+
+    def test_replacement_updates_byte_accounting(self):
+        cache = qcache.LRUCache(10, max_bytes=100)
+        cache.put("a", "old", nbytes=60)
+        cache.put("a", "new", nbytes=20)
+        assert cache.bytes == 20
+        assert cache.get("a") == "new"
+
+
+# -- parse cache --------------------------------------------------------------------
+
+
+class TestParseCache:
+    def test_repeated_statements_share_the_instance(self):
+        with cache_env("4"):
+            qcache.parse_cache.clear()
+            first = tql.parse("SELECT * FROM cached VALID AT 10")
+            second = tql.parse("SELECT * FROM cached VALID AT 10")
+            assert first is second
+
+    def test_kill_switch_bypasses_memoization(self):
+        with cache_env("0"):
+            qcache.parse_cache.clear()
+            first = tql.parse("SELECT * FROM cached VALID AT 11")
+            second = tql.parse("SELECT * FROM cached VALID AT 11")
+            assert first is not second
+            assert len(qcache.parse_cache) == 0
+
+    def test_parse_errors_are_not_cached(self):
+        with cache_env("4"):
+            qcache.parse_cache.clear()
+            for _ in range(2):
+                try:
+                    tql.parse("SELECT broken FROM")
+                except tql.TQLError:
+                    pass
+            assert len(qcache.parse_cache) == 0
+
+
+# -- plan + result layers -----------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_same_epoch_reuses_the_plan_object(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            first = Planner(relation).plan(query)
+            second = Planner(relation).plan(query)
+            assert first is second
+
+    def test_mutation_rolls_the_epoch_and_replans(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            first = Planner(relation).plan(query)
+            relation.insert("o9", Timestamp(99), {"reading": 9})
+            second = Planner(relation).plan(query)
+            assert first is not second
+
+    def test_kill_switch_never_caches_plans(self):
+        with cache_env("0"):
+            relation = fill(make_relation())
+            assert relation.query_cache is None
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            assert Planner(relation).plan(query) is not Planner(relation).plan(query)
+
+    def test_foreign_relation_scan_is_uncacheable(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            other = fill(make_relation())
+            query = ValidTimeslice(Scan(other), Timestamp(10))
+            assert qcache.fingerprint(query, relation) is None
+
+
+class TestResultCache:
+    def test_hit_returns_equal_results_and_marks_the_plan(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            first = Planner(relation).plan(query).execute()
+            plan = Planner(relation).plan(query)
+            second = plan.execute()
+            assert first == second
+            assert plan.result_cache_epoch is not None
+
+    def test_hits_hand_back_a_fresh_list(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            first = Planner(relation).plan(query).execute()
+            assert first
+            first.clear()  # a caller mangling its copy...
+            second = Planner(relation).plan(query).execute()
+            assert second  # ...must not mangle the cached answer
+
+    def test_epoch_rollover_recomputes(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            before = Planner(relation).plan(query).execute()
+            Planner(relation).plan(query).execute()
+            relation.insert("oX", Timestamp(10), {"reading": 77})
+            plan = Planner(relation).plan(query)
+            after = plan.execute()
+            assert plan.result_cache_epoch is None  # honest miss
+            assert len(after) == len(before) + 1
+
+    def test_result_layer_off_by_default_but_plan_layer_on(self):
+        with cache_env(None):
+            relation = fill(make_relation())
+            cache = relation.query_cache
+            assert cache is not None
+            assert cache.results() is None
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            assert Planner(relation).plan(query) is Planner(relation).plan(query)
+
+    def test_statistics_reports_layers(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            query = ValidTimeslice(Scan(relation), Timestamp(10))
+            Planner(relation).plan(query).execute()
+            Planner(relation).plan(query).execute()
+            stats = relation.query_cache.statistics()
+            assert stats["plan_hits"] >= 1
+            assert stats["result_hits"] >= 1
+            assert stats["result_bytes"] > 0
+
+    def test_explain_names_the_cache_hit_before_chosen(self):
+        with cache_env("4"):
+            relation = fill(make_relation())
+            statement = "SELECT * FROM cached VALID AT 10"
+            relation.explain(statement)
+            report = relation.explain(statement)
+            cached_lines = [
+                line for line in report.decisions if "result cache" in line
+            ]
+            assert cached_lines, report.decisions
+            assert report.decisions[-1].startswith("chosen:")
+
+
+# -- satellite: every engine's mutation counter -------------------------------------
+
+
+class TestMutationCount:
+    def _exercise(self, relation):
+        engine = relation.engine
+        seen = [engine.mutation_count()]
+
+        def advanced():
+            seen.append(engine.mutation_count())
+            assert seen[-1] > seen[-2], "mutation_count must advance"
+
+        relation.insert("alpha", Timestamp(5), {"reading": 1})
+        advanced()
+        relation.append_many(
+            [("beta", Timestamp(7), {"reading": 2}), ("gamma", Timestamp(9), {})]
+        )
+        advanced()
+        victim = relation.current()[0]
+        relation.delete(victim.element_surrogate)
+        advanced()
+
+    def test_memory(self):
+        self._exercise(make_relation(MemoryEngine()))
+
+    def test_segmented_memory(self):
+        self._exercise(make_relation(MemoryEngine(segment_size=2)))
+
+    def test_sharded(self):
+        self._exercise(make_relation(ShardedEngine(shard_count=3)))
+
+    def test_logfile(self, tmp_path):
+        engine = LogFileEngine(str(tmp_path / "wal.log"))
+        try:
+            self._exercise(make_relation(engine))
+        finally:
+            engine.close()
+
+    def test_sqlite(self, tmp_path):
+        engine = SQLiteEngine(str(tmp_path / "rel.db"))
+        try:
+            self._exercise(make_relation(engine))
+        finally:
+            engine.close()
+
+    def test_single_stamp_counts_deletes_len_does_not(self):
+        schema = TemporalSchema(name="d", specializations=["degenerate"])
+        clock = SimulatedWallClock(start=0)
+        relation = TemporalRelation(schema, clock=clock, engine=SingleStampEngine())
+        for i in range(3):
+            clock.advance_to(Timestamp(10 * i))
+            relation.insert("o", Timestamp(10 * i), {})
+        engine = relation.engine
+        before_len, before_count = len(engine), engine.mutation_count()
+        clock.advance_to(Timestamp(100))
+        relation.delete(relation.current()[0].element_surrogate)
+        assert len(engine) == before_len  # deletes patch in place
+        assert engine.mutation_count() > before_count
+
+
+# -- the cache-on/cache-off differential --------------------------------------------
+
+
+def _canonical(elements):
+    return json.dumps(elements_to_json(elements), sort_keys=True)
+
+
+def _out_of_band_extend(relation, tick):
+    """A write the relation never sees: straight into the engine.
+
+    ``relation.version`` stays put, so only the engine's mutation
+    counter can save the cache from serving the pre-extend answer.
+    """
+    element = Element(
+        element_surrogate=relation._surrogates.fresh(),
+        object_surrogate="smuggled",
+        tt_start=relation.clock.now(),
+        vt=Timestamp(tick),
+        time_varying={"reading": -1},
+    )
+    relation.engine.extend([element])
+
+
+QUERY_OPS = ("timeslice", "overlap", "rollback", "current", "tql")
+
+
+@st.composite
+def cache_workload(draw, min_ops=6, max_ops=20):
+    op = st.one_of(
+        st.tuples(st.just("insert"), OBJECTS, SMALL_TICKS, st.integers(1, 12)),
+        st.tuples(
+            st.just("batch"),
+            st.lists(
+                st.tuples(OBJECTS, SMALL_TICKS, st.integers(1, 12)),
+                min_size=1,
+                max_size=4,
+            ),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 63)),
+        st.tuples(st.just("vacuum"), st.integers(0, 80)),
+        st.tuples(st.just("compact")),
+        st.tuples(st.just("rebalance"), st.integers(0, 1_000)),
+        st.tuples(st.just("extend"), SMALL_TICKS),
+        st.tuples(st.just("query"), st.sampled_from(QUERY_OPS), SMALL_TICKS),
+    )
+    return draw(st.lists(op, min_size=min_ops, max_size=max_ops))
+
+
+def _run_query(relation, which, tick):
+    if which == "tql":
+        return _canonical(
+            tql.execute(f"SELECT * FROM cached VALID AT {tick}", relation)
+        )
+    if which == "timeslice":
+        node = ValidTimeslice(Scan(relation), Timestamp(tick))
+    elif which == "overlap":
+        node = ValidOverlap(
+            Scan(relation), Interval(Timestamp(tick), Timestamp(tick + 10))
+        )
+    elif which == "rollback":
+        node = Rollback(Scan(relation), Timestamp(CLOCK_START + tick, "microsecond"))
+    else:
+        node = CurrentState(Scan(relation))
+    return _canonical(Planner(relation).plan(node).execute())
+
+
+def run_cache_differential(relation, ops):
+    """Every query answers twice: tiny hot caches vs the kill switch.
+
+    The cached run uses budgets small enough (4 entries) that eviction
+    pressure is constant; the uncached run is today's code path.  The
+    two must agree byte-for-byte at every step.
+    """
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            relation.insert(op[1], Timestamp(op[2]), {"reading": op[3]})
+        elif kind == "batch":
+            relation.append_many(
+                [(obj, Timestamp(tick), {"reading": length}) for obj, tick, length in op[1]]
+            )
+        elif kind == "delete":
+            # Smuggled rows bypassed the backlog: not deletable there.
+            live = [
+                e for e in relation.current() if e.object_surrogate != "smuggled"
+            ]
+            if live:
+                relation.delete(live[op[1] % len(live)].element_surrogate)
+        elif kind == "vacuum":
+            vacuum_relation(relation, Timestamp(op[1]))
+        elif kind == "compact":
+            engine = relation.engine
+            shards = (
+                engine.shards if isinstance(engine, ShardedEngine) else [engine]
+            )
+            for shard in shards:
+                index = getattr(shard, "transaction_index", None)
+                if index is not None:
+                    index.store.compact()
+        elif kind == "rebalance":
+            engine = relation.engine
+            if isinstance(engine, ShardedEngine) and isinstance(
+                engine.partitioner, HashPartitioner
+            ):
+                engine.rebalance(
+                    op[1] % engine.partitioner.buckets,
+                    op[1] % len(engine.shards),
+                )
+        elif kind == "extend":
+            _out_of_band_extend(relation, op[1])
+        elif kind == "query":
+            with cache_env("4"):
+                cached = _run_query(relation, op[1], op[2])
+            with cache_env("0"):
+                uncached = _run_query(relation, op[1], op[2])
+            assert cached == uncached, (
+                f"cache served a divergent {op[1]} answer:\n"
+                f"  cached:   {cached}\n"
+                f"  uncached: {uncached}"
+            )
+        else:  # pragma: no cover - strategy and runner must stay in sync
+            raise AssertionError(f"unknown workload op {op!r}")
+    with cache_env("4"):
+        final_cached = _run_query(relation, "current", 0)
+    with cache_env("0"):
+        assert final_cached == _run_query(relation, "current", 0)
+
+
+class TestCacheDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=cache_workload())
+    def test_flat_memory(self, ops):
+        run_cache_differential(make_relation(MemoryEngine()), ops)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=cache_workload())
+    def test_memory_without_vt_index(self, ops):
+        run_cache_differential(
+            make_relation(MemoryEngine(maintain_vt_index=False)), ops
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=cache_workload())
+    def test_small_segments(self, ops):
+        run_cache_differential(make_relation(MemoryEngine(segment_size=4)), ops)
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=cache_workload())
+    def test_tiered_cold_storage(self, ops):
+        with tempfile.TemporaryDirectory() as tier_dir:
+            engine = MemoryEngine(segment_size=4, tier_dir=tier_dir)
+            try:
+                run_cache_differential(make_relation(engine), ops)
+            finally:
+                engine.close()
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=cache_workload())
+    def test_hash_sharded_memory(self, ops):
+        run_cache_differential(make_relation(ShardedEngine(shard_count=3)), ops)
